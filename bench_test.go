@@ -1,0 +1,390 @@
+package cnnrev
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/core"
+	"cnnrev/internal/experiments"
+	"cnnrev/internal/nn"
+	"cnnrev/internal/oram"
+	"cnnrev/internal/structrev"
+	"cnnrev/internal/tensor"
+	"cnnrev/internal/weightrev"
+)
+
+// ---------------------------------------------------------------------------
+// Paper artifacts: one benchmark per table and figure. Each runs the full
+// regeneration pipeline and reports the headline quantity as a custom
+// metric, so `go test -bench .` doubles as the reproduction harness.
+// ---------------------------------------------------------------------------
+
+func benchTable3(b *testing.B, model string, paper int) {
+	b.Helper()
+	var count int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3([]string{model})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[0].TruthFound {
+			b.Fatalf("%s: true structure lost", model)
+		}
+		count = rows[0].Count
+	}
+	b.ReportMetric(float64(count), "candidates")
+	b.ReportMetric(float64(paper), "paper_candidates")
+}
+
+func BenchmarkTable3_LeNet(b *testing.B)      { benchTable3(b, "lenet", 9) }
+func BenchmarkTable3_ConvNet(b *testing.B)    { benchTable3(b, "convnet", 6) }
+func BenchmarkTable3_AlexNet(b *testing.B)    { benchTable3(b, "alexnet", 24) }
+func BenchmarkTable3_SqueezeNet(b *testing.B) { benchTable3(b, "squeezenet", 9) }
+
+func BenchmarkTable4_AlexNetConfigs(b *testing.B) {
+	var rep *experiments.Table4Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.TruthFound {
+			b.Fatal("true structure lost")
+		}
+	}
+	rows := 0
+	for _, cfgs := range rep.Configs {
+		rows += len(cfgs)
+	}
+	b.ReportMetric(float64(rows), "config_rows")
+	b.ReportMetric(float64(rep.Combinations), "combinations")
+}
+
+func BenchmarkFig3_MemoryTrace(b *testing.B) {
+	var rep *experiments.Fig3Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig3("alexnet", io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Segments), "layer_boundaries")
+	b.ReportMetric(float64(rep.TraceRecords), "trace_records")
+}
+
+func BenchmarkFig4_CandidateAccuracy(b *testing.B) {
+	var rep *experiments.RankReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig4(core.RankConfig{
+			Classes: 3, PerClass: 6, Epochs: 1, DepthDiv: 48, Seed: 9, MaxCandidates: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.TruthRank), "truth_rank")
+	b.ReportMetric(float64(rep.Candidates), "candidates_trained")
+}
+
+func BenchmarkFig5_SqueezeNetAccuracy(b *testing.B) {
+	var rep *experiments.RankReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig5(core.RankConfig{
+			Classes: 6, PerClass: 8, Epochs: 1, DepthDiv: 32, TopK: 5, Seed: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.TruthRank), "truth_rank")
+	b.ReportMetric(float64(rep.Candidates), "candidates_trained")
+}
+
+func BenchmarkFig7_WeightRecovery(b *testing.B) {
+	var rep *experiments.Fig7Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig7(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MaxRatioErr > 1.0/1024 {
+			b.Fatalf("ratio error %g exceeds the paper's 2^-10 bound", rep.MaxRatioErr)
+		}
+		if rep.ZeroErrors != 0 {
+			b.Fatalf("%d zero-weight misclassifications", rep.ZeroErrors)
+		}
+	}
+	b.ReportMetric(rep.MaxRatioErr, "max_ratio_err")
+	b.ReportMetric(float64(rep.Queries), "device_queries")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices DESIGN.md calls out).
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblationToleranceSweep(b *testing.B) {
+	var rows []experiments.TimingSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationTimingSweep("alexnet", []float64{1.15, 1.35, 2.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Tolerance == 1.35 {
+			b.ReportMetric(float64(r.Candidates), "candidates_tol1.35")
+		}
+	}
+}
+
+func BenchmarkAblationKernelBound(b *testing.B) {
+	var rows []experiments.KernelBoundRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationKernelBound("alexnet", []int{11, 22})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[len(rows)-1].Candidates), "candidates_unbounded22")
+}
+
+func BenchmarkAblationZeroPruning(b *testing.B) {
+	var rows []experiments.PruneTrafficRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationZeroPruneTraffic(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].TrafficFactor, "traffic_ratio_sparse")
+}
+
+func BenchmarkAblationORAM(b *testing.B) {
+	var rep *experiments.ORAMReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationORAM("lenet")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AttackDefeated {
+			b.Fatal("ORAM failed to defeat the attack")
+		}
+	}
+	b.ReportMetric(rep.Overhead, "oram_overhead_x")
+}
+
+func BenchmarkAblationBiasInDRAM(b *testing.B) {
+	var rep *experiments.BiasAblationReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.AblationBiasInDRAM("lenet")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.PaperModel), "candidates_paper_model")
+	b.ReportMetric(float64(rep.BiasInDRAM), "candidates_bias_in_dram")
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	var rows []experiments.BlockSizeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationBlockSize("lenet", []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Candidates), "candidates_4B")
+	b.ReportMetric(float64(rows[1].Candidates), "candidates_16B")
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+func BenchmarkGemm256(b *testing.B) {
+	const m, k, n = 256, 256, 256
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range bb {
+		bb[i] = float32(rng.NormFloat64())
+	}
+	b.SetBytes(int64(m*k+k*n+m*n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(a, bb, c, m, k, n)
+	}
+}
+
+func BenchmarkConvForwardAlexNetConv2(b *testing.B) {
+	conv := tensor.Conv2D{InC: 96, OutC: 256, F: 5, S: 1, P: 2}
+	in := make([]float32, 96*27*27)
+	w := make([]float32, 256*96*5*5)
+	bias := make([]float32, 256)
+	oh, ow := conv.OutDims(27, 27)
+	out := make([]float32, 256*oh*ow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(in, 27, 27, w, bias, out, nil)
+	}
+}
+
+func BenchmarkAccelTraceAlexNet(b *testing.B) {
+	net := nn.AlexNet(1000, 1)
+	net.InitWeights(1)
+	x := make([]float32, net.Input.Len())
+	for i := 0; i < b.N; i++ {
+		sim, err := accel.New(net, accel.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveAlexNet(b *testing.B) {
+	net := nn.AlexNet(1000, 1)
+	net.InitWeights(1)
+	cap, err := core.Capture(net, accel.Config{}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := structrev.Analyze(cap.Result.Trace, net.Input.Len()*4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := structrev.Solve(a, 227, 3, 1000, structrev.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainerEpochLeNet(b *testing.B) {
+	net := nn.LeNet(3)
+	net.InitWeights(1)
+	xs := make([][]float32, 30)
+	ys := make([]int, 30)
+	rng := rand.New(rand.NewSource(2))
+	for i := range xs {
+		xs[i] = make([]float32, net.Input.Len())
+		for j := range xs[i] {
+			xs[i][j] = float32(rng.NormFloat64())
+		}
+		ys[i] = i % 3
+	}
+	tr := nn.NewTrainer(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Epoch(xs, ys, rng)
+	}
+}
+
+func BenchmarkORAMObfuscate(b *testing.B) {
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	cap, err := core.Capture(net, accel.Config{}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := oram.Obfuscate(cap.Result.Trace, oram.Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDataflow(b *testing.B) {
+	var rows []experiments.DataflowRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationDataflow("convnet")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.TruthFound {
+				b.Fatalf("%s lost the truth", r.Dataflow)
+			}
+		}
+	}
+	b.ReportMetric(float64(rows[0].Candidates), "candidates")
+}
+
+func BenchmarkExtensionLayerPeeling(b *testing.B) {
+	net := peelingVictim()
+	for i := 0; i < b.N; i++ {
+		o, err := weightrev.NewStackOracle(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at := weightrev.NewStackAttacker(o, net)
+		rec, err := at.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Unreachable[1][0] || rec.Unreachable[1][1] || rec.Unreachable[1][2] {
+			b.Fatal("injection failed")
+		}
+	}
+}
+
+// peelingVictim builds the 2-layer ladder-dominant stack used by the
+// peeling benchmark (mirrors examples/peeling).
+func peelingVictim() *nn.Network {
+	net, err := nn.New("stack", nn.Shape{C: 1, H: 16, W: 16}, []nn.LayerSpec{
+		{Name: "conv0", Kind: nn.KindConv, OutC: 3, F: 3, S: 2, ReLU: true},
+		{Name: "conv1", Kind: nn.KindConv, OutC: 2, F: 2, S: 1, ReLU: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	w0 := net.Params[0].W.Data
+	for i := range w0 {
+		w0[i] = float32(0.01 + 0.03*rng.Float64())
+		if rng.Intn(2) == 0 {
+			w0[i] = -w0[i]
+		}
+	}
+	w0[(0*3+1)*3+1] = 0.5
+	w0[(1*3+1)*3+1] = -0.5
+	w0[(2*3+0)*3+1] = 0.5
+	w0[(2*3+2)*3+1] = 0.02
+	for d := 0; d < 3; d++ {
+		net.Params[0].B.Data[d] = float32(-0.04 - 0.02*rng.Float64())
+	}
+	w1 := net.Params[1].W.Data
+	for i := range w1 {
+		m := 0.08 + 0.3*rng.Float64()
+		if rng.Intn(2) == 0 {
+			m = -m
+		}
+		w1[i] = float32(m)
+	}
+	for d := 0; d < 2; d++ {
+		net.Params[1].B.Data[d] = float32(-0.02 - 0.02*rng.Float64())
+	}
+	return net
+}

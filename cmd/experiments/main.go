@@ -1,0 +1,170 @@
+// Command experiments regenerates the paper's evaluation artifacts: Tables
+// 3-4 and Figures 3, 4, 5 and 7, plus the reproduction's ablations.
+//
+// Usage:
+//
+//	experiments -run all [-outdir results] [-scale medium]
+//	experiments -run table3,fig7
+//
+// The -scale flag trades fidelity for time in the training-based figures:
+// "smoke" finishes in seconds, "medium" in minutes, "full" trains every
+// candidate longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cnnrev/internal/core"
+	"cnnrev/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,ablations")
+	outdir := flag.String("outdir", "results", "directory for CSV artifacts")
+	scale := flag.String("scale", "smoke", "training scale for figs 4/5: smoke|medium|full")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	rc4, rc5 := rankConfigs(*scale)
+
+	if all || want["table3"] {
+		timed("table3", func() {
+			rows, err := experiments.Table3(nil)
+			fatal(err)
+			fmt.Print(experiments.FormatTable3(rows))
+		})
+	}
+	if all || want["table3x"] {
+		timed("table3x", func() {
+			rows, err := experiments.Table3Extended()
+			fatal(err)
+			fmt.Print(experiments.FormatTable3(rows))
+		})
+	}
+	if all || want["table4"] {
+		timed("table4", func() {
+			rep, err := experiments.Table4()
+			fatal(err)
+			fmt.Print(rep.String())
+		})
+	}
+	if all || want["fig3"] {
+		timed("fig3", func() {
+			path := filepath.Join(*outdir, "fig3_alexnet_trace.csv")
+			f, err := os.Create(path)
+			fatal(err)
+			defer f.Close()
+			rep, err := experiments.Fig3("alexnet", f)
+			fatal(err)
+			fmt.Print(rep.String())
+			fmt.Printf("CSV written to %s\n", path)
+		})
+	}
+	if all || want["fig4"] {
+		timed("fig4", func() {
+			rep, err := experiments.Fig4(rc4)
+			fatal(err)
+			fmt.Print(rep.String())
+		})
+	}
+	if all || want["fig5"] {
+		timed("fig5", func() {
+			rep, err := experiments.Fig5(rc5)
+			fatal(err)
+			fmt.Print(rep.String())
+		})
+	}
+	if all || want["fig7"] {
+		timed("fig7", func() {
+			filters := 96
+			if *scale == "smoke" {
+				filters = 16
+			}
+			rep, err := experiments.Fig7(filters)
+			fatal(err)
+			fmt.Print(rep.String())
+		})
+	}
+	if all || want["ablations"] {
+		timed("ablations", func() {
+			rows, err := experiments.AblationTimingSweep("alexnet", nil)
+			fatal(err)
+			fmt.Print(experiments.FormatTimingSweep("alexnet", rows))
+
+			kb, err := experiments.AblationKernelBound("alexnet", nil)
+			fatal(err)
+			fmt.Print(experiments.FormatKernelBound("alexnet", kb))
+
+			bias, err := experiments.AblationBiasInDRAM("lenet")
+			fatal(err)
+			fmt.Print(bias.String())
+
+			pt, err := experiments.AblationZeroPruneTraffic(nil)
+			fatal(err)
+			fmt.Print(experiments.FormatPruneTraffic(pt))
+
+			or, err := experiments.AblationORAM("lenet")
+			fatal(err)
+			fmt.Print(or.String())
+
+			bs, err := experiments.AblationBlockSize("lenet", nil)
+			fatal(err)
+			fmt.Print(experiments.FormatBlockSize("lenet", bs))
+
+			tn, err := experiments.AblationTimingNoise("alexnet", nil)
+			fatal(err)
+			fmt.Print(experiments.FormatTimingNoise("alexnet", tn))
+
+			pd, err := experiments.AblationPadDefense()
+			fatal(err)
+			fmt.Print(pd.String())
+
+			df, err := experiments.AblationDataflow("alexnet")
+			fatal(err)
+			fmt.Print(experiments.FormatDataflow("alexnet", df))
+		})
+	}
+}
+
+// rankConfigs maps the scale flag to Fig-4/5 training configurations.
+func rankConfigs(scale string) (core.RankConfig, core.RankConfig) {
+	switch scale {
+	case "full":
+		return core.RankConfig{Classes: 8, PerClass: 40, Epochs: 3, DepthDiv: 16, Seed: 9},
+			core.RankConfig{Classes: 8, PerClass: 30, Epochs: 3, DepthDiv: 16, TopK: 5, Seed: 9}
+	case "medium":
+		return core.RankConfig{Classes: 6, PerClass: 30, Epochs: 2, DepthDiv: 24, Seed: 9},
+			core.RankConfig{Classes: 8, PerClass: 20, Epochs: 3, DepthDiv: 24, TopK: 5, Seed: 9}
+	default: // smoke
+		return core.RankConfig{Classes: 3, PerClass: 6, Epochs: 1, DepthDiv: 48, Seed: 9, MaxCandidates: 6},
+			core.RankConfig{Classes: 6, PerClass: 8, Epochs: 1, DepthDiv: 32, TopK: 5, Seed: 9}
+	}
+}
+
+func timed(name string, f func()) {
+	fmt.Printf("==== %s ====\n", name)
+	start := time.Now()
+	f()
+	fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

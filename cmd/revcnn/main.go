@@ -1,0 +1,139 @@
+// Command revcnn runs the paper's structure reverse-engineering attack
+// (§3) end to end: it simulates a victim on the CNN accelerator, observes
+// the off-chip memory trace, and enumerates every network structure
+// consistent with the trace.
+//
+// Usage:
+//
+//	revcnn -model alexnet [-modular] [-tol 1.35] [-rank] [-depthdiv 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cnnrev"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "lenet", "victim model: lenet|convnet|alexnet|squeezenet|vgg11|nin|resnetmini")
+	classes := flag.Int("classes", 0, "classifier outputs (default: 10 small nets, 1000 large)")
+	modular := flag.Bool("modular", false, "assume repeated modules are identical (paper's SqueezeNet reduction)")
+	tol := flag.Float64("tol", 1.35, "execution-time filter tolerance (max cycles-per-MAC spread)")
+	rank := flag.Bool("rank", false, "short-train candidates on synthetic data and rank them (Figs 4-5)")
+	depthDiv := flag.Int("depthdiv", 16, "depth scaling for candidate training")
+	seed := flag.Int64("seed", 2, "victim weight/input seed")
+	traceFile := flag.String("trace", "", "attack a recorded trace file (from cmd/tracegen) instead of simulating; requires -inw/-ind/-classes")
+	inW := flag.Int("inw", 0, "with -trace: input width")
+	inD := flag.Int("ind", 0, "with -trace: input channel count")
+	flag.Parse()
+
+	if *traceFile != "" {
+		attackTraceFile(*traceFile, *inW, *inD, *classes)
+		return
+	}
+
+	net, err := buildModel(*model, *classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.InitWeights(*seed)
+
+	opt := cnnrev.DefaultSolverOptions()
+	opt.IdenticalModules = *modular
+	opt.TimingSpreadMax = *tol
+	rep, err := cnnrev.RunStructureAttack(net, cnnrev.AccelConfig{}, opt, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("victim: %s (%v input, %d classes)\n", net.Name, net.Input, net.NumClasses())
+	fmt.Printf("trace observed: %d bytes of off-chip transfers\n", rep.TraceBytes)
+	rep.Analysis.WriteReport(os.Stdout)
+	fmt.Printf("candidate structures: %d (true structure found: %v)\n",
+		len(rep.Structures), rep.TruthIndex >= 0)
+	fmt.Println("\nper-layer candidate configurations:")
+	for seg := range rep.Analysis.Segments {
+		cfgs := rep.PerLayer[seg]
+		if len(cfgs) == 0 {
+			continue
+		}
+		fmt.Printf("  segment %d:\n", seg)
+		for _, c := range cfgs {
+			fmt.Printf("    %s\n", c.String())
+		}
+	}
+
+	if *rank {
+		fmt.Println("\nshort-training candidates on synthetic data...")
+		scores := cnnrev.RankCandidates(rep, net.Input, cnnrev.RankConfig{
+			DepthDiv: *depthDiv, Seed: *seed,
+		})
+		for i, s := range scores {
+			mark := ""
+			if s.IsTruth {
+				mark = "  <-- original structure"
+			}
+			fmt.Printf("%3d. candidate %2d  acc %.3f%s\n", i+1, s.Index, s.Accuracy, mark)
+		}
+	}
+}
+
+// attackTraceFile runs the structure attack on a recorded trace (the
+// tracegen → revcnn workflow: the adversary need not share a process with
+// the victim).
+func attackTraceFile(path string, inW, inD, classes int) {
+	if inW <= 0 || inD <= 0 || classes <= 0 {
+		log.Fatal("revcnn: -trace requires -inw, -ind and -classes")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := cnnrev.ReadTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	structures, err := cnnrev.RunStructureAttackOnTrace(tr, cnnrev.Shape{C: inD, H: inW, W: inW}, classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace %s: %d records, %d block transfers\n", path, len(tr.Accesses), tr.Blocks())
+	fmt.Printf("candidate structures: %d\n", len(structures))
+	for i, st := range structures {
+		fmt.Printf("candidate %d:\n", i)
+		for _, c := range st.WeightedConfigs() {
+			fmt.Printf("  %s\n", c.String())
+		}
+	}
+}
+
+func buildModel(model string, classes int) (*cnnrev.Network, error) {
+	if classes == 0 {
+		classes = 10
+		if model == "alexnet" || model == "squeezenet" {
+			classes = 1000
+		}
+	}
+	switch model {
+	case "lenet":
+		return cnnrev.LeNet(classes), nil
+	case "convnet":
+		return cnnrev.ConvNet(classes), nil
+	case "alexnet":
+		return cnnrev.AlexNet(classes, 1), nil
+	case "squeezenet":
+		return cnnrev.SqueezeNet(classes, 1), nil
+	case "vgg11":
+		return cnnrev.VGG11(classes, 1), nil
+	case "nin":
+		return cnnrev.NiN(classes, 1), nil
+	case "resnetmini":
+		return cnnrev.ResNetMini(classes, 1), nil
+	}
+	return nil, fmt.Errorf("unknown model %q", model)
+}

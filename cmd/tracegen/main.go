@@ -1,0 +1,77 @@
+// Command tracegen runs one of the study networks on the simulated CNN
+// accelerator and writes the observable off-chip memory trace to a file.
+//
+// Usage:
+//
+//	tracegen -model alexnet -out alexnet.trace [-zeroprune] [-depthdiv 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cnnrev"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "lenet", "victim model: lenet|convnet|alexnet|squeezenet|vgg11|nin|resnetmini")
+	out := flag.String("out", "", "output trace file (required)")
+	zeroPrune := flag.Bool("zeroprune", false, "enable dynamic zero pruning of feature maps")
+	depthDiv := flag.Int("depthdiv", 1, "channel-count divisor (1 = paper size)")
+	classes := flag.Int("classes", 0, "classifier outputs (default: 10 small nets, 1000 large)")
+	seed := flag.Int64("seed", 2, "input/weight seed")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("tracegen: -out is required")
+	}
+
+	net, err := buildModel(*model, *classes, *depthDiv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.InitWeights(*seed)
+	cfg := cnnrev.AccelConfig{ZeroPrune: *zeroPrune}
+	tr, err := cnnrev.CaptureTrace(net, cfg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := cnnrev.WriteTrace(tr, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d records, %d block transfers (block %dB), last cycle %d\n",
+		*out, len(tr.Accesses), tr.Blocks(), tr.BlockBytes, tr.LastCycle())
+}
+
+func buildModel(model string, classes, depthDiv int) (*cnnrev.Network, error) {
+	if classes == 0 {
+		classes = 10
+		if model == "alexnet" || model == "squeezenet" {
+			classes = 1000
+		}
+	}
+	switch model {
+	case "lenet":
+		return cnnrev.LeNet(classes), nil
+	case "convnet":
+		return cnnrev.ConvNet(classes), nil
+	case "alexnet":
+		return cnnrev.AlexNet(classes, depthDiv), nil
+	case "squeezenet":
+		return cnnrev.SqueezeNet(classes, depthDiv), nil
+	case "vgg11":
+		return cnnrev.VGG11(classes, depthDiv), nil
+	case "nin":
+		return cnnrev.NiN(classes, depthDiv), nil
+	case "resnetmini":
+		return cnnrev.ResNetMini(classes, depthDiv), nil
+	}
+	return nil, fmt.Errorf("unknown model %q", model)
+}

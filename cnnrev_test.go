@@ -1,0 +1,161 @@
+package cnnrev
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd walks the documented user journey: build a victim,
+// capture its trace, serialize and reload it, run the structure attack on
+// the raw trace, and verify the truth survives.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	victim := LeNet(10)
+	victim.InitWeights(1)
+
+	tr, err := CaptureTrace(victim, DefaultAccelConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(tr, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structures, err := RunStructureAttackOnTrace(tr2, victim.Input, victim.NumClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(structures) == 0 {
+		t.Fatal("no structures from round-tripped trace")
+	}
+
+	rep, err := RunStructureAttack(victim, DefaultAccelConfig(), DefaultSolverOptions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TruthIndex < 0 {
+		t.Fatal("truth not recovered through the facade")
+	}
+	if len(structures) != len(rep.Structures) {
+		t.Fatalf("trace path found %d structures, pipeline %d", len(structures), len(rep.Structures))
+	}
+
+	// Materialize the stolen structure and check it runs.
+	clone, err := Materialize(rep, rep.TruthIndex, victim.Input, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone.InitWeights(3)
+	if got := len(clone.Infer(make([]float32, clone.Input.Len()))); got != 10 {
+		t.Fatalf("clone emits %d logits", got)
+	}
+}
+
+func TestPublicAPIWeightAttack(t *testing.T) {
+	victim := PrunedConv1(4, 0.25, 5)
+	rep, err := RunWeightAttack(victim, AccelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxRatioErr > 1.0/1024 || rep.ZeroErrors != 0 {
+		t.Fatalf("weight attack degraded: %+v", rep)
+	}
+}
+
+func TestPublicAPIORAM(t *testing.T) {
+	victim := LeNet(10)
+	victim.InitWeights(1)
+	tr, err := CaptureTrace(victim, DefaultAccelConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, stats, err := ObfuscateTrace(tr, ORAMConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Overhead() < 10 {
+		t.Fatalf("implausible ORAM overhead %v", stats.Overhead())
+	}
+	if _, err := RunStructureAttackOnTrace(obf, victim.Input, 10); err == nil {
+		t.Fatal("attack should fail on obfuscated trace")
+	}
+}
+
+func TestModelZooThroughFacade(t *testing.T) {
+	for _, n := range []*Network{LeNet(10), ConvNet(10), AlexNet(10, 32), SqueezeNet(10, 32)} {
+		if n.NumClasses() != 10 {
+			t.Fatalf("%s: %d classes", n.Name, n.NumClasses())
+		}
+	}
+}
+
+func TestServedTraceAttack(t *testing.T) {
+	victim := LeNet(10)
+	victim.InitWeights(1)
+	tr, err := CaptureServedTrace(victim, DefaultAccelConfig(), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInf, err := AttackServedTrace(tr, victim.Input, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perInf) != 3 {
+		t.Fatalf("%d inferences, want 3", len(perInf))
+	}
+	for i, structures := range perInf {
+		if len(structures) == 0 {
+			t.Fatalf("inference %d: no candidates", i)
+		}
+	}
+}
+
+func TestSaveLoadNetworkFacade(t *testing.T) {
+	n := ResNetMini(10, 4)
+	n.InitWeights(3)
+	var buf bytes.Buffer
+	if err := SaveNetwork(n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, n.Input.Len())
+	a, b := n.Infer(x), m.Infer(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("round trip changed inference")
+		}
+	}
+}
+
+func TestQuantizeNetworkFacade(t *testing.T) {
+	n := LeNet(4)
+	n.InitWeights(2)
+	calib := [][]float32{make([]float32, n.Input.Len())}
+	calib[0][5] = 1
+	q, err := QuantizeNetwork(n, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Infer(calib[0])); got != 4 {
+		t.Fatalf("quantized logits %d", got)
+	}
+}
+
+func TestTraceAttackRejectsWrongInputShape(t *testing.T) {
+	victim := LeNet(10)
+	victim.InitWeights(1)
+	tr, err := CaptureTrace(victim, DefaultAccelConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declaring a much larger input must fail the region matching.
+	if _, err := RunStructureAttackOnTrace(tr, Shape{C: 3, H: 224, W: 224}, 10); err == nil {
+		t.Fatal("expected input-shape mismatch error")
+	}
+}

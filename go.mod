@@ -1,0 +1,3 @@
+module cnnrev
+
+go 1.22

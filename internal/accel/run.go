@@ -1,0 +1,684 @@
+package accel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+	"cnnrev/internal/tensor"
+)
+
+// runState carries per-run simulation state.
+type runState struct {
+	rec   *memtrace.Recorder
+	cycle uint64
+	rng   *rand.Rand // tile-latency jitter source (nil = no jitter)
+	x     []float32
+	acts  [][]float32
+	// chanBytes[i][c] is the stored byte size of channel c of layer i's
+	// output (compressed when pruned, dense otherwise).
+	chanBytes [][]int
+	nz        [][]int
+	// chanStream[i][c] is the next write offset into channel c's compressed
+	// stream when pruning.
+	chanStream [][]uint64
+	layerStart []uint64
+	layerCyc   []uint64
+}
+
+// Run performs one inference, returning the functional outputs and the
+// observed trace.
+func (s *Simulator) Run(x []float32) (*Result, error) {
+	rec := memtrace.NewRecorder(s.cfg.BlockBytes)
+	res, _, err := s.runOne(x, rec, 0, s.jitterSource())
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = rec.Trace()
+	return res, nil
+}
+
+// RunMany performs several back-to-back inferences on the same device —
+// what an adversary watching a serving accelerator observes — returning the
+// per-inference functional results and one continuous trace.
+func (s *Simulator) RunMany(xs [][]float32) ([]*Result, *memtrace.Trace, error) {
+	rec := memtrace.NewRecorder(s.cfg.BlockBytes)
+	rng := s.jitterSource()
+	var results []*Result
+	cycle := uint64(0)
+	for _, x := range xs {
+		res, end, err := s.runOne(x, rec, cycle, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		cycle = end
+	}
+	tr := rec.Trace()
+	for _, r := range results {
+		r.Trace = tr
+	}
+	return results, tr, nil
+}
+
+// runOne executes one inference against a shared recorder, starting at the
+// given cycle, and returns the result (Trace unset) plus the end cycle.
+func (s *Simulator) runOne(x []float32, rec *memtrace.Recorder, startCycle uint64, rng *rand.Rand) (*Result, uint64, error) {
+	if len(x) != s.net.Input.Len() {
+		return nil, 0, fmt.Errorf("accel: input has %d elements, want %d", len(x), s.net.Input.Len())
+	}
+	n := s.net
+	st := &runState{
+		rec:        rec,
+		cycle:      startCycle,
+		x:          x,
+		rng:        rng,
+		acts:       make([][]float32, len(n.Specs)),
+		chanBytes:  make([][]int, len(n.Specs)),
+		nz:         make([][]int, len(n.Specs)),
+		chanStream: make([][]uint64, len(n.Specs)),
+		layerStart: make([]uint64, len(n.Specs)),
+		layerCyc:   make([]uint64, len(n.Specs)),
+	}
+	for i := range n.Specs {
+		start := st.cycle
+		st.layerStart[i] = start
+		switch n.Specs[i].Kind {
+		case nn.KindConv:
+			s.simConv(i, st)
+		case nn.KindFC:
+			s.simFC(i, st)
+		case nn.KindConcat:
+			s.simConcat(i, st)
+		case nn.KindEltwise:
+			s.simEltwise(i, st)
+		}
+		st.layerCyc[i] = st.cycle - start
+	}
+	last := len(n.Specs) - 1
+	logits := make([]float32, len(st.acts[last]))
+	copy(logits, st.acts[last])
+	return &Result{
+		Logits:          logits,
+		Acts:            st.acts,
+		LayerCycles:     st.layerCyc,
+		LayerStartCycle: st.layerStart,
+		NZCounts:        st.nz,
+	}, st.cycle, nil
+}
+
+// inputAct returns the activation buffer feeding input j of layer i.
+func (st *runState) inputAct(n *nn.Network, i, j int) []float32 {
+	ref := n.Specs[i].Inputs[j]
+	if ref == nn.InputRef {
+		return st.x
+	}
+	return st.acts[ref]
+}
+
+// inputChanBytes returns the per-channel stored sizes of the region feeding
+// input j of layer i (dense plane size when the producer is unpruned or is
+// the network input).
+func (s *Simulator) inputChanBytes(st *runState, i, j int) []int {
+	ref := s.net.Specs[i].Inputs[j]
+	var shape nn.Shape
+	if ref == nn.InputRef {
+		shape = s.net.Input
+	} else {
+		if cb := st.chanBytes[ref]; cb != nil {
+			return cb
+		}
+		shape = s.net.Shapes[ref]
+	}
+	plane := shape.H * shape.W * s.cfg.ElemBytes
+	cb := make([]int, shape.C)
+	for c := range cb {
+		cb[c] = plane
+	}
+	return cb
+}
+
+// prunedInput reports whether the region feeding input j of layer i holds
+// compressed (pruned) data.
+func (s *Simulator) prunedInput(st *runState, i, j int) bool {
+	ref := s.net.Specs[i].Inputs[j]
+	return ref != nn.InputRef && st.chanBytes[ref] != nil
+}
+
+// jitterSource returns the latency-noise generator for one run.
+func (s *Simulator) jitterSource() *rand.Rand {
+	if s.cfg.CycleJitter <= 0 {
+		return nil
+	}
+	return rand.New(rand.NewSource(s.cfg.NoiseSeed))
+}
+
+// jitter scales a chunk latency by a factor uniform in [1−J, 1+J].
+func (s *Simulator) jitter(st *runState, cycles uint64) uint64 {
+	if st.rng == nil {
+		return cycles
+	}
+	f := 1 + (st.rng.Float64()*2-1)*s.cfg.CycleJitter
+	if f < 0 {
+		f = 0
+	}
+	return uint64(float64(cycles) * f)
+}
+
+// memCycles converts a byte volume to DRAM cycles.
+func (s *Simulator) memCycles(bytes int) uint64 {
+	return uint64((bytes + s.cfg.MemBytesPerCycle - 1) / s.cfg.MemBytesPerCycle)
+}
+
+// computeCycles converts a MAC count to PE-array cycles.
+func (s *Simulator) computeCycles(macs int64) uint64 {
+	p := int64(s.cfg.PEs)
+	return uint64((macs + p - 1) / p)
+}
+
+// activate applies the configured activation (threshold ReLU) in place.
+func (s *Simulator) activate(buf []float32) {
+	tensor.ThresholdReLUForward(buf, buf, s.cfg.Threshold)
+}
+
+// applyActPool runs the fused activation+pooling stages of a conv layer in
+// the configured order, returning the final output buffer.
+func (s *Simulator) applyActPool(spec *nn.LayerSpec, convOut []float32, convShape nn.Shape, outLen int) []float32 {
+	doPool := func(in []float32) []float32 {
+		if spec.Pool == nn.PoolNone {
+			return in
+		}
+		out := make([]float32, outLen)
+		p := tensor.Pool2D{F: spec.PoolF, S: spec.PoolS, P: spec.PoolP, Ceil: false}
+		if spec.Pool == nn.PoolMax {
+			p.MaxForward(in, convShape.C, convShape.H, convShape.W, out, nil)
+		} else {
+			p.AvgForward(in, convShape.C, convShape.H, convShape.W, out)
+		}
+		return out
+	}
+	if s.cfg.PoolBeforeActivation {
+		out := doPool(convOut)
+		if spec.ReLU {
+			s.activate(out)
+		}
+		return out
+	}
+	if spec.ReLU {
+		s.activate(convOut)
+	}
+	return doPool(convOut)
+}
+
+// recordPrunedWrite emits the compressed write burst for nz non-zero values
+// appended to channel c's stream in layer li's output slot, and returns the
+// byte volume written.
+func (s *Simulator) recordPrunedWrite(st *runState, li, c, nz int, planeBytes uint64) int {
+	if nz == 0 {
+		return 0
+	}
+	bytes := nz * s.cfg.PruneBytesPerNZ
+	base := s.lay.Fmaps[li].Base + uint64(c)*planeBytes + st.chanStream[li][c]
+	st.rec.RecordBytes(st.cycle, base, bytes, memtrace.Write)
+	st.chanStream[li][c] += uint64(bytes)
+	return bytes
+}
+
+// countNZRows counts non-zero elements of channel c, rows [r0,r1), in a
+// C×H×W buffer.
+func countNZRows(buf []float32, h, w, c, r0, r1 int) int {
+	nz := 0
+	base := c * h * w
+	for _, v := range buf[base+r0*w : base+r1*w] {
+		if v != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// simConv computes a conv layer functionally and emits its tiled trace.
+func (s *Simulator) simConv(li int, st *runState) {
+	n := s.net
+	spec := &n.Specs[li]
+	in := n.InShapes[li][0]
+	conv := tensor.Conv2D{InC: in.C, OutC: spec.OutC, F: spec.F, S: spec.S, P: spec.P}
+	convShape := spec.ConvOut(in)
+	outShape := n.Shapes[li]
+
+	convOut := make([]float32, convShape.Len())
+	conv.Forward(st.inputAct(n, li, 0), in.H, in.W, n.Params[li].W.Data, n.Params[li].B.Data, convOut, nil)
+	out := s.applyActPool(spec, convOut, convShape, outShape.Len())
+	st.acts[li] = out
+
+	s.emitConvTrace(li, st, in, convShape, outShape, conv.InC*spec.F*spec.F)
+	s.finishFmap(li, st, outShape, s.cfg.ZeroPrune)
+}
+
+// finishFmap records per-channel non-zero statistics and, for layers whose
+// output was written compressed, the stored channel sizes. With
+// PadPrunedWrites, compressed streams are padded with dummy transactions up
+// to the dense-equivalent worst case, hiding the §4 count leak (at a cost
+// exceeding unpruned traffic).
+func (s *Simulator) finishFmap(li int, st *runState, outShape nn.Shape, pruned bool) {
+	out := st.acts[li]
+	nz := make([]int, outShape.C)
+	for c := 0; c < outShape.C; c++ {
+		nz[c] = countNZRows(out, outShape.H, outShape.W, c, 0, outShape.H)
+	}
+	st.nz[li] = nz
+	if !pruned {
+		return
+	}
+	cb := make([]int, outShape.C)
+	for c := range cb {
+		cb[c] = nz[c] * s.cfg.PruneBytesPerNZ
+	}
+	if s.cfg.PadPrunedWrites {
+		stride := s.fmapPlaneStride(outShape)
+		for c := range cb {
+			pad := int(stride) - cb[c]
+			if pad > 0 {
+				base := s.lay.Fmaps[li].Base + uint64(c)*stride + uint64(cb[c])
+				st.rec.RecordBytes(st.cycle, base, pad, memtrace.Write)
+				st.cycle += s.jitter(st, s.memCycles(pad))
+			}
+			cb[c] = int(stride)
+		}
+	}
+	st.chanBytes[li] = cb
+}
+
+// emitConvTrace walks the tiling loop nest of a convolution, emitting reads
+// of IFM and filter tiles, OFM write bursts and the cycle cost of each tile.
+func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape nn.Shape, weightsPerOC int) {
+	n := s.net
+	spec := &n.Specs[li]
+	cfg := &s.cfg
+	elem := cfg.ElemBytes
+
+	pruneIn := s.prunedInput(st, li, 0)
+	inCB := s.inputChanBytes(st, li, 0)
+	inReg, _ := s.inputRegion(li, 0)
+	wReg := s.lay.Weights[li]
+	outReg := s.lay.Fmaps[li]
+	inStride := s.inputPlaneStride(li, 0)
+	inDense := inStride == uint64(in.H*in.W*elem)
+	outStride := s.fmapPlaneStride(outShape)
+	outDense := outStride == uint64(outShape.H*outShape.W*elem)
+	if cfg.ZeroPrune {
+		st.chanStream[li] = make([]uint64, outShape.C)
+	}
+
+	ocTile := cfg.WBufBytes / ((weightsPerOC + 1) * elem)
+	if ocTile < 1 {
+		ocTile = 1
+	}
+	if ocTile > spec.OutC {
+		ocTile = spec.OutC
+	}
+
+	// Choose a band height (in output rows) so the OFM band fits the OFM
+	// buffer and one channel's IFM band fits the IFM buffer.
+	pooled := spec.Pool != nn.PoolNone
+	bandRows := outShape.H
+	ifmRowsFor := func(bh, p0 int) (i0, i1 int) {
+		c0, c1 := p0, p0+bh // conv rows
+		if pooled {
+			c0 = p0*spec.PoolS - spec.PoolP
+			c1 = (p0+bh-1)*spec.PoolS - spec.PoolP + spec.PoolF
+		}
+		if c0 < 0 {
+			c0 = 0
+		}
+		if c1 > convShape.H {
+			c1 = convShape.H
+		}
+		i0 = c0*spec.S - spec.P
+		i1 = (c1-1)*spec.S - spec.P + spec.F
+		if i0 < 0 {
+			i0 = 0
+		}
+		if i1 > in.H {
+			i1 = in.H
+		}
+		return i0, i1
+	}
+	for bandRows > 1 {
+		i0, i1 := ifmRowsFor(bandRows, 0)
+		ofmOK := bandRows*outShape.W*ocTile*elem <= cfg.OFMBufBytes
+		ifmOK := (i1-i0)*in.W*elem <= cfg.IFMBufBytes
+		if ofmOK && ifmOK {
+			break
+		}
+		bandRows--
+	}
+	if pruneIn {
+		// Compressed IFM streams are not row-addressable: stream the whole
+		// map once per filter tile instead of banding.
+		bandRows = outShape.H
+	}
+
+	// Shared tile helpers, composed per the configured dataflow.
+	readIFM := func(p0, p1 int) int {
+		i0, i1 := ifmRowsFor(p1-p0, p0)
+		memBytes := 0
+		if pruneIn {
+			// Compressed channels cannot be row-addressed: stream whole
+			// channels.
+			for c := 0; c < in.C; c++ {
+				if inCB[c] == 0 {
+					continue
+				}
+				st.rec.RecordBytes(st.cycle, inReg.Base+uint64(c)*inStride, inCB[c], memtrace.Read)
+				memBytes += inCB[c]
+			}
+			return memBytes
+		}
+		rowBytes := (i1 - i0) * in.W * elem
+		if i0 == 0 && i1 == in.H && inDense {
+			// Whole channels are contiguous: one burst.
+			st.rec.RecordBytes(st.cycle, inReg.Base, in.C*rowBytes, memtrace.Read)
+			return in.C * rowBytes
+		}
+		for c := 0; c < in.C; c++ {
+			base := inReg.Base + uint64(c)*inStride + uint64(i0*in.W*elem)
+			st.rec.RecordBytes(st.cycle, base, rowBytes, memtrace.Read)
+			memBytes += rowBytes
+		}
+		return memBytes
+	}
+	readWeights := func(oc0, oc1 int) int {
+		wBytes := (oc1 - oc0) * weightsPerOC * elem
+		st.rec.RecordBytes(st.cycle, wReg.Base+uint64(oc0*weightsPerOC*elem), wBytes, memtrace.Read)
+		if cfg.BiasInDRAM {
+			biasBase := wReg.Base + uint64(spec.OutC*weightsPerOC*elem)
+			bBytes := (oc1 - oc0) * elem
+			st.rec.RecordBytes(st.cycle, biasBase+uint64(oc0*elem), bBytes, memtrace.Read)
+			wBytes += bBytes
+		}
+		return wBytes
+	}
+	convRows := func(p0, p1 int) (c0, c1 int) {
+		c0, c1 = p0, p1
+		if pooled {
+			c0 = p0*spec.PoolS - spec.PoolP
+			c1 = (p1-1)*spec.PoolS - spec.PoolP + spec.PoolF
+			if c0 < 0 {
+				c0 = 0
+			}
+			if c1 > convShape.H {
+				c1 = convShape.H
+			}
+		}
+		return c0, c1
+	}
+	compute := func(p0, p1, oc0, oc1, memBytes int) {
+		c0, c1 := convRows(p0, p1)
+		macs := int64(c1-c0) * int64(convShape.W) * int64(spec.F) * int64(spec.F) * int64(in.C) * int64(oc1-oc0)
+		cc := s.computeCycles(macs)
+		if mc := s.memCycles(memBytes); mc > cc {
+			cc = mc
+		}
+		st.cycle += s.jitter(st, cc+cfg.TileOverhead)
+	}
+	writeOFM := func(p0, p1, oc0, oc1 int) {
+		// OFM band write (once, post activation+pool).
+		if cfg.ZeroPrune {
+			wb := 0
+			for c := oc0; c < oc1; c++ {
+				nz := countNZRows(st.acts[li], outShape.H, outShape.W, c, p0, p1)
+				wb += s.recordPrunedWrite(st, li, c, nz, outStride)
+			}
+			st.cycle += s.jitter(st, s.memCycles(wb))
+			return
+		}
+		rowBytes := (p1 - p0) * outShape.W * elem
+		if p0 == 0 && p1 == outShape.H && outDense {
+			st.rec.RecordBytes(st.cycle, outReg.Base+uint64(oc0)*outStride, (oc1-oc0)*rowBytes, memtrace.Write)
+		} else {
+			for c := oc0; c < oc1; c++ {
+				base := outReg.Base + uint64(c)*outStride + uint64(p0*outShape.W*elem)
+				st.rec.RecordBytes(st.cycle, base, rowBytes, memtrace.Write)
+			}
+		}
+		st.cycle += s.jitter(st, s.memCycles((oc1-oc0)*rowBytes))
+	}
+
+	switch cfg.Dataflow {
+	case WeightStationary:
+		// Each filter tile is pinned on chip while the IFM streams past it;
+		// filters are read exactly once.
+		for oc0 := 0; oc0 < spec.OutC; oc0 += ocTile {
+			oc1 := minInt(oc0+ocTile, spec.OutC)
+			wb := readWeights(oc0, oc1)
+			for p0 := 0; p0 < outShape.H; p0 += bandRows {
+				p1 := minInt(p0+bandRows, outShape.H)
+				mem := readIFM(p0, p1)
+				if p0 == 0 {
+					mem += wb
+				}
+				compute(p0, p1, oc0, oc1, mem)
+				writeOFM(p0, p1, oc0, oc1)
+			}
+		}
+	default: // OutputStationary
+		// Each output band is pinned on chip while the filter tiles stream
+		// past it.
+		for p0 := 0; p0 < outShape.H; p0 += bandRows {
+			p1 := minInt(p0+bandRows, outShape.H)
+			for oc0 := 0; oc0 < spec.OutC; oc0 += ocTile {
+				oc1 := minInt(oc0+ocTile, spec.OutC)
+				mem := readIFM(p0, p1) + readWeights(oc0, oc1)
+				compute(p0, p1, oc0, oc1, mem)
+				writeOFM(p0, p1, oc0, oc1)
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// simFC computes a fully-connected layer and emits its trace: the IFM is
+// read once (it fits on chip), weight rows stream in output tiles, and the
+// output vector is written once.
+func (s *Simulator) simFC(li int, st *runState) {
+	n := s.net
+	spec := &n.Specs[li]
+	in := n.InShapes[li][0]
+	cfg := &s.cfg
+	elem := cfg.ElemBytes
+
+	l := tensor.Linear{In: in.Len(), Out: spec.OutC}
+	out := make([]float32, spec.OutC)
+	l.Forward(st.inputAct(n, li, 0), n.Params[li].W.Data, n.Params[li].B.Data, out)
+	if spec.ReLU {
+		s.activate(out)
+	}
+	st.acts[li] = out
+
+	inReg, inShape := s.inputRegion(li, 0)
+	inCB := s.inputChanBytes(st, li, 0)
+	pruneIn := s.prunedInput(st, li, 0)
+	inStride := s.inputPlaneStride(li, 0)
+	inDense := inStride == uint64(inShape.H*inShape.W*elem)
+	wReg := s.lay.Weights[li]
+	outShape := n.Shapes[li]
+	outStride := s.fmapPlaneStride(outShape)
+	if cfg.ZeroPrune {
+		st.chanStream[li] = make([]uint64, outShape.C)
+	}
+
+	// Read the whole IFM once.
+	memBytes := 0
+	if pruneIn || !inDense {
+		for c := 0; c < inShape.C; c++ {
+			if inCB[c] == 0 {
+				continue
+			}
+			st.rec.RecordBytes(st.cycle, inReg.Base+uint64(c)*inStride, inCB[c], memtrace.Read)
+			memBytes += inCB[c]
+		}
+	} else {
+		st.rec.RecordBytes(st.cycle, inReg.Base, in.Len()*elem, memtrace.Read)
+		memBytes = in.Len() * elem
+	}
+	st.cycle += s.jitter(st, s.memCycles(memBytes)+cfg.TileOverhead)
+
+	rowBytes := in.Len() * elem
+	ocTile := cfg.WBufBytes / rowBytes
+	if ocTile < 1 {
+		ocTile = 1
+	}
+	for oc0 := 0; oc0 < spec.OutC; oc0 += ocTile {
+		oc1 := oc0 + ocTile
+		if oc1 > spec.OutC {
+			oc1 = spec.OutC
+		}
+		wBytes := (oc1 - oc0) * rowBytes
+		st.rec.RecordBytes(st.cycle, wReg.Base+uint64(oc0*rowBytes), wBytes, memtrace.Read)
+		if cfg.BiasInDRAM {
+			biasBase := wReg.Base + uint64(spec.OutC*rowBytes)
+			st.rec.RecordBytes(st.cycle, biasBase+uint64(oc0*elem), (oc1-oc0)*elem, memtrace.Read)
+		}
+		macs := int64(oc1-oc0) * int64(in.Len())
+		cc := s.computeCycles(macs)
+		if mc := s.memCycles(wBytes); mc > cc {
+			cc = mc
+		}
+		st.cycle += s.jitter(st, cc+cfg.TileOverhead)
+	}
+
+	if cfg.ZeroPrune {
+		wb := 0
+		for c := 0; c < spec.OutC; c++ {
+			nz := 0
+			if out[c] != 0 {
+				nz = 1
+			}
+			wb += s.recordPrunedWrite(st, li, c, nz, outStride)
+		}
+		st.cycle += s.jitter(st, s.memCycles(wb))
+	} else {
+		st.rec.RecordBytes(st.cycle, s.lay.Fmaps[li].Base, spec.OutC*elem, memtrace.Write)
+		st.cycle += s.jitter(st, s.memCycles(spec.OutC*elem))
+	}
+	s.finishFmap(li, st, outShape, s.cfg.ZeroPrune)
+}
+
+// simEltwise adds its inputs channel-plane by channel-plane, reading the
+// most recently produced input first (its data is the fresh RAW dependency
+// that marks the layer boundary).
+func (s *Simulator) simEltwise(li int, st *runState) {
+	n := s.net
+	spec := &n.Specs[li]
+	outShape := n.Shapes[li]
+	elem := s.cfg.ElemBytes
+
+	out := make([]float32, outShape.Len())
+	copy(out, st.inputAct(n, li, 0))
+	for j := 1; j < len(spec.Inputs); j++ {
+		for k, v := range st.inputAct(n, li, j) {
+			out[k] += v
+		}
+	}
+	st.acts[li] = out
+
+	// Visit inputs most-recent-producer first.
+	order := make([]int, len(spec.Inputs))
+	for i := range order {
+		order[i] = i
+	}
+	for a := 0; a < len(order); a++ {
+		for b := a + 1; b < len(order); b++ {
+			if spec.Inputs[order[b]] > spec.Inputs[order[a]] {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+
+	denseBytes := outShape.H * outShape.W * elem
+	outStride := s.fmapPlaneStride(outShape)
+	for c := 0; c < outShape.C; c++ {
+		memBytes := 0
+		for _, j := range order {
+			reg, _ := s.inputRegion(li, j)
+			cb := s.inputChanBytes(st, li, j)
+			stride := s.inputPlaneStride(li, j)
+			if cb[c] == 0 {
+				continue
+			}
+			st.rec.RecordBytes(st.cycle, reg.Base+uint64(c)*stride, cb[c], memtrace.Read)
+			memBytes += cb[c]
+		}
+		st.rec.RecordBytes(st.cycle, s.lay.Fmaps[li].Base+uint64(c)*outStride, denseBytes, memtrace.Write)
+		memBytes += denseBytes
+		st.cycle += s.jitter(st, s.memCycles(memBytes)+s.cfg.TileOverhead)
+	}
+	// Element-wise outputs are written dense even under pruning.
+	s.finishFmap(li, st, outShape, false)
+}
+
+// simConcat assembles its output. Producers whose sole consumer is this
+// concat already wrote into the shared region (zero-copy) and contribute no
+// traffic; others are copied through the accelerator.
+func (s *Simulator) simConcat(li int, st *runState) {
+	n := s.net
+	spec := &n.Specs[li]
+	outShape := n.Shapes[li]
+	elem := s.cfg.ElemBytes
+
+	out := make([]float32, outShape.Len())
+	off := 0
+	for j := range spec.Inputs {
+		src := st.inputAct(n, li, j)
+		copy(out[off:off+len(src)], src)
+		off += len(src)
+	}
+	st.acts[li] = out
+
+	// Per-channel stored sizes: concatenation of producer channel sizes
+	// (so downstream readers of a pruned fire module see compressed streams).
+	var cb []int
+	anyPruned := false
+	for j := range spec.Inputs {
+		jcb := s.inputChanBytes(st, li, j)
+		cb = append(cb, jcb...)
+		if s.prunedInput(st, li, j) {
+			anyPruned = true
+		}
+	}
+	if anyPruned {
+		st.chanBytes[li] = cb
+	}
+
+	byteOff := uint64(0)
+	felem := uint64(s.fmapElemBytes())
+	for j := range spec.Inputs {
+		ref := spec.Inputs[j]
+		reg, shape := s.inputRegion(li, j)
+		slot := uint64(shape.Len()) * felem
+		if ref >= 0 && s.concatTarget[ref] == li {
+			byteOff += slot
+			continue // zero-copy: already in place
+		}
+		size := shape.Len() * elem
+		st.rec.RecordBytes(st.cycle, reg.Base, size, memtrace.Read)
+		st.rec.RecordBytes(st.cycle, s.lay.Fmaps[li].Base+byteOff, size, memtrace.Write)
+		st.cycle += s.jitter(st, s.memCycles(2*size)+s.cfg.TileOverhead)
+		byteOff += slot
+	}
+
+	// Non-zero statistics for the assembled map.
+	nzs := make([]int, outShape.C)
+	for c := 0; c < outShape.C; c++ {
+		nzs[c] = countNZRows(out, outShape.H, outShape.W, c, 0, outShape.H)
+	}
+	st.nz[li] = nzs
+}

@@ -1,0 +1,439 @@
+// Package core orchestrates the paper's end-to-end model-extraction flows
+// on top of the substrates: run a victim network on the simulated
+// accelerator, capture its off-chip trace, reverse engineer the structure
+// (§3, Algorithm 1), materialize and short-train the recovered candidate
+// structures to pick the best one (the paper's Figures 4 and 5), and
+// recover weights through the zero-pruning side channel (§4, Algorithm 2).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/dataset"
+	"cnnrev/internal/nn"
+	"cnnrev/internal/structrev"
+	"cnnrev/internal/weightrev"
+)
+
+// CaptureResult bundles a victim run and its observable trace.
+type CaptureResult struct {
+	Net    *nn.Network
+	Sim    *accel.Simulator
+	Result *accel.Result
+}
+
+// Capture runs one inference of net on the simulated accelerator with a
+// deterministic random input and returns the observables.
+func Capture(net *nn.Network, cfg accel.Config, seed int64) (*CaptureResult, error) {
+	sim, err := accel.New(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float32, net.Input.Len())
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		return nil, err
+	}
+	return &CaptureResult{Net: net, Sim: sim, Result: res}, nil
+}
+
+// StructureReport is the outcome of the structure attack against one victim.
+type StructureReport struct {
+	Analysis   *structrev.Analysis
+	Structures []structrev.Structure
+	// PerLayer lists, per weighted segment, the distinct recovered
+	// configurations (the paper's Table 4 view).
+	PerLayer map[int][]structrev.LayerConfig
+	// TruthIndex is the index of the candidate matching the victim (up to
+	// padding equivalence), or -1.
+	TruthIndex int
+	// Queries counts victim inferences used (the structure attack needs 1).
+	TraceBytes uint64
+}
+
+// RunStructureAttack captures a trace of net and runs the full §3 pipeline.
+func RunStructureAttack(net *nn.Network, cfg accel.Config, opt structrev.Options, seed int64) (*StructureReport, error) {
+	cap, err := Capture(net, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	elem := cap.Sim.Config().ElemBytes
+	a, err := structrev.Analyze(cap.Result.Trace, net.Input.Len()*elem, elem)
+	if err != nil {
+		return nil, err
+	}
+	structures, err := structrev.Solve(a, net.Input.W, net.Input.C, net.NumClasses(), opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &StructureReport{
+		Analysis:   a,
+		Structures: structures,
+		PerLayer:   structrev.UniqueConfigs(a, structures),
+		TruthIndex: -1,
+		TraceBytes: cap.Result.Trace.Blocks() * uint64(cap.Result.Trace.BlockBytes),
+	}
+	truth := GroundTruthConfigs(net)
+	for i := range structures {
+		if structureMatches(&structures[i], truth) {
+			rep.TruthIndex = i
+			break
+		}
+	}
+	return rep, nil
+}
+
+// GroundTruthConfigs converts a network's weighted layers to the
+// LayerConfig form the attack recovers (used to score the attack; the
+// adversary of course does not have this).
+func GroundTruthConfigs(net *nn.Network) []structrev.LayerConfig {
+	var out []structrev.LayerConfig
+	for i := range net.Specs {
+		spec := &net.Specs[i]
+		in := net.InShapes[i][0]
+		switch spec.Kind {
+		case nn.KindConv:
+			c := structrev.LayerConfig{
+				WIFM: in.W, DIFM: in.C,
+				WOFM: net.Shapes[i].W, DOFM: net.Shapes[i].C,
+				F: spec.F, S: spec.S, P: spec.P,
+			}
+			if spec.Pool != nn.PoolNone {
+				c.HasPool = true
+				c.FPool, c.SPool, c.PPool = spec.PoolF, spec.PoolS, spec.PoolP
+			}
+			out = append(out, c)
+		case nn.KindFC:
+			out = append(out, structrev.LayerConfig{
+				WIFM: in.W, DIFM: in.C, WOFM: 1, DOFM: spec.OutC,
+				FC: true, F: in.W, S: 1,
+			})
+		}
+	}
+	return out
+}
+
+// structureMatches compares a candidate against ground truth up to padding
+// equivalence (the solver canonicalizes equivalent paddings).
+func structureMatches(st *structrev.Structure, truth []structrev.LayerConfig) bool {
+	cfgs := st.WeightedConfigs()
+	if len(cfgs) != len(truth) {
+		return false
+	}
+	for i := range cfgs {
+		a, b := cfgs[i], truth[i]
+		if a.FC != b.FC || a.WOFM != b.WOFM || a.DOFM != b.DOFM {
+			return false
+		}
+		if a.FC {
+			continue
+		}
+		if a.F != b.F || a.S != b.S || a.ConvOutW() != b.ConvOutW() ||
+			a.HasPool != b.HasPool || a.FPool != b.FPool || a.SPool != b.SPool || a.PPool != b.PPool {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize builds a trainable network from a recovered structure by
+// replaying the recovered dataflow graph: weighted segments become conv/FC
+// layers, concatenated reads become concat nodes, element-wise segments
+// become bypass additions. Channel and FC widths are depth-scaled by
+// depthDiv (classifier output intact) so pure-Go candidate ranking stays
+// feasible; pooling materializes as max pooling (global pools as average),
+// since the side channel does not distinguish pool kinds.
+func Materialize(a *structrev.Analysis, st *structrev.Structure, input nn.Shape, classes, depthDiv int) (*nn.Network, error) {
+	var specs []nn.LayerSpec
+	segNode := make([]int, len(a.Segments)) // nn layer index of each segment's output
+	last := len(a.Segments) - 1
+
+	for si := range a.Segments {
+		seg := &a.Segments[si]
+		// Group the segment's inputs into units: adjacent producers form a
+		// concatenated read.
+		var units [][]int // each unit: list of producer refs (nn node indices or InputRef)
+		for _, in := range seg.Inputs {
+			var node int
+			if in.Producer < 0 {
+				node = nn.InputRef
+			} else {
+				node = segNode[in.Producer]
+			}
+			if in.Adjacent && len(units) > 0 {
+				units[len(units)-1] = append(units[len(units)-1], node)
+			} else {
+				units = append(units, []int{node})
+			}
+		}
+		if len(units) == 0 {
+			return nil, fmt.Errorf("core: segment %d has no inputs", si)
+		}
+		// Materialize each multi-producer unit as a concat node.
+		nodes := make([]int, len(units))
+		for u, members := range units {
+			if len(members) == 1 {
+				nodes[u] = members[0]
+				continue
+			}
+			specs = append(specs, nn.LayerSpec{
+				Name: fmt.Sprintf("concat%d_%d", si, u), Kind: nn.KindConcat, Inputs: members,
+			})
+			nodes[u] = len(specs) - 1
+		}
+
+		switch {
+		case seg.Kind == structrev.SegEltwise:
+			specs = append(specs, nn.LayerSpec{
+				Name: fmt.Sprintf("eltwise%d", si), Kind: nn.KindEltwise, Inputs: nodes,
+			})
+		default:
+			c := st.Layers[si].Config
+			if c == nil {
+				return nil, fmt.Errorf("core: weighted segment %d has no config", si)
+			}
+			in := nodes[0]
+			if len(nodes) > 1 {
+				// A weighted layer reading several non-adjacent maps: treat
+				// as a concatenated input.
+				specs = append(specs, nn.LayerSpec{
+					Name: fmt.Sprintf("concat%d", si), Kind: nn.KindConcat, Inputs: nodes,
+				})
+				in = len(specs) - 1
+			}
+			outC := c.DOFM
+			if si != last {
+				outC = scaleDim(outC, depthDiv)
+			} else if classes > 0 {
+				outC = classes
+			}
+			spec := nn.LayerSpec{
+				Name:   fmt.Sprintf("layer%d", si),
+				ReLU:   si != last,
+				Inputs: []int{in},
+				OutC:   outC,
+			}
+			if c.FC {
+				spec.Kind = nn.KindFC
+			} else {
+				spec.Kind = nn.KindConv
+				spec.F, spec.S, spec.P = c.F, c.S, c.P
+				if c.HasPool {
+					spec.Pool = nn.PoolMax
+					if c.WOFM == 1 {
+						spec.Pool = nn.PoolAvg // global pooling is average by convention
+					}
+					spec.PoolF, spec.PoolS, spec.PoolP = c.FPool, c.SPool, c.PPool
+				}
+			}
+			specs = append(specs, spec)
+		}
+		segNode[si] = len(specs) - 1
+	}
+	return nn.New("candidate", input, specs)
+}
+
+func scaleDim(d, div int) int {
+	if div <= 1 {
+		return d
+	}
+	s := d / div
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// RankConfig parameterizes candidate ranking (Figures 4 and 5).
+type RankConfig struct {
+	Classes   int
+	PerClass  int // training samples per class (plus PerClass/3 test)
+	Epochs    int
+	DepthDiv  int
+	TopK      int // accuracy metric: top-K
+	Seed      int64
+	LR        float32
+	BatchSize int
+	// MaxCandidates caps how many structures are trained (0 = all).
+	MaxCandidates int
+}
+
+// CandidateScore is one ranked candidate structure.
+type CandidateScore struct {
+	Index    int
+	Accuracy float64
+	IsTruth  bool
+	Err      error
+}
+
+// RankCandidates short-trains every recovered candidate on a synthetic
+// dataset and ranks them by validation accuracy — the paper's method for
+// picking the final structure (its Figures 4 and 5). The input resolution
+// and channel count follow the victim; depth scaling substitutes for the
+// paper's full-scale ImageNet training (see DESIGN.md §2).
+func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []CandidateScore {
+	if rc.Classes == 0 {
+		rc.Classes = 4
+	}
+	if rc.PerClass == 0 {
+		rc.PerClass = 12
+	}
+	if rc.Epochs == 0 {
+		rc.Epochs = 3
+	}
+	if rc.DepthDiv == 0 {
+		rc.DepthDiv = 16
+	}
+	if rc.TopK == 0 {
+		rc.TopK = 1
+	}
+	if rc.LR == 0 {
+		rc.LR = 0.1
+	}
+	if rc.BatchSize == 0 {
+		rc.BatchSize = 8
+	}
+	testPer := rc.PerClass/3 + 1
+	ds := dataset.Synthetic(rc.Classes, rc.PerClass+testPer, input.C, input.H, input.W, rc.Seed+100)
+	train, test := ds.Split(rc.Classes * rc.PerClass)
+
+	n := len(rep.Structures)
+	if rc.MaxCandidates > 0 && n > rc.MaxCandidates {
+		n = rc.MaxCandidates
+	}
+	scores := make([]CandidateScore, 0, n)
+	for i := 0; i < n; i++ {
+		sc := CandidateScore{Index: i, IsTruth: i == rep.TruthIndex}
+		net, err := Materialize(rep.Analysis, &rep.Structures[i], input, rc.Classes, rc.DepthDiv)
+		if err != nil {
+			sc.Err = err
+			sc.Accuracy = math.NaN()
+			scores = append(scores, sc)
+			continue
+		}
+		net.InitWeights(rc.Seed + int64(i))
+		tr := nn.NewTrainer(net)
+		tr.LR = rc.LR
+		tr.BatchSize = rc.BatchSize
+		tr.ClipNorm = 1.0 // deep candidates at aggressive rates need clipping
+		rng := rand.New(rand.NewSource(rc.Seed + 7))
+		for e := 0; e < rc.Epochs; e++ {
+			tr.Epoch(train.X, train.Y, rng)
+		}
+		sc.Accuracy = nn.Accuracy(net, test.X, test.Y, rc.TopK)
+		scores = append(scores, sc)
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		ai, aj := scores[i].Accuracy, scores[j].Accuracy
+		if math.IsNaN(aj) {
+			return true
+		}
+		if math.IsNaN(ai) {
+			return false
+		}
+		return ai > aj
+	})
+	return scores
+}
+
+// WeightReport is the outcome of the §4 weight attack on one conv layer.
+type WeightReport struct {
+	// MaxRatioErr is the largest |recovered − true| error over all w/b
+	// ratios of non-zero weights (the paper reports < 2⁻¹⁰).
+	MaxRatioErr float64
+	// ZerosDetected / ZerosActual count zero-weight identification.
+	ZerosDetected, ZerosActual int
+	// ZeroErrors counts misclassified weights (zero↔non-zero).
+	ZeroErrors int
+	// Queries is the number of device inferences used.
+	Queries int
+	// Filters is the number of output channels recovered.
+	Filters int
+	// Ratios[d][c][ky][kx] are the recovered w/b values.
+	Ratios [][][][]float64
+}
+
+// RunWeightAttack recovers w/b for every filter of the first layer of net
+// (which must be an unpooled, unpadded conv layer) through the zero-pruning
+// side channel, and scores the recovery against the true parameters.
+func RunWeightAttack(net *nn.Network, cfg accel.Config) (*WeightReport, error) {
+	oracle, err := weightrev.NewFastOracle(net, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	spec := &net.Specs[0]
+	g := weightrev.Geometry{
+		In: net.Input, OutC: spec.OutC, F: spec.F, S: spec.S, P: spec.P,
+	}
+	at := weightrev.NewAttacker(oracle, g)
+
+	rep := &WeightReport{Filters: spec.OutC}
+	rep.Ratios = make([][][][]float64, spec.OutC)
+	w := net.Params[0].W.Data
+	b := net.Params[0].B.Data
+	inC, f := net.Input.C, spec.F
+
+	// Filters are independent: recover them in parallel (the analytic
+	// oracle is read-only per query). In hardware terms this corresponds to
+	// interleaving the per-filter query schedules.
+	results := make([]*weightrev.FilterRatios, spec.OutC)
+	errs := make([]error, spec.OutC)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > spec.OutC {
+		workers = spec.OutC
+	}
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for d := wkr; d < spec.OutC; d += workers {
+				results[d], errs[d] = at.RecoverFilterRatios(d)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for d := 0; d < spec.OutC; d++ {
+		if errs[d] != nil {
+			return nil, errs[d]
+		}
+		res := results[d]
+		rep.Ratios[d] = res.Ratio
+		for c := 0; c < inC; c++ {
+			for ky := 0; ky < f; ky++ {
+				for kx := 0; kx < f; kx++ {
+					truth := float64(w[((d*inC+c)*f+ky)*f+kx]) / float64(b[d])
+					isZero := w[((d*inC+c)*f+ky)*f+kx] == 0
+					if isZero {
+						rep.ZerosActual++
+						if res.Zero[c][ky][kx] {
+							rep.ZerosDetected++
+						} else {
+							rep.ZeroErrors++
+						}
+						continue
+					}
+					if res.Zero[c][ky][kx] {
+						rep.ZeroErrors++
+						continue
+					}
+					if e := math.Abs(res.Ratio[c][ky][kx] - truth); e > rep.MaxRatioErr {
+						rep.MaxRatioErr = e
+					}
+				}
+			}
+		}
+	}
+	rep.Queries = oracle.Queries()
+	return rep, nil
+}

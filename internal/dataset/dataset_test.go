@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticShapeAndLabels(t *testing.T) {
+	ds := Synthetic(4, 10, 3, 16, 16, 1)
+	if ds.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", ds.Len())
+	}
+	counts := make([]int, 4)
+	for i, x := range ds.X {
+		if len(x) != 3*16*16 {
+			t.Fatalf("sample %d has %d elements", i, len(x))
+		}
+		if ds.Y[i] < 0 || ds.Y[i] >= 4 {
+			t.Fatalf("label %d out of range", ds.Y[i])
+		}
+		counts[ds.Y[i]]++
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("class %d has %d samples, want 10", k, c)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(2, 5, 1, 8, 8, 7)
+	b := Synthetic(2, 5, 1, 8, 8, 7)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+	c := Synthetic(2, 5, 1, 8, 8, 8)
+	same := true
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != c.X[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different data")
+	}
+}
+
+// TestSyntheticClassesSeparable: class means must differ enough that the
+// task is learnable (the candidate-ranking experiments rely on this).
+func TestSyntheticClassesSeparable(t *testing.T) {
+	ds := Synthetic(3, 30, 1, 16, 16, 3)
+	dim := 16 * 16
+	means := make([][]float64, 3)
+	for k := range means {
+		means[k] = make([]float64, dim)
+	}
+	counts := make([]int, 3)
+	for i, x := range ds.X {
+		k := ds.Y[i]
+		counts[k]++
+		for j, v := range x {
+			means[k][j] += float64(v)
+		}
+	}
+	for k := range means {
+		for j := range means[k] {
+			means[k][j] /= float64(counts[k])
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			var d float64
+			for j := range means[a] {
+				diff := means[a][j] - means[b][j]
+				d += diff * diff
+			}
+			if math.Sqrt(d) < 0.5 {
+				t.Fatalf("classes %d and %d nearly identical (dist %.3f)", a, b, math.Sqrt(d))
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := Synthetic(2, 10, 1, 8, 8, 5)
+	train, test := ds.Split(15)
+	if train.Len() != 15 || test.Len() != 5 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Over-length split clamps.
+	tr2, te2 := ds.Split(100)
+	if tr2.Len() != 20 || te2.Len() != 0 {
+		t.Fatalf("clamped split sizes %d/%d", tr2.Len(), te2.Len())
+	}
+}
+
+func TestSyntheticValuesBounded(t *testing.T) {
+	ds := Synthetic(8, 3, 3, 12, 12, 9)
+	for _, x := range ds.X {
+		for _, v := range x {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 10 {
+				t.Fatalf("wild pixel value %v", v)
+			}
+		}
+	}
+}

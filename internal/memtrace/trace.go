@@ -1,0 +1,260 @@
+// Package memtrace models the off-chip memory side channel of the paper's
+// threat model: the adversary observes, for every DRAM transaction, its
+// address, direction (read or write) and timing, but never plaintext data
+// (values are encrypted). Traces are recorded by the accelerator simulator
+// and consumed by the reverse-engineering attacks.
+package memtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind is the direction of a memory access.
+type Kind uint8
+
+const (
+	// Read is a DRAM read transaction.
+	Read Kind = iota
+	// Write is a DRAM write transaction.
+	Write
+)
+
+// String returns "R" or "W".
+func (k Kind) String() string {
+	if k == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Access is one coalesced burst of DRAM transactions: Count consecutive
+// blocks starting at Addr, all in the same direction, issued at Cycle.
+// Coalescing loses no information an adversary cares about — a bus probe
+// could apply the same run-length compression — and keeps traces of large
+// networks tractable.
+type Access struct {
+	Cycle uint64
+	Addr  uint64
+	Count uint32
+	Kind  Kind
+}
+
+// End returns the first block address past the burst.
+func (a Access) End(blockBytes int) uint64 {
+	return a.Addr + uint64(a.Count)*uint64(blockBytes)
+}
+
+// Trace is a complete observed memory trace.
+type Trace struct {
+	// BlockBytes is the DRAM transaction granularity in bytes.
+	BlockBytes int
+	// Accesses in issue order.
+	Accesses []Access
+}
+
+// Blocks returns the total number of block transactions in the trace.
+func (t *Trace) Blocks() uint64 {
+	var n uint64
+	for _, a := range t.Accesses {
+		n += uint64(a.Count)
+	}
+	return n
+}
+
+// LastCycle returns the cycle of the final access, or 0 for an empty trace.
+func (t *Trace) LastCycle() uint64 {
+	if len(t.Accesses) == 0 {
+		return 0
+	}
+	return t.Accesses[len(t.Accesses)-1].Cycle
+}
+
+const traceMagic = uint32(0xC99A7E01)
+
+// Write serializes the trace in a compact little-endian binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{uint64(traceMagic), uint64(t.BlockBytes), uint64(len(t.Accesses))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("memtrace: write header: %w", err)
+		}
+	}
+	for _, a := range t.Accesses {
+		if err := binary.Write(bw, binary.LittleEndian, a.Cycle); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, a.Addr); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, a.Count); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint8(a.Kind)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic, block, n uint64
+	for _, p := range []*uint64{&magic, &block, &n} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("memtrace: read header: %w", err)
+		}
+	}
+	if uint32(magic) != traceMagic {
+		return nil, fmt.Errorf("memtrace: bad magic %#x", magic)
+	}
+	// Cap the preallocation: n is untrusted input; bogus counts simply hit
+	// EOF below.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t := &Trace{BlockBytes: int(block), Accesses: make([]Access, 0, capHint)}
+	for i := uint64(0); i < n; i++ {
+		var a Access
+		var k uint8
+		if err := binary.Read(br, binary.LittleEndian, &a.Cycle); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &a.Addr); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &a.Count); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+			return nil, err
+		}
+		a.Kind = Kind(k)
+		t.Accesses = append(t.Accesses, a)
+	}
+	return t, nil
+}
+
+// Recorder accumulates accesses during simulation, merging bursts that
+// extend the previous access contiguously in the same direction and cycle
+// window.
+type Recorder struct {
+	BlockBytes int
+	accesses   []Access
+}
+
+// NewRecorder returns a recorder for the given block granularity.
+func NewRecorder(blockBytes int) *Recorder {
+	if blockBytes <= 0 {
+		panic("memtrace: block size must be positive")
+	}
+	return &Recorder{BlockBytes: blockBytes}
+}
+
+// Record appends a burst of count blocks starting at byte address addr.
+// addr must be block-aligned.
+func (r *Recorder) Record(cycle uint64, addr uint64, count uint32, kind Kind) {
+	if count == 0 {
+		return
+	}
+	if addr%uint64(r.BlockBytes) != 0 {
+		panic(fmt.Sprintf("memtrace: unaligned address %#x (block %d)", addr, r.BlockBytes))
+	}
+	if n := len(r.accesses); n > 0 {
+		last := &r.accesses[n-1]
+		if last.Kind == kind && last.End(r.BlockBytes) == addr && last.Cycle == cycle {
+			last.Count += count
+			return
+		}
+	}
+	r.accesses = append(r.accesses, Access{Cycle: cycle, Addr: addr, Count: count, Kind: kind})
+}
+
+// RecordBytes records a burst covering byteLen bytes from addr, rounding up
+// to whole blocks.
+func (r *Recorder) RecordBytes(cycle uint64, addr uint64, byteLen int, kind Kind) {
+	if byteLen <= 0 {
+		return
+	}
+	blocks := (byteLen + r.BlockBytes - 1) / r.BlockBytes
+	r.Record(cycle, addr, uint32(blocks), kind)
+}
+
+// Trace returns the recorded trace. The recorder must not be used afterward.
+func (r *Recorder) Trace() *Trace {
+	return &Trace{BlockBytes: r.BlockBytes, Accesses: r.accesses}
+}
+
+// Interval is a half-open byte-address range [Lo, Hi).
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Bytes returns the length of the interval.
+func (iv Interval) Bytes() uint64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether addr lies in the interval.
+func (iv Interval) Contains(addr uint64) bool { return addr >= iv.Lo && addr < iv.Hi }
+
+// Overlaps reports whether two intervals share any address.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo < o.Hi && o.Lo < iv.Hi }
+
+// CoalesceIntervals merges a set of address intervals into maximal
+// non-overlapping intervals, joining neighbors separated by at most gap
+// bytes. This is how the adversary clusters observed addresses into data
+// structures ("FMAPs and filters are stored as arrays... each in its own
+// contiguous memory locations").
+func CoalesceIntervals(ivs []Interval, gap uint64) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]Interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	out := []Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi+gap {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// SubtractOverlap removes iv's intersection from the disjoint, sorted
+// interval set and returns the updated set plus the number of bytes
+// removed. Used to attribute reads to their most recent writers.
+func SubtractOverlap(set []Interval, iv Interval) ([]Interval, uint64) {
+	var out []Interval
+	var removed uint64
+	for _, s := range set {
+		if !s.Overlaps(iv) {
+			out = append(out, s)
+			continue
+		}
+		lo, hi := iv.Lo, iv.Hi
+		if s.Lo > lo {
+			lo = s.Lo
+		}
+		if s.Hi < hi {
+			hi = s.Hi
+		}
+		removed += hi - lo
+		if s.Lo < lo {
+			out = append(out, Interval{Lo: s.Lo, Hi: lo})
+		}
+		if hi < s.Hi {
+			out = append(out, Interval{Lo: hi, Hi: s.Hi})
+		}
+	}
+	return out, removed
+}

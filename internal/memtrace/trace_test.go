@@ -1,0 +1,208 @@
+package memtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderMergesContiguousBursts(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(10, 100, 2, Read)
+	r.Record(10, 108, 3, Read) // extends previous burst
+	r.Record(10, 140, 1, Read) // gap: new record
+	r.Record(10, 144, 1, Write)
+	tr := r.Trace()
+	if len(tr.Accesses) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(tr.Accesses), tr.Accesses)
+	}
+	if tr.Accesses[0].Count != 5 {
+		t.Fatalf("merged count = %d, want 5", tr.Accesses[0].Count)
+	}
+	if tr.Blocks() != 7 {
+		t.Fatalf("Blocks = %d, want 7", tr.Blocks())
+	}
+}
+
+func TestRecorderRejectsUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unaligned address")
+		}
+	}()
+	NewRecorder(8).Record(0, 4, 1, Read)
+}
+
+func TestRecordBytesRoundsUp(t *testing.T) {
+	r := NewRecorder(8)
+	r.RecordBytes(0, 0, 9, Write)
+	tr := r.Trace()
+	if tr.Accesses[0].Count != 2 {
+		t.Fatalf("9 bytes at block 8 = %d blocks, want 2", tr.Accesses[0].Count)
+	}
+	r2 := NewRecorder(8)
+	r2.RecordBytes(0, 0, 0, Write)
+	if len(r2.Trace().Accesses) != 0 {
+		t.Fatal("zero-byte record must be dropped")
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	tr := &Trace{BlockBytes: 4, Accesses: []Access{
+		{Cycle: 1, Addr: 4096, Count: 10, Kind: Read},
+		{Cycle: 99, Addr: 8192, Count: 1, Kind: Write},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockBytes != tr.BlockBytes || len(got.Accesses) != len(tr.Accesses) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range tr.Accesses {
+		if got.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d: %+v != %+v", i, got.Accesses[i], tr.Accesses[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all........"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestCoalesceIntervals(t *testing.T) {
+	ivs := []Interval{{100, 200}, {200, 250}, {300, 400}, {50, 120}}
+	got := CoalesceIntervals(ivs, 0)
+	want := []Interval{{50, 250}, {300, 400}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// With a gap of 50 the two merge.
+	if merged := CoalesceIntervals(ivs, 50); len(merged) != 1 {
+		t.Fatalf("gap merge failed: %v", merged)
+	}
+	if CoalesceIntervals(nil, 0) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+// Property: coalescing preserves coverage — every input point remains
+// covered, and the output is sorted and non-overlapping.
+func TestQuickCoalesceInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var ivs []Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo, hi := uint64(raw[i]), uint64(raw[i])+uint64(raw[i+1]%64)+1
+			ivs = append(ivs, Interval{lo, hi})
+		}
+		out := CoalesceIntervals(ivs, 0)
+		for i := 1; i < len(out); i++ {
+			if out[i].Lo <= out[i-1].Hi {
+				return false // must be strictly separated and sorted
+			}
+		}
+		for _, iv := range ivs {
+			covered := false
+			for _, o := range out {
+				if iv.Lo >= o.Lo && iv.Hi <= o.Hi {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{10, 20}
+	if !iv.Contains(10) || iv.Contains(20) || iv.Bytes() != 10 {
+		t.Fatal("Contains/Bytes wrong")
+	}
+	if !iv.Overlaps(Interval{19, 30}) || iv.Overlaps(Interval{20, 30}) {
+		t.Fatal("Overlaps wrong")
+	}
+}
+
+func TestSubtractOverlap(t *testing.T) {
+	set := []Interval{{0, 100}}
+	set, n := SubtractOverlap(set, Interval{40, 60})
+	if n != 20 || len(set) != 2 || set[0] != (Interval{0, 40}) || set[1] != (Interval{60, 100}) {
+		t.Fatalf("split: set=%v n=%d", set, n)
+	}
+	set, n = SubtractOverlap(set, Interval{0, 50})
+	if n != 40 || len(set) != 1 || set[0] != (Interval{60, 100}) {
+		t.Fatalf("left clip: set=%v n=%d", set, n)
+	}
+	set, n = SubtractOverlap(set, Interval{200, 300})
+	if n != 0 || len(set) != 1 {
+		t.Fatalf("disjoint: set=%v n=%d", set, n)
+	}
+	set, n = SubtractOverlap(set, Interval{0, 1000})
+	if n != 40 || len(set) != 0 {
+		t.Fatalf("consume all: set=%v n=%d", set, n)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n -= len(p)
+	if f.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+func TestTraceWriteErrorPropagates(t *testing.T) {
+	tr := &Trace{BlockBytes: 4}
+	for i := 0; i < 100; i++ {
+		tr.Accesses = append(tr.Accesses, Access{Addr: uint64(i) * 4, Count: 1})
+	}
+	if err := tr.Write(&failWriter{n: 8}); err == nil {
+		t.Fatal("expected write error")
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	tr := &Trace{BlockBytes: 4, Accesses: []Access{{Addr: 0, Count: 1}, {Addr: 4, Count: 1}}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestReadTraceHugeCountHeader(t *testing.T) {
+	// A header claiming 2^40 accesses must not allocate petabytes.
+	tr := &Trace{BlockBytes: 4, Accesses: []Access{{Addr: 0, Count: 1}}}
+	var buf bytes.Buffer
+	_ = tr.Write(&buf)
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint64(raw[16:24], 1<<40)
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected EOF error for bogus count")
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// serializedNetwork is the on-disk form: specs plus parameters, with the
+// derived fields (shapes, input shapes) rebuilt on load so a corrupted file
+// cannot produce an inconsistent network.
+type serializedNetwork struct {
+	Version int
+	Name    string
+	Input   Shape
+	Specs   []LayerSpec
+	Weights [][]float32
+	Biases  [][]float32
+}
+
+const ioVersion = 1
+
+// Save serializes the network (structure and parameters) with encoding/gob.
+func (n *Network) Save(w io.Writer) error {
+	s := serializedNetwork{
+		Version: ioVersion,
+		Name:    n.Name,
+		Input:   n.Input,
+		Specs:   n.Specs,
+	}
+	for _, p := range n.Params {
+		if p == nil {
+			s.Weights = append(s.Weights, nil)
+			s.Biases = append(s.Biases, nil)
+			continue
+		}
+		s.Weights = append(s.Weights, p.W.Data)
+		s.Biases = append(s.Biases, p.B.Data)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load deserializes a network written by Save, revalidating the structure.
+func Load(r io.Reader) (*Network, error) {
+	var s serializedNetwork
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if s.Version != ioVersion {
+		return nil, fmt.Errorf("nn: load: unsupported version %d", s.Version)
+	}
+	n, err := New(s.Name, s.Input, s.Specs)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(s.Weights) != len(n.Params) || len(s.Biases) != len(n.Params) {
+		return nil, fmt.Errorf("nn: load: parameter count mismatch")
+	}
+	for i, p := range n.Params {
+		if p == nil {
+			if s.Weights[i] != nil || s.Biases[i] != nil {
+				return nil, fmt.Errorf("nn: load: unexpected parameters at layer %d", i)
+			}
+			continue
+		}
+		if len(s.Weights[i]) != p.W.Len() || len(s.Biases[i]) != p.B.Len() {
+			return nil, fmt.Errorf("nn: load: layer %d parameter size mismatch", i)
+		}
+		copy(p.W.Data, s.Weights[i])
+		copy(p.B.Data, s.Biases[i])
+	}
+	return n, nil
+}

@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := SqueezeNet(10, 16)
+	n.InitWeights(5)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != n.Name || m.Input != n.Input || len(m.Specs) != len(n.Specs) {
+		t.Fatal("structure not preserved")
+	}
+	x := make([]float32, n.Input.Len())
+	rng := rand.New(rand.NewSource(6))
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	a, b := n.Infer(x), m.Infer(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded network computes differently")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

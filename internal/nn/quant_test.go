@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"cnnrev/internal/dataset"
+)
+
+// TestQuantNetworkCloseToFloat: post-training int8 quantization of a
+// trained LeNet must track the float network closely and retain accuracy.
+func TestQuantNetworkCloseToFloat(t *testing.T) {
+	ds := dataset.Synthetic(3, 40, 1, 28, 28, 61)
+	train, test := ds.Split(90)
+	n := LeNet(3)
+	n.InitWeights(1)
+	tr := NewTrainer(n)
+	tr.LR = 0.02
+	tr.BatchSize = 10
+	rng := rand.New(rand.NewSource(2))
+	for e := 0; e < 6; e++ {
+		tr.Epoch(train.X, train.Y, rng)
+	}
+	floatAcc := Accuracy(n, test.X, test.Y, 1)
+
+	q, err := QuantizeNetwork(n, train.X[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := q.MaxLogitError(test.X[:10]); e > 0.15 {
+		t.Fatalf("quantized logits deviate %.2f (relative)", e)
+	}
+	qAcc := q.Accuracy(test.X, test.Y, 1)
+	if qAcc < floatAcc-0.15 {
+		t.Fatalf("quantized accuracy %.2f vs float %.2f", qAcc, floatAcc)
+	}
+	t.Logf("float acc %.2f, int8 acc %.2f", floatAcc, qAcc)
+}
+
+// TestQuantNetworkDAG covers concat/eltwise under quantization.
+func TestQuantNetworkDAG(t *testing.T) {
+	n := tinyDAG(t)
+	n.InitWeights(5)
+	calib := make([][]float32, 4)
+	rng := rand.New(rand.NewSource(6))
+	for i := range calib {
+		calib[i] = make([]float32, n.Input.Len())
+		for j := range calib[i] {
+			calib[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	q, err := QuantizeNetwork(n, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := q.MaxLogitError(calib); e > 0.25 {
+		t.Fatalf("DAG quantization deviates %.2f", e)
+	}
+}
+
+func TestQuantizeNetworkNeedsCalibration(t *testing.T) {
+	if _, err := QuantizeNetwork(LeNet(10), nil); err == nil {
+		t.Fatal("expected error without calibration data")
+	}
+}

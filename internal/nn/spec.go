@@ -1,0 +1,224 @@
+// Package nn implements the neural-network substrate for the reproduction:
+// layer and network specifications, forward inference, backpropagation
+// training, and constructors for the four networks the paper studies
+// (LeNet, CIFAR ConvNet, AlexNet and SqueezeNet with bypass paths).
+//
+// A "layer" here is an accelerator-visible unit: convolution (or fully
+// connected) fused with its activation and optional pooling, exactly as the
+// paper's threat model assumes ("these three operations are often merged and
+// performed together as a single layer in CNN accelerators"). Concatenation
+// and element-wise addition appear as their own layers, as in Caffe and
+// TensorFlow, which is what makes SqueezeNet fire modules and bypass paths
+// visible to the memory-trace adversary.
+package nn
+
+import (
+	"fmt"
+
+	"cnnrev/internal/tensor"
+)
+
+// Kind enumerates the accelerator-visible layer kinds.
+type Kind int
+
+const (
+	// KindConv is a convolution layer, optionally fused with ReLU and pooling.
+	KindConv Kind = iota
+	// KindFC is a fully-connected layer (a convolution whose filter spans the
+	// entire input feature map), optionally fused with ReLU.
+	KindFC
+	// KindConcat concatenates its inputs along the channel dimension
+	// (GoogLeNet/SqueezeNet style).
+	KindConcat
+	// KindEltwise adds its inputs element-wise (ResNet/SqueezeNet bypass).
+	KindEltwise
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "conv"
+	case KindFC:
+		return "fc"
+	case KindConcat:
+		return "concat"
+	case KindEltwise:
+		return "eltwise"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// PoolKind selects the pooling operation fused after a convolution.
+type PoolKind int
+
+const (
+	// PoolNone means no pooling is fused into the layer.
+	PoolNone PoolKind = iota
+	// PoolMax fuses max pooling.
+	PoolMax
+	// PoolAvg fuses average pooling (fixed F² divisor).
+	PoolAvg
+)
+
+// String returns the conventional name of the pooling kind.
+func (p PoolKind) String() string {
+	switch p {
+	case PoolNone:
+		return "none"
+	case PoolMax:
+		return "max"
+	case PoolAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("pool(%d)", int(p))
+}
+
+// InputRef is the sentinel layer index denoting the network input.
+const InputRef = -1
+
+// LayerSpec describes one layer of a network. For KindConv, OutC/F/S/P are
+// the convolution geometry and the Pool* fields describe optional fused
+// pooling. For KindFC only OutC is used. Concat and Eltwise carry no
+// parameters of their own.
+type LayerSpec struct {
+	Name string
+	Kind Kind
+
+	OutC int // output channels (conv) or output features (fc)
+	F    int // square kernel width (conv)
+	S    int // stride (conv)
+	P    int // per-side zero padding (conv)
+
+	Pool                PoolKind
+	PoolF, PoolS, PoolP int
+
+	ReLU bool
+
+	// Inputs lists the producing layer indices (InputRef for the network
+	// input). Conv/FC take exactly one input; Concat and Eltwise take two or
+	// more.
+	Inputs []int
+}
+
+// Shape is a channels×height×width activation shape.
+type Shape struct {
+	C, H, W int
+}
+
+// Len returns the number of elements in the shape.
+func (s Shape) Len() int { return s.C * s.H * s.W }
+
+// String renders the shape as CxHxW.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// ConvOut returns the spatial output shape of the conv stage of spec applied
+// to input shape in (before pooling).
+func (spec *LayerSpec) ConvOut(in Shape) Shape {
+	return Shape{
+		C: spec.OutC,
+		H: tensor.ConvOutDim(in.H, spec.F, spec.S, spec.P),
+		W: tensor.ConvOutDim(in.W, spec.F, spec.S, spec.P),
+	}
+}
+
+// PoolOut returns the output shape after the fused pooling stage (floor
+// mode, matching the exact-division pooling the paper's Table 4 implies),
+// given the conv-stage output shape.
+func (spec *LayerSpec) PoolOut(conv Shape) Shape {
+	if spec.Pool == PoolNone {
+		return conv
+	}
+	return Shape{
+		C: conv.C,
+		H: tensor.ConvOutDim(conv.H, spec.PoolF, spec.PoolS, spec.PoolP),
+		W: tensor.ConvOutDim(conv.W, spec.PoolF, spec.PoolS, spec.PoolP),
+	}
+}
+
+// WeightCount returns the number of weight elements of the layer given its
+// input shape (zero for concat/eltwise).
+func (spec *LayerSpec) WeightCount(in Shape) int {
+	switch spec.Kind {
+	case KindConv:
+		return spec.OutC * in.C * spec.F * spec.F
+	case KindFC:
+		return spec.OutC * in.Len()
+	}
+	return 0
+}
+
+// validate checks a spec in the context of its resolved input shapes.
+func (spec *LayerSpec) validate(idx int, inputs []Shape) error {
+	switch spec.Kind {
+	case KindConv:
+		if len(inputs) != 1 {
+			return fmt.Errorf("layer %d (%s): conv needs exactly 1 input, has %d", idx, spec.Name, len(inputs))
+		}
+		in := inputs[0]
+		if spec.OutC <= 0 || spec.F <= 0 || spec.S <= 0 || spec.P < 0 {
+			return fmt.Errorf("layer %d (%s): bad conv geometry OutC=%d F=%d S=%d P=%d", idx, spec.Name, spec.OutC, spec.F, spec.S, spec.P)
+		}
+		c := spec.ConvOut(in)
+		if c.H <= 0 || c.W <= 0 {
+			return fmt.Errorf("layer %d (%s): conv produces empty output from %v", idx, spec.Name, in)
+		}
+		if spec.Pool != PoolNone {
+			if spec.PoolF <= 0 || spec.PoolS <= 0 || spec.PoolP < 0 {
+				return fmt.Errorf("layer %d (%s): bad pool geometry F=%d S=%d P=%d", idx, spec.Name, spec.PoolF, spec.PoolS, spec.PoolP)
+			}
+			p := spec.PoolOut(c)
+			if p.H <= 0 || p.W <= 0 {
+				return fmt.Errorf("layer %d (%s): pool produces empty output", idx, spec.Name)
+			}
+		}
+	case KindFC:
+		if len(inputs) != 1 {
+			return fmt.Errorf("layer %d (%s): fc needs exactly 1 input, has %d", idx, spec.Name, len(inputs))
+		}
+		if spec.OutC <= 0 {
+			return fmt.Errorf("layer %d (%s): fc OutC=%d", idx, spec.Name, spec.OutC)
+		}
+	case KindConcat:
+		if len(inputs) < 2 {
+			return fmt.Errorf("layer %d (%s): concat needs >=2 inputs", idx, spec.Name)
+		}
+		for _, in := range inputs[1:] {
+			if in.H != inputs[0].H || in.W != inputs[0].W {
+				return fmt.Errorf("layer %d (%s): concat spatial mismatch %v vs %v", idx, spec.Name, inputs[0], in)
+			}
+		}
+	case KindEltwise:
+		if len(inputs) < 2 {
+			return fmt.Errorf("layer %d (%s): eltwise needs >=2 inputs", idx, spec.Name)
+		}
+		for _, in := range inputs[1:] {
+			if in != inputs[0] {
+				return fmt.Errorf("layer %d (%s): eltwise shape mismatch %v vs %v", idx, spec.Name, inputs[0], in)
+			}
+		}
+	default:
+		return fmt.Errorf("layer %d (%s): unknown kind %d", idx, spec.Name, spec.Kind)
+	}
+	return nil
+}
+
+// outShape computes the layer output shape from resolved input shapes; it
+// assumes validate has passed.
+func (spec *LayerSpec) outShape(inputs []Shape) Shape {
+	switch spec.Kind {
+	case KindConv:
+		return spec.PoolOut(spec.ConvOut(inputs[0]))
+	case KindFC:
+		return Shape{C: spec.OutC, H: 1, W: 1}
+	case KindConcat:
+		c := 0
+		for _, in := range inputs {
+			c += in.C
+		}
+		return Shape{C: c, H: inputs[0].H, W: inputs[0].W}
+	case KindEltwise:
+		return inputs[0]
+	}
+	panic("unreachable")
+}

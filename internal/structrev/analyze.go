@@ -1,0 +1,503 @@
+// Package structrev implements the paper's first attack (§3): reverse
+// engineering a CNN's structure from its off-chip memory access trace.
+//
+// The attack proceeds in two stages. Analyze segments the trace into layers
+// using read-after-write dependencies on feature maps (Algorithm 1 steps
+// 1-2), recovering per-layer SIZE_IFM/SIZE_OFM/SIZE_FLTR, the inter-layer
+// dataflow graph (including concatenation and bypass connections) and
+// per-layer execution times. Solve then enumerates every layer
+// parameterization consistent with the integer constraint system of
+// Equations (1)-(8), filters candidates whose MAC count contradicts the
+// measured execution-time ratios, and chains per-layer candidates into
+// complete network structures (Algorithm 1 steps 3-5).
+package structrev
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cnnrev/internal/memtrace"
+)
+
+// SegmentKind classifies a trace segment by its observable behaviour.
+type SegmentKind int
+
+const (
+	// SegWeighted is a layer that streams a read-only (filter) region:
+	// a convolutional or fully-connected layer.
+	SegWeighted SegmentKind = iota
+	// SegEltwise is a layer that reads feature maps only and writes an
+	// output of the same size (a bypass element-wise addition).
+	SegEltwise
+)
+
+// String names the segment kind.
+func (k SegmentKind) String() string {
+	if k == SegWeighted {
+		return "weighted"
+	}
+	return "eltwise"
+}
+
+// SegInput is one observed data dependency of a segment.
+type SegInput struct {
+	// Producer is the segment index that wrote the data, or -1 for the
+	// network input region.
+	Producer int
+	// Bytes is the extent of the producer data read.
+	Bytes uint64
+	// Adjacent reports whether this producer's output region is contiguous
+	// in DRAM with the previous producer in the list — the signature of a
+	// depth concatenation read.
+	Adjacent bool
+}
+
+// Segment is one layer execution recovered from the trace.
+type Segment struct {
+	Index      int
+	Kind       SegmentKind
+	StartCycle uint64
+	EndCycle   uint64 // start of the next segment (or end of trace)
+
+	// WeightsBytes is the extent of the read-only region streamed by this
+	// segment (0 for eltwise segments).
+	WeightsBytes  uint64
+	WeightsRegion memtrace.Interval
+
+	// OFMBytes is the extent of the address range written by this segment.
+	OFMBytes  uint64
+	OFMRegion memtrace.Interval
+
+	// Inputs are the feature-map dependencies, ordered by region address.
+	Inputs []SegInput
+}
+
+// Cycles returns the segment execution time.
+func (s *Segment) Cycles() uint64 { return s.EndCycle - s.StartCycle }
+
+// IFMBytes returns the total extent of all feature-map inputs.
+func (s *Segment) IFMBytes() uint64 {
+	var t uint64
+	for _, in := range s.Inputs {
+		t += in.Bytes
+	}
+	return t
+}
+
+// Analysis is the result of segmenting a trace.
+type Analysis struct {
+	Segments []Segment
+	// InputRegion is the DRAM region holding the (adversary-known) network
+	// input.
+	InputRegion memtrace.Interval
+	ElemBytes   int
+	// BlockBytes is the observed transaction granularity: region extents are
+	// only known up to this rounding, which the solver accounts for.
+	BlockBytes int
+}
+
+// intervalOf converts an access to its byte interval.
+func intervalOf(a memtrace.Access, blockBytes int) memtrace.Interval {
+	return memtrace.Interval{Lo: a.Addr, Hi: a.End(blockBytes)}
+}
+
+// regionIndex finds the region in sorted (by Lo) regions containing addr,
+// returning -1 if none.
+func regionIndex(regions []memtrace.Interval, addr uint64) int {
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].Hi > addr })
+	if i < len(regions) && regions[i].Contains(addr) {
+		return i
+	}
+	return -1
+}
+
+// Analyze segments a trace into layers. inputBytes is the byte size of the
+// network input (known to the adversary, who controls it); elemBytes is the
+// element storage size (known from the data type).
+func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, error) {
+	if len(tr.Accesses) == 0 {
+		return nil, fmt.Errorf("structrev: empty trace")
+	}
+	bb := tr.BlockBytes
+
+	// Pass 1: global write space and read-only (filter + input) regions.
+	var writeIvs, readIvs []memtrace.Interval
+	for _, a := range tr.Accesses {
+		if a.Kind == memtrace.Write {
+			writeIvs = append(writeIvs, intervalOf(a, bb))
+		} else {
+			readIvs = append(readIvs, intervalOf(a, bb))
+		}
+	}
+	writeSpace := memtrace.CoalesceIntervals(writeIvs, 0)
+	var roIvs []memtrace.Interval
+	for _, iv := range readIvs {
+		if !overlapsAny(writeSpace, iv) {
+			roIvs = append(roIvs, iv)
+		}
+	}
+	// A small gap tolerance bridges rows a strided convolution never samples
+	// (e.g. AlexNet conv1 leaves the last input row unread); it stays well
+	// under the allocator's page-granular separation of distinct regions.
+	roRegions := memtrace.CoalesceIntervals(roIvs, 2048)
+
+	// The input region is the earliest-touched read-only region whose extent
+	// matches the known input size. (A strided first layer may leave
+	// trailing pixels unread, so the observed extent can fall slightly short
+	// — or exceed the size by block rounding. Matching by size rather than
+	// by first access keeps the identification dataflow-independent: a
+	// weight-stationary accelerator streams filters before its first IFM
+	// tile.)
+	hasRead := false
+	for _, a := range tr.Accesses {
+		if a.Kind == memtrace.Read {
+			hasRead = true
+			break
+		}
+	}
+	if !hasRead {
+		return nil, fmt.Errorf("structrev: trace has no reads")
+	}
+	inputIdx := -1
+	bestDiff := 1 << 62
+	for _, a := range tr.Accesses {
+		if a.Kind != memtrace.Read {
+			continue
+		}
+		ro := regionIndex(roRegions, a.Addr)
+		if ro < 0 {
+			continue
+		}
+		got := int(roRegions[ro].Bytes())
+		if got > inputBytes+bb || got < inputBytes*3/4 {
+			continue
+		}
+		diff := inputBytes - got
+		if diff < 0 {
+			diff = -diff
+		}
+		// Closest size wins; earliest touch breaks ties (the input is always
+		// consumed in the first layer).
+		if diff < bestDiff {
+			bestDiff = diff
+			inputIdx = ro
+		}
+	}
+	if inputIdx < 0 {
+		return nil, fmt.Errorf("structrev: no read-only region matches the declared %d-byte input", inputBytes)
+	}
+	inputRegion := roRegions[inputIdx]
+
+	// Feature-map regions: clusters of the written address space. The
+	// allocator separates distinct data structures by guard pages, so a
+	// zero-gap coalesce recovers them (a zero-copy concatenated output forms
+	// one region, which is exactly how the adversary perceives it).
+	fmapRegions := memtrace.CoalesceIntervals(writeIvs, 0)
+
+	// Pass 2: scan for boundaries. A new segment begins when
+	//  (a) a read hits a *fresh* feature-map region — one written since it
+	//      was last read. This is the paper's "first read access on a
+	//      memory address that was previously written": a layer's OFM is
+	//      fresh until its consumer starts, and the consumer's own
+	//      progressive (banded, tiled) re-reads do not re-trigger.
+	//  (b) a read streams a different filter region than the one the
+	//      current segment has been using (two back-to-back layers can
+	//      share an IFM, as in fire-module expand convolutions).
+	type segAcc struct {
+		start      uint64
+		roIdx      int // filter region index, -1 if none yet
+		firstIdx   int
+		readsInput bool
+		fmapReads  []memtrace.Interval
+		writeSpans []memtrace.Interval
+		// trailing counts the fmap reads issued after the segment's last
+		// write; on a filter-region boundary they are re-attributed to the
+		// new layer (they are its stale-IFM prefetch).
+		trailing int
+	}
+	var segs []*segAcc
+	// writtenBy records which segment wrote each interval, in trace order.
+	type writeRec struct {
+		iv  memtrace.Interval
+		seg int
+	}
+	var allWrites []writeRec
+	fresh := make([]bool, len(fmapRegions))
+	// inputConsumerRo is the filter region of the layer that consumes the
+	// network input (layer 0); an input read from any other layer marks the
+	// start of a new inference.
+	inputConsumerRo := -1
+
+	cur := &segAcc{start: tr.Accesses[0].Cycle, roIdx: -1, firstIdx: 0}
+	closeSeg := func(nextStart int, moveTrailing bool) {
+		var carry []memtrace.Interval
+		if moveTrailing && cur.trailing > 0 {
+			n := len(cur.fmapReads) - cur.trailing
+			carry = append(carry, cur.fmapReads[n:]...)
+			cur.fmapReads = cur.fmapReads[:n]
+		}
+		segs = append(segs, cur)
+		cur = &segAcc{start: tr.Accesses[nextStart].Cycle, roIdx: -1, firstIdx: nextStart,
+			fmapReads: carry, trailing: len(carry)}
+	}
+	for ai, a := range tr.Accesses {
+		iv := intervalOf(a, bb)
+		if a.Kind == memtrace.Write {
+			if fr := regionIndex(fmapRegions, a.Addr); fr >= 0 {
+				fresh[fr] = true
+			}
+			cur.writeSpans = append(cur.writeSpans, iv)
+			cur.trailing = 0
+			allWrites = append(allWrites, writeRec{iv, len(segs)})
+			continue
+		}
+		// Read: boundary checks. Rule (a) fires only once the current
+		// segment has produced output: a weight-stationary layer streams
+		// filters before its first IFM tile, and an element-wise layer
+		// gathers several fresh operands — neither marks a new layer.
+		boundary := false
+		fr := regionIndex(fmapRegions, a.Addr)
+		if fr >= 0 && fresh[fr] {
+			if len(cur.writeSpans) > 0 {
+				boundary = true
+			}
+			fresh[fr] = false
+		}
+		ro := -1
+		if fr < 0 {
+			ro = regionIndex(roRegions, a.Addr)
+			switch {
+			case ro >= 0 && ro != inputIdx:
+				switch {
+				case cur.roIdx >= 0 && cur.roIdx != ro:
+					// Rule (b): a different filter region is streaming.
+					boundary = true
+				case cur.roIdx < 0 && len(cur.writeSpans) > 0:
+					// Rule (b'): the current segment has no filter region yet
+					// it already wrote its output (an element-wise layer, or
+					// a weight-stationary layer whose single filter read
+					// opens the next layer) — a filter read must belong to a
+					// new layer. Layers never write before reading filters.
+					boundary = true
+				}
+			case ro == inputIdx:
+				// Rule (c): the network input is consumed only by the first
+				// layer — an input read from a segment that is not the
+				// input-consuming layer (and has produced output) starts a
+				// new inference.
+				if len(cur.writeSpans) > 0 && cur.roIdx != inputConsumerRo {
+					boundary = true
+				}
+			}
+		}
+		if boundary && ai > cur.firstIdx {
+			// A filter-region boundary (rules b/b'/c) hands the trailing
+			// post-write fmap reads to the new layer.
+			closeSeg(ai, ro >= 0)
+		}
+		if ro >= 0 && ro != inputIdx {
+			if cur.roIdx < 0 {
+				cur.roIdx = ro
+				if cur.readsInput {
+					inputConsumerRo = ro
+				}
+			}
+		} else if fr >= 0 || ro == inputIdx {
+			cur.fmapReads = append(cur.fmapReads, iv)
+			cur.trailing++
+			if ro == inputIdx {
+				cur.readsInput = true
+				if cur.roIdx >= 0 {
+					inputConsumerRo = cur.roIdx
+				}
+			}
+		}
+	}
+	segs = append(segs, cur)
+
+	// Assemble Segment records.
+	res := &Analysis{InputRegion: inputRegion, ElemBytes: elemBytes, BlockBytes: bb}
+	for si, sa := range segs {
+		seg := Segment{Index: si, StartCycle: sa.start}
+		if si+1 < len(segs) {
+			seg.EndCycle = segs[si+1].start
+		} else {
+			seg.EndCycle = tr.LastCycle() + 1
+		}
+		if sa.roIdx >= 0 {
+			seg.Kind = SegWeighted
+			seg.WeightsRegion = roRegions[sa.roIdx]
+			seg.WeightsBytes = seg.WeightsRegion.Bytes()
+		} else {
+			seg.Kind = SegEltwise
+		}
+		if w := memtrace.CoalesceIntervals(sa.writeSpans, 0); len(w) > 0 {
+			// The OFM is the single contiguous range this segment wrote
+			// (write-once). Multiple ranges would indicate an unmodelled
+			// layer type; take the full span.
+			seg.OFMRegion = memtrace.Interval{Lo: w[0].Lo, Hi: w[len(w)-1].Hi}
+			for _, iv := range w {
+				seg.OFMBytes += iv.Bytes()
+			}
+		}
+		res.Segments = append(res.Segments, seg)
+	}
+
+	// Dependencies: attribute each segment's feature-map reads to their
+	// most recent earlier writers (a region may be rewritten across repeated
+	// inferences; only the freshest data is the layer's input).
+	firstWriteOfSeg := make([]int, len(segs)+1)
+	for i := range firstWriteOfSeg {
+		firstWriteOfSeg[i] = len(allWrites)
+	}
+	for wi := len(allWrites) - 1; wi >= 0; wi-- {
+		firstWriteOfSeg[allWrites[wi].seg] = wi
+	}
+	for si, sa := range segs {
+		fmr := memtrace.CoalesceIntervals(sa.fmapReads, 0)
+		depBytes := map[int]uint64{}
+		for _, iv := range fmr {
+			if inputRegion.Overlaps(iv) {
+				// Regions are guard-separated; a read never spans the input
+				// region and a feature map.
+				depBytes[-1] += clip(iv, inputRegion).Bytes()
+				continue
+			}
+			remaining := []memtrace.Interval{iv}
+			for wi := firstWriteOfSeg[si] - 1; wi >= 0 && len(remaining) > 0; wi-- {
+				wr := allWrites[wi]
+				var removed uint64
+				remaining, removed = memtrace.SubtractOverlap(remaining, wr.iv)
+				if removed > 0 {
+					depBytes[wr.seg] += removed
+				}
+			}
+		}
+		regionLo := func(p int) uint64 {
+			if p < 0 {
+				return inputRegion.Lo
+			}
+			return res.Segments[p].OFMRegion.Lo
+		}
+		var inputs []SegInput
+		for p, b := range depBytes {
+			inputs = append(inputs, SegInput{Producer: p, Bytes: b})
+		}
+		sort.Slice(inputs, func(i, j int) bool {
+			return regionLo(inputs[i].Producer) < regionLo(inputs[j].Producer)
+		})
+		// Mark concatenation adjacency.
+		for k := 1; k < len(inputs); k++ {
+			prev, this := inputs[k-1].Producer, inputs[k].Producer
+			if prev >= 0 && this >= 0 {
+				a := res.Segments[prev].OFMRegion
+				b := res.Segments[this].OFMRegion
+				if a.Hi == b.Lo {
+					inputs[k].Adjacent = true
+				}
+			}
+		}
+		res.Segments[si].Inputs = inputs
+	}
+	return res, nil
+}
+
+// clip returns the intersection of two overlapping intervals.
+func clip(a, b memtrace.Interval) memtrace.Interval {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return memtrace.Interval{Lo: lo, Hi: hi}
+}
+
+// overlapsAny reports whether iv overlaps any interval in the sorted,
+// disjoint set.
+func overlapsAny(sorted []memtrace.Interval, iv memtrace.Interval) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Hi > iv.Lo })
+	return i < len(sorted) && sorted[i].Lo < iv.Hi
+}
+
+// Inferences splits a multi-inference analysis (a trace of a continuously
+// serving accelerator) into per-inference analyses: a new inference begins
+// at a weighted segment consuming the network-input region. Producer
+// indices are renumbered within each slice; dependencies never cross an
+// inference boundary because reads attribute to their most recent writers.
+func (a *Analysis) Inferences() []*Analysis {
+	var starts []int
+	for i := range a.Segments {
+		for _, in := range a.Segments[i].Inputs {
+			if in.Producer == -1 {
+				starts = append(starts, i)
+				break
+			}
+		}
+	}
+	if len(starts) == 0 {
+		return []*Analysis{a}
+	}
+	var out []*Analysis
+	for k, lo := range starts {
+		hi := len(a.Segments)
+		if k+1 < len(starts) {
+			hi = starts[k+1]
+		}
+		sub := &Analysis{
+			InputRegion: a.InputRegion,
+			ElemBytes:   a.ElemBytes,
+			BlockBytes:  a.BlockBytes,
+		}
+		for i := lo; i < hi; i++ {
+			seg := a.Segments[i]
+			seg.Index = i - lo
+			ins := make([]SegInput, len(seg.Inputs))
+			for j, in := range seg.Inputs {
+				ins[j] = in
+				if in.Producer >= 0 {
+					ins[j].Producer = in.Producer - lo
+				}
+			}
+			seg.Inputs = ins
+			sub.Segments = append(sub.Segments, seg)
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// WriteReport renders a human-readable summary of the recovered layer
+// graph: per segment, its kind, filter and output sizes, timing, and data
+// dependencies (with concatenation adjacency marked).
+func (a *Analysis) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "recovered %d segments (input region %d bytes, %d-byte elements, %d-byte bus)\n",
+		len(a.Segments), a.InputRegion.Bytes(), a.ElemBytes, a.BlockBytes)
+	for _, seg := range a.Segments {
+		fmt.Fprintf(w, "  seg %2d  %-8s  filters %8d B  output %8d B  %9d cycles  <- ",
+			seg.Index, seg.Kind, seg.WeightsBytes, seg.OFMBytes, seg.Cycles())
+		if len(seg.Inputs) == 0 {
+			fmt.Fprint(w, "(none)")
+		}
+		for i, in := range seg.Inputs {
+			if i > 0 {
+				if in.Adjacent {
+					fmt.Fprint(w, " ++ ") // depth concatenation
+				} else {
+					fmt.Fprint(w, ", ")
+				}
+			}
+			if in.Producer < 0 {
+				fmt.Fprint(w, "input")
+			} else {
+				fmt.Fprintf(w, "seg %d", in.Producer)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

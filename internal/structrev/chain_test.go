@@ -1,0 +1,131 @@
+package structrev
+
+import (
+	"testing"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+)
+
+// makeSeg builds a minimal segment for unit tests.
+func makeSeg(idx int, kind SegmentKind, ofm memtrace.Interval, inputs []SegInput) Segment {
+	return Segment{Index: idx, Kind: kind, OFMRegion: ofm, OFMBytes: ofm.Bytes(), Inputs: inputs}
+}
+
+func TestDetectModulesFiresOnAdjacentPair(t *testing.T) {
+	// squeeze (0) feeds two weighted consumers (1, 2) whose OFM regions are
+	// DRAM-adjacent: the fire-module motif.
+	a := &Analysis{Segments: []Segment{
+		makeSeg(0, SegWeighted, memtrace.Interval{Lo: 0, Hi: 100}, nil),
+		makeSeg(1, SegWeighted, memtrace.Interval{Lo: 1000, Hi: 1400},
+			[]SegInput{{Producer: 0, Bytes: 100}}),
+		makeSeg(2, SegWeighted, memtrace.Interval{Lo: 1400, Hi: 1800},
+			[]SegInput{{Producer: 0, Bytes: 100}}),
+	}}
+	roles := detectModules(a)
+	if roles[0] != roleSqueeze || roles[1] != roleExpandLo || roles[2] != roleExpandHi {
+		t.Fatalf("roles = %v", roles)
+	}
+}
+
+func TestDetectModulesIgnoresNonAdjacent(t *testing.T) {
+	a := &Analysis{Segments: []Segment{
+		makeSeg(0, SegWeighted, memtrace.Interval{Lo: 0, Hi: 100}, nil),
+		makeSeg(1, SegWeighted, memtrace.Interval{Lo: 1000, Hi: 1400},
+			[]SegInput{{Producer: 0, Bytes: 100}}),
+		makeSeg(2, SegWeighted, memtrace.Interval{Lo: 9000, Hi: 9400},
+			[]SegInput{{Producer: 0, Bytes: 100}}),
+	}}
+	roles := detectModules(a)
+	for i, r := range roles {
+		if r != roleNone {
+			t.Fatalf("segment %d wrongly assigned role %v", i, r)
+		}
+	}
+}
+
+func TestInputDimsConcatAndEltwise(t *testing.T) {
+	// Weighted segment reading two adjacent producers: depths add.
+	a := &Analysis{Segments: []Segment{
+		{}, {},
+		makeSeg(2, SegWeighted, memtrace.Interval{}, []SegInput{
+			{Producer: 0, Bytes: 1},
+			{Producer: 1, Bytes: 1, Adjacent: true},
+		}),
+		makeSeg(3, SegEltwise, memtrace.Interval{}, []SegInput{
+			{Producer: 0, Bytes: 1},
+			{Producer: 1, Bytes: 1},
+		}),
+	}}
+	out := []dims{{W: 10, D: 4}, {W: 10, D: 6}, {}, {}}
+	d, ok := inputDims(a, 2, out, 0, 0)
+	if !ok || d != (dims{W: 10, D: 10}) {
+		t.Fatalf("concat dims = %v ok=%v", d, ok)
+	}
+	// Eltwise with mismatched depths must fail.
+	if _, ok := inputDims(a, 3, out, 0, 0); ok {
+		t.Fatal("eltwise over mismatched depths must be inconsistent")
+	}
+	// Eltwise with equal depths passes.
+	out[1] = dims{W: 10, D: 4}
+	if d, ok := inputDims(a, 3, out, 0, 0); !ok || d != (dims{W: 10, D: 4}) {
+		t.Fatalf("eltwise dims = %v ok=%v", d, ok)
+	}
+	// Width mismatch fails in both modes.
+	out[1] = dims{W: 9, D: 4}
+	if _, ok := inputDims(a, 2, out, 0, 0); ok {
+		t.Fatal("width mismatch must be inconsistent")
+	}
+}
+
+func TestTimingCheckWindow(t *testing.T) {
+	opt := Options{TimingSpreadMax: 1.5}
+	seg := &Segment{StartCycle: 0, EndCycle: 1000}
+	c := &LayerConfig{WIFM: 10, DIFM: 1, WOFM: 8, DOFM: 1, F: 3, S: 1, P: 0}
+	t0, ok := timingCheck(timingWindow{}, seg, c, opt)
+	if !ok || t0.lo != t0.hi {
+		t.Fatalf("first layer must seed the window: %+v ok=%v", t0, ok)
+	}
+	// A layer 4x off per MAC must be rejected.
+	segFast := &Segment{StartCycle: 0, EndCycle: 250}
+	if _, ok := timingCheck(t0, segFast, c, opt); ok {
+		t.Fatal("4x faster per MAC should violate a 1.5 tolerance")
+	}
+	// Within tolerance passes and widens the window.
+	segNear := &Segment{StartCycle: 0, EndCycle: 1400}
+	t1, ok := timingCheck(t0, segNear, c, opt)
+	if !ok || t1.hi <= t1.lo {
+		t.Fatalf("near layer should pass: %+v ok=%v", t1, ok)
+	}
+	// FC layers bypass the filter entirely.
+	fc := &LayerConfig{WIFM: 10, DIFM: 1, WOFM: 1, DOFM: 5, FC: true, F: 10, S: 1}
+	if t2, ok := timingCheck(t1, segFast, fc, opt); !ok || t2 != t1 {
+		t.Fatal("FC must not affect the timing window")
+	}
+}
+
+func TestUniqueConfigsDeduplicates(t *testing.T) {
+	a := &Analysis{Segments: []Segment{{Index: 0, Kind: SegWeighted}}}
+	c1 := LayerConfig{WIFM: 8, DIFM: 1, WOFM: 8, DOFM: 2, F: 3, S: 1, P: 1}
+	c2 := c1
+	c3 := c1
+	c3.F = 1
+	structures := []Structure{
+		{Layers: []SolvedLayer{{Segment: 0, Config: &c1}}},
+		{Layers: []SolvedLayer{{Segment: 0, Config: &c2}}},
+		{Layers: []SolvedLayer{{Segment: 0, Config: &c3}}},
+	}
+	u := UniqueConfigs(a, structures)
+	if len(u[0]) != 2 {
+		t.Fatalf("got %d unique configs, want 2", len(u[0]))
+	}
+}
+
+func TestSolveMaxStructuresGuard(t *testing.T) {
+	a, _ := traceOf(t, nn.LeNet(10))
+	opt := DefaultOptions()
+	opt.MaxStructures = 1 // LeNet yields dozens; the valve must trip
+	if _, err := Solve(a, 28, 1, 10, opt); err == nil {
+		t.Fatal("expected MaxStructures abort")
+	}
+}

@@ -1,0 +1,94 @@
+package structrev
+
+import (
+	"bytes"
+	"testing"
+
+	"cnnrev/internal/memtrace"
+)
+
+// FuzzAnalyze feeds arbitrary serialized traces through the analyzer: it
+// must never panic, only return errors or well-formed analyses.
+func FuzzAnalyze(f *testing.F) {
+	// Seed: a minimal valid two-layer trace.
+	seed := &memtrace.Trace{BlockBytes: 4, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 16, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 8192, Count: 8, Kind: memtrace.Read},
+		{Cycle: 10, Addr: 16384, Count: 12, Kind: memtrace.Write},
+		{Cycle: 20, Addr: 16384, Count: 12, Kind: memtrace.Read},
+		{Cycle: 21, Addr: 24576, Count: 4, Kind: memtrace.Read},
+		{Cycle: 30, Addr: 32768, Count: 2, Kind: memtrace.Write},
+	}}
+	var buf bytes.Buffer
+	if err := seed.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), 64)
+	f.Add([]byte{}, 1)
+
+	f.Fuzz(func(t *testing.T, raw []byte, inputBytes int) {
+		tr, err := memtrace.ReadTrace(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if tr.BlockBytes <= 0 || tr.BlockBytes > 1<<20 || len(tr.Accesses) > 10000 {
+			return
+		}
+		// Align addresses and bound counts so the trace is structurally
+		// plausible; the analyzer still sees arbitrary patterns.
+		for i := range tr.Accesses {
+			tr.Accesses[i].Addr -= tr.Accesses[i].Addr % uint64(tr.BlockBytes)
+			if tr.Accesses[i].Count > 1<<16 {
+				tr.Accesses[i].Count %= 1 << 16
+			}
+			if tr.Accesses[i].Count == 0 {
+				tr.Accesses[i].Count = 1
+			}
+			tr.Accesses[i].Kind &= 1
+		}
+		if inputBytes <= 0 {
+			inputBytes = 1
+		}
+		a, err := Analyze(tr, inputBytes%(1<<20), 4)
+		if err != nil {
+			return
+		}
+		// Well-formedness: segments ordered, producers precede consumers.
+		for i, seg := range a.Segments {
+			if seg.Index != i {
+				t.Fatalf("segment %d has index %d", i, seg.Index)
+			}
+			for _, in := range seg.Inputs {
+				if in.Producer >= i {
+					t.Fatalf("segment %d depends on later segment %d", i, in.Producer)
+				}
+			}
+		}
+		// Solving may fail but must not panic.
+		_, _ = Solve(a, 8, 1, 10, DefaultOptions())
+	})
+}
+
+// FuzzEnumerateLayer checks the solver never panics and always emits
+// configurations satisfying the size equations, for arbitrary size inputs.
+func FuzzEnumerateLayer(f *testing.F) {
+	f.Add(28, 1, 1176, 150, false)
+	f.Add(227, 3, 69984, 34848, false)
+	f.Add(6, 256, 4096, 37748736, true)
+	f.Fuzz(func(t *testing.T, wIFM, dIFM, sizeOFM, sizeFltr int, last bool) {
+		if wIFM <= 0 || wIFM > 300 || dIFM <= 0 || dIFM > 1024 {
+			return
+		}
+		if sizeOFM <= 0 || sizeOFM > 1<<22 || sizeFltr <= 0 || sizeFltr > 1<<26 {
+			return
+		}
+		for _, c := range EnumerateLayer(wIFM, dIFM, sizeOFM, sizeFltr, last, 10, DefaultOptions()) {
+			if c.WOFM*c.WOFM*c.DOFM != sizeOFM {
+				t.Fatalf("Eq2 violated by %s", c.String())
+			}
+			if c.F*c.F*c.DIFM*c.DOFM != sizeFltr {
+				t.Fatalf("Eq3 violated by %s", c.String())
+			}
+		}
+	})
+}

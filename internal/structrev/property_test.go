@@ -1,0 +1,188 @@
+package structrev
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cnnrev/internal/tensor"
+)
+
+// randomTrueConfig draws a random plausible conv layer configuration (the
+// kind a real network could contain) and computes the sizes its execution
+// would expose.
+func randomTrueConfig(rng *rand.Rand) (cfg LayerConfig, sizeOFM, sizeFltr int, ok bool) {
+	wIFM := 8 + rng.Intn(60)
+	dIFM := 1 + rng.Intn(64)
+	f := 1 + rng.Intn(7)
+	if 2*f > wIFM {
+		return cfg, 0, 0, false
+	}
+	s := 1 + rng.Intn(f)
+	p := rng.Intn(f)
+	dOFM := 1 + rng.Intn(128)
+	wc := tensor.ConvOutDim(wIFM, f, s, p)
+	if wc < 1 {
+		return cfg, 0, 0, false
+	}
+	cfg = LayerConfig{WIFM: wIFM, DIFM: dIFM, WOFM: wc, DOFM: dOFM, F: f, S: s, P: p}
+	// Half the time, add an exact-division pooling stage.
+	if rng.Intn(2) == 0 {
+		fp := 2 + rng.Intn(3)
+		sp := 1 + rng.Intn(fp)
+		if wc > fp && (wc-fp)%sp == 0 {
+			cfg.HasPool = true
+			cfg.FPool, cfg.SPool, cfg.PPool = fp, sp, 0
+			cfg.WOFM = (wc-fp)/sp + 1
+		}
+	}
+	return cfg, cfg.WOFM * cfg.WOFM * cfg.DOFM, f * f * dIFM * dOFM, true
+}
+
+// TestQuickEnumerationComplete: for any true configuration, the enumeration
+// over its exposed sizes must contain a candidate matching it up to padding
+// equivalence (the solver never loses the truth).
+func TestQuickEnumerationComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, sizeOFM, sizeFltr, ok := randomTrueConfig(rng)
+		if !ok {
+			return true
+		}
+		cands := EnumerateLayer(cfg.WIFM, cfg.DIFM, sizeOFM, sizeFltr, false, 0, DefaultOptions())
+		for _, c := range cands {
+			if c.F == cfg.F && c.S == cfg.S && c.WOFM == cfg.WOFM && c.DOFM == cfg.DOFM &&
+				c.HasPool == cfg.HasPool && c.FPool == cfg.FPool && c.SPool == cfg.SPool &&
+				c.ConvOutW() == cfg.ConvOutW() {
+				return true
+			}
+		}
+		t.Logf("seed %d: lost %s (OFM %d, FLTR %d) among %d candidates",
+			seed, cfg.String(), sizeOFM, sizeFltr, len(cands))
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnumerationSound: every enumerated candidate must actually
+// satisfy the paper's constraint system against the observed sizes —
+// Equations (1)-(3) exactly and (4)-(8) as inequalities.
+func TestQuickEnumerationSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, sizeOFM, sizeFltr, ok := randomTrueConfig(rng)
+		if !ok {
+			return true
+		}
+		for _, c := range EnumerateLayer(cfg.WIFM, cfg.DIFM, sizeOFM, sizeFltr, false, 0, DefaultOptions()) {
+			// Eq (2): SIZE_OFM = W_OFM² · D_OFM
+			if c.WOFM*c.WOFM*c.DOFM != sizeOFM {
+				t.Logf("Eq2 violated: %s", c.String())
+				return false
+			}
+			// Eq (3): SIZE_FLTR = F² · D_IFM · D_OFM (FC: F = W_IFM)
+			if c.F*c.F*c.DIFM*c.DOFM != sizeFltr {
+				t.Logf("Eq3 violated: %s", c.String())
+				return false
+			}
+			if c.FC {
+				if c.F != c.WIFM || c.WOFM != 1 {
+					t.Logf("FC malformed: %s", c.String())
+					return false
+				}
+				continue
+			}
+			// Eq (5): S ≤ F ≤ W_IFM/2
+			if c.S > c.F || 2*c.F > c.WIFM {
+				t.Logf("Eq5 violated: %s", c.String())
+				return false
+			}
+			// Eq (7): P < F
+			if c.P >= c.F {
+				t.Logf("Eq7 violated: %s", c.String())
+				return false
+			}
+			// Eq (4): geometry consistency.
+			wc := c.ConvOutW()
+			if wc < c.WOFM {
+				t.Logf("geometry shrinks below W_OFM: %s", c.String())
+				return false
+			}
+			if c.HasPool {
+				// Eq (6): S_pool ≤ F_pool ≤ Wc; Eq (8): P_pool < F_pool.
+				if c.SPool > c.FPool || c.FPool > wc || c.PPool >= c.FPool {
+					t.Logf("Eq6/8 violated: %s", c.String())
+					return false
+				}
+				if (wc-c.FPool+2*c.PPool)%c.SPool != 0 ||
+					(wc-c.FPool+2*c.PPool)/c.SPool+1 != c.WOFM {
+					t.Logf("pool geometry violated: %s (wc=%d)", c.String(), wc)
+					return false
+				}
+			} else if wc != c.WOFM {
+				t.Logf("unpooled geometry violated: %s", c.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMACFormula: the solver's MAC formula must equal the brute-force
+// operation count of the hypothesized convolution.
+func TestQuickMACFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, _, _, ok := randomTrueConfig(rng)
+		if !ok {
+			return true
+		}
+		wc := int64(cfg.ConvOutW())
+		want := wc * wc * int64(cfg.DOFM) * int64(cfg.F) * int64(cfg.F) * int64(cfg.DIFM)
+		return cfg.MACs() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for n := 0; n < 2000; n++ {
+		r := isqrt(n)
+		root := 0
+		for root*root < n {
+			root++
+		}
+		if root*root == n {
+			if r != root {
+				t.Fatalf("isqrt(%d) = %d, want %d", n, r, root)
+			}
+		} else if r != -1 {
+			t.Fatalf("isqrt(%d) = %d, want -1 (not a square)", n, r)
+		}
+	}
+	if isqrt(-4) != -1 {
+		t.Fatal("negative input must give -1")
+	}
+}
+
+func TestCanonicalizePaddingKeepsMinimum(t *testing.T) {
+	cands := []LayerConfig{
+		{WIFM: 227, DIFM: 3, WOFM: 27, DOFM: 96, F: 11, S: 4, P: 1, HasPool: true, FPool: 3, SPool: 2},
+		{WIFM: 227, DIFM: 3, WOFM: 27, DOFM: 96, F: 11, S: 4, P: 0, HasPool: true, FPool: 3, SPool: 2},
+	}
+	out := canonicalizePadding(cands)
+	if len(out) != 1 || out[0].P != 0 {
+		t.Fatalf("canonicalize = %+v", out)
+	}
+	// Different Wc (P=2 gives 56): both kept.
+	cands = append(cands, LayerConfig{WIFM: 227, DIFM: 3, WOFM: 27, DOFM: 96, F: 11, S: 4, P: 2, HasPool: true, FPool: 4, SPool: 2})
+	if out := canonicalizePadding(cands); len(out) != 2 {
+		t.Fatalf("expected 2 classes, got %+v", out)
+	}
+}

@@ -1,0 +1,305 @@
+package structrev
+
+import (
+	"fmt"
+	"math"
+)
+
+// LayerConfig is one hypothesis for the structural parameters of a layer —
+// the eleven quantities of paper Table 2.
+type LayerConfig struct {
+	WIFM, DIFM int
+	WOFM, DOFM int
+
+	// FC marks a fully-connected layer: its filter spans the entire input
+	// feature map (F = WIFM) and it has a unique configuration.
+	FC bool
+
+	F, S, P int // convolution kernel, stride, per-side padding
+
+	HasPool             bool
+	FPool, SPool, PPool int
+}
+
+// ConvOutW returns the conv-stage (pre-pool) output width Wc.
+func (c *LayerConfig) ConvOutW() int {
+	if c.FC {
+		return 1
+	}
+	num := c.WIFM - c.F + 2*c.P
+	if num < 0 || c.S <= 0 {
+		return 0
+	}
+	return num/c.S + 1
+}
+
+// MACs returns the multiply-accumulate count of the hypothesis, using the
+// paper's formula #MACs = Wc²·D_OFM·F²·D_IFM.
+func (c *LayerConfig) MACs() int64 {
+	if c.FC {
+		return int64(c.DOFM) * int64(c.WIFM) * int64(c.WIFM) * int64(c.DIFM)
+	}
+	wc := int64(c.ConvOutW())
+	return wc * wc * int64(c.DOFM) * int64(c.F) * int64(c.F) * int64(c.DIFM)
+}
+
+// String renders the hypothesis compactly.
+func (c *LayerConfig) String() string {
+	if c.FC {
+		return fmt.Sprintf("FC %dx%dx%d -> %d", c.WIFM, c.WIFM, c.DIFM, c.DOFM)
+	}
+	s := fmt.Sprintf("conv %dx%dx%d F%d S%d P%d -> %dx%dx%d",
+		c.WIFM, c.WIFM, c.DIFM, c.F, c.S, c.P, c.WOFM, c.WOFM, c.DOFM)
+	if c.HasPool {
+		s += fmt.Sprintf(" pool F%d S%d P%d", c.FPool, c.SPool, c.PPool)
+	}
+	return s
+}
+
+// Options tunes the solver.
+type Options struct {
+	// TimingSpreadMax bounds the ratio between the largest and smallest
+	// cycles-per-MAC over the conv layers of a candidate structure. The
+	// paper assumes execution time is "roughly proportional" to MACs; the
+	// victim's measured spread plus candidate MAC differences must fit
+	// under this bound. Default 1.35.
+	TimingSpreadMax float64
+	// MaxPoolPad bounds pooling padding in the enumeration. Every pooled
+	// configuration in the paper's Table 4 has P_pool = 0; default 0.
+	MaxPoolPad int
+	// MaxConvF bounds convolution kernels in the enumeration. The size and
+	// timing observables carry a gauge symmetry — W_OFM→2·W_OFM, D_OFM→D_OFM/4,
+	// F→2·F preserves SIZE_OFM, SIZE_FLTR and the MAC count — so without a
+	// kernel bound the solver admits unbounded ladders of physically absurd
+	// kernels (F=22, 44, …) that no published CNN uses. Default 13 (the
+	// largest kernel in classic CNNs is AlexNet's 11). FC layers, whose
+	// filter spans the whole IFM, are exempt.
+	MaxConvF int
+	// MaxPoolF bounds the pooling window in the enumeration (practicality
+	// prior: real networks pool over small windows; every pooled row of the
+	// paper's Table 4 has F_pool ≤ 4). Global pooling — a window covering
+	// the whole conv output, collapsing it to 1×1 — is always allowed.
+	// Default 4.
+	MaxPoolF int
+	// BiasInFilters indicates the filter region also stores D_OFM bias
+	// values in addition to the F²·D_IFM·D_OFM weights. The default (false)
+	// matches the paper's Equation (3). When the victim does store biases in
+	// DRAM, setting this makes the attack markedly stronger: wrong D_OFM
+	// factorizations fail the ±D_OFM size accounting.
+	BiasInFilters bool
+	// KeepPaddingVariants disables padding canonicalization. By default,
+	// candidates differing only in conv padding while producing identical
+	// geometry and MACs (observationally equivalent under floor division)
+	// are collapsed to their minimum-padding representative.
+	KeepPaddingVariants bool
+	// IdenticalModules applies the paper's modular-construction assumption:
+	// repeated module instances (fire-module squeeze/expand roles) must use
+	// identical conv geometry across instances.
+	IdenticalModules bool
+	// MaxStructures caps the number of enumerated structures as a safety
+	// valve. Default 100000.
+	MaxStructures int
+	// AllowStrideOverKernel relaxes the paper's Equation (5) lower bound
+	// (S ≤ F). The paper argues a stride beyond the kernel leaves input
+	// pixels unused — yet ResNet-style strided 1×1 projection shortcuts do
+	// exactly that, so attacking post-2015 architectures requires the
+	// relaxation (a finding of this reproduction).
+	AllowStrideOverKernel bool
+	// SizeSlackElems widens the size equations to intervals: a region's true
+	// element count lies in (observed − slack, observed], because coarse
+	// DRAM transactions round extents up to whole blocks. Solve sets this
+	// automatically from the trace granularity; zero means exact sizes.
+	SizeSlackElems int
+}
+
+// DefaultOptions returns the options used in the paper reproduction runs.
+func DefaultOptions() Options {
+	return Options{
+		TimingSpreadMax: 1.35,
+		MaxPoolPad:      0,
+		MaxConvF:        13,
+		MaxPoolF:        4,
+		MaxStructures:   100000,
+	}
+}
+
+// isqrtFloor returns floor(sqrt(n)) for n ≥ 0.
+func isqrtFloor(n int) int {
+	if n < 0 {
+		return 0
+	}
+	r := int(math.Sqrt(float64(n)))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// isqrt returns the integer square root of n if n is a perfect square, and
+// -1 otherwise.
+func isqrt(n int) int {
+	if n < 0 {
+		return -1
+	}
+	r := int(math.Round(math.Sqrt(float64(n))))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	if r*r != n {
+		return -1
+	}
+	return r
+}
+
+// EnumerateLayer lists every layer configuration consistent with the
+// observed sizes and the paper's constraint system (Equations (1)-(8)),
+// given the input dimensions inherited from the previous layer's candidate.
+// sizeOFM and sizeFltr are in elements. If isLast is set, the output must be
+// the classifier output (W_OFM = 1, D_OFM = classes).
+func EnumerateLayer(wIFM, dIFM, sizeOFM, sizeFltr int, isLast bool, classes int, opt Options) []LayerConfig {
+	var out []LayerConfig
+	seen := map[LayerConfig]bool{}
+	add := func(c LayerConfig) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+
+	// With coarse DRAM blocks the observed sizes are rounded up: the true
+	// element counts lie in (observed − slack, observed].
+	slack := opt.SizeSlackElems
+	if slack < 0 {
+		slack = 0
+	}
+	for wofm := 1; wofm*wofm <= sizeOFM; wofm++ {
+		w2 := wofm * wofm
+		for dofm := sizeOFM / w2; dofm >= 1 && dofm*w2 >= sizeOFM-slack; dofm-- {
+			enumerateDepth(wIFM, dIFM, wofm, dofm, sizeFltr, slack, isLast, classes, opt, add)
+		}
+	}
+	if !opt.KeepPaddingVariants {
+		out = canonicalizePadding(out)
+	}
+	return out
+}
+
+// enumerateDepth lists the kernel sizes and geometries consistent with one
+// (W_OFM, D_OFM) factorization of the observed output size.
+func enumerateDepth(wIFM, dIFM, wofm, dofm, sizeFltr, slack int, isLast bool, classes int, opt Options, add func(LayerConfig)) {
+	if isLast && (wofm != 1 || dofm != classes) {
+		return
+	}
+	// Note: W_OFM may exceed W_IFM — padded convolution grows the output
+	// by up to F−1 — so no upsampling prune is sound here.
+	// Equation (3): SIZE_FLTR = F²·D_IFM·D_OFM (+ D_OFM bias values),
+	// within the block-rounding slack.
+	hi := sizeFltr
+	if opt.BiasInFilters {
+		hi -= dofm
+	}
+	unit := dIFM * dofm
+	if hi < unit {
+		return
+	}
+	for f := isqrtFloor(hi / unit); f >= 1 && f*f*unit >= hi-slack; f-- {
+		// Fully-connected interpretation: the filter covers the whole IFM.
+		if f == wIFM && wofm == 1 {
+			add(LayerConfig{WIFM: wIFM, DIFM: dIFM, WOFM: 1, DOFM: dofm, FC: true, F: f, S: 1})
+		}
+		// Convolutional interpretations. Equation (5): S ≤ F ≤ W_IFM/2.
+		if 2*f > wIFM {
+			continue
+		}
+		if opt.MaxConvF > 0 && f > opt.MaxConvF {
+			continue
+		}
+		enumerateGeometry(wIFM, dIFM, wofm, dofm, f, opt, add)
+	}
+}
+
+// enumerateGeometry lists the (S, P, pooling) combinations realizing a
+// (W_IFM, D_IFM) → (W_OFM, D_OFM) convolution with kernel width f.
+func enumerateGeometry(wIFM, dIFM, wofm, dofm, f int, opt Options, add func(LayerConfig)) {
+	maxS := f // Equation (5): S ≤ F
+	if opt.AllowStrideOverKernel {
+		maxS = wIFM
+	}
+	for s := 1; s <= maxS; s++ {
+		for p := 0; p < f; p++ { // Equation (7): P < F
+			wc := (wIFM - f + 2*p) / s
+			if wIFM-f+2*p < 0 {
+				continue
+			}
+			wc++
+			if wc < wofm {
+				continue
+			}
+			if wc == wofm {
+				add(LayerConfig{WIFM: wIFM, DIFM: dIFM, WOFM: wofm, DOFM: dofm, F: f, S: s, P: p})
+			}
+			// Pooled interpretations: F_pool from exact division
+			// (W_OFM−1)·S_pool = Wc − F_pool + 2·P_pool.
+			for pp := 0; pp <= opt.MaxPoolPad; pp++ {
+				for sp := 1; ; sp++ {
+					fp := wc + 2*pp - (wofm-1)*sp
+					if fp < sp { // Equation (6) lower bound: S_pool ≤ F_pool
+						break
+					}
+					if fp > wc { // Equation (6) upper bound: F_pool ≤ Wc
+						continue
+					}
+					if pp >= fp { // Equation (8): P_pool < F_pool
+						continue
+					}
+					if fp == 1 && sp == 1 {
+						continue // trivial identity pool
+					}
+					if wofm == 1 && sp != fp {
+						continue // global pooling: stride is immaterial, canonicalize
+					}
+					if fp > opt.MaxPoolF && !(wofm == 1 && fp == wc+2*pp) {
+						continue // practicality prior; global pools exempt
+					}
+					add(LayerConfig{WIFM: wIFM, DIFM: dIFM, WOFM: wofm, DOFM: dofm, F: f, S: s, P: p,
+						HasPool: true, FPool: fp, SPool: sp, PPool: pp})
+				}
+			}
+		}
+	}
+}
+
+// canonicalizePadding collapses candidates that differ only in conv padding
+// while producing identical pre-pool and final geometry (floor division maps
+// several paddings to the same output width); the minimum-padding
+// representative is kept. Such variants are observationally equivalent:
+// identical sizes, identical MAC counts.
+func canonicalizePadding(cands []LayerConfig) []LayerConfig {
+	type key struct {
+		c  LayerConfig
+		wc int
+	}
+	best := map[key]LayerConfig{}
+	var order []key
+	for _, c := range cands {
+		k := key{c: c, wc: c.ConvOutW()}
+		k.c.P = 0
+		if prev, ok := best[k]; !ok || c.P < prev.P {
+			if !ok {
+				order = append(order, k)
+			}
+			best[k] = c
+		}
+	}
+	out := make([]LayerConfig, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package structrev
+
+import (
+	"testing"
+
+	"cnnrev/internal/nn"
+)
+
+func TestSqueezeNetNonModularCount(t *testing.T) {
+	net := nn.SqueezeNet(1000, 1)
+	a, _ := traceOf(t, net)
+	structures, err := Solve(a, 227, 3, 1000, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SqueezeNet non-modular: %d candidates (paper: 329 theoretical)", len(structures))
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatal("truth lost")
+	}
+}

@@ -1,0 +1,650 @@
+package structrev
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// traceOf runs net on the simulated accelerator and returns its analysis.
+func traceOf(t *testing.T, net *nn.Network) (*Analysis, *accel.Simulator) {
+	t.Helper()
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, net.Input.Len())
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res.Trace, net.Input.Len()*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, sim
+}
+
+// groundTruth converts a network's weighted layers to the LayerConfigs the
+// attack should recover.
+func groundTruth(net *nn.Network) []LayerConfig {
+	var out []LayerConfig
+	for i := range net.Specs {
+		spec := &net.Specs[i]
+		in := net.InShapes[i][0]
+		switch spec.Kind {
+		case nn.KindConv:
+			c := LayerConfig{
+				WIFM: in.W, DIFM: in.C,
+				WOFM: net.Shapes[i].W, DOFM: net.Shapes[i].C,
+				F: spec.F, S: spec.S, P: spec.P,
+			}
+			if spec.Pool != nn.PoolNone {
+				c.HasPool = true
+				c.FPool, c.SPool, c.PPool = spec.PoolF, spec.PoolS, spec.PoolP
+			}
+			out = append(out, c)
+		case nn.KindFC:
+			out = append(out, LayerConfig{
+				WIFM: in.W, DIFM: in.C * in.H * in.W / (in.W * in.W) * in.W / in.W, // placeholder, fixed below
+				WOFM: 1, DOFM: spec.OutC, FC: true, F: in.W, S: 1,
+			})
+			out[len(out)-1].DIFM = in.C
+		}
+	}
+	return out
+}
+
+// geomEqual compares configs up to padding equivalence (the solver reports
+// the canonical minimum-padding representative).
+func geomEqual(a, b LayerConfig) bool {
+	if a.FC != b.FC || a.WOFM != b.WOFM || a.DOFM != b.DOFM {
+		return false
+	}
+	if a.FC {
+		return true
+	}
+	return a.F == b.F && a.S == b.S && a.ConvOutW() == b.ConvOutW() &&
+		a.HasPool == b.HasPool && a.FPool == b.FPool && a.SPool == b.SPool && a.PPool == b.PPool
+}
+
+// containsTruth reports whether any candidate structure matches the victim
+// up to padding equivalence.
+func containsTruth(structures []Structure, truth []LayerConfig) bool {
+	for _, st := range structures {
+		cfgs := st.WeightedConfigs()
+		if len(cfgs) != len(truth) {
+			continue
+		}
+		ok := true
+		for i := range cfgs {
+			if !geomEqual(cfgs[i], truth[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeLeNetSegments(t *testing.T) {
+	net := nn.LeNet(10)
+	a, sim := traceOf(t, net)
+	if len(a.Segments) != 4 {
+		t.Fatalf("LeNet: %d segments, want 4", len(a.Segments))
+	}
+	lay := sim.Layout()
+	for i, seg := range a.Segments {
+		if seg.Kind != SegWeighted {
+			t.Fatalf("segment %d: kind %v", i, seg.Kind)
+		}
+		if seg.WeightsBytes != lay.Weights[i].Bytes {
+			t.Errorf("segment %d: weights %d bytes, victim has %d", i, seg.WeightsBytes, lay.Weights[i].Bytes)
+		}
+		wantOFM := uint64(net.Shapes[i].Len() * 4)
+		if seg.OFMBytes != wantOFM {
+			t.Errorf("segment %d: OFM %d bytes, want %d", i, seg.OFMBytes, wantOFM)
+		}
+		if len(seg.Inputs) != 1 {
+			t.Fatalf("segment %d: %d inputs", i, len(seg.Inputs))
+		}
+		wantProducer := i - 1
+		if seg.Inputs[0].Producer != wantProducer {
+			t.Errorf("segment %d: producer %d, want %d", i, seg.Inputs[0].Producer, wantProducer)
+		}
+		if seg.Cycles() == 0 {
+			t.Errorf("segment %d: zero cycles", i)
+		}
+	}
+}
+
+func TestAnalyzeSqueezeNetGraph(t *testing.T) {
+	net := nn.SqueezeNet(10, 8)
+	a, _ := traceOf(t, net)
+	// Concat layers are zero-copy and invisible: segments = layers − concats.
+	concats := 0
+	for i := range net.Specs {
+		if net.Specs[i].Kind == nn.KindConcat {
+			concats++
+		}
+	}
+	want := len(net.Specs) - concats
+	if len(a.Segments) != want {
+		t.Fatalf("SqueezeNet: %d segments, want %d", len(a.Segments), want)
+	}
+	eltwise, concatReads := 0, 0
+	for _, seg := range a.Segments {
+		if seg.Kind == SegEltwise {
+			eltwise++
+			// Two operands, each possibly a concatenated pair of adjacent
+			// producer halves (fire-module outputs).
+			units := 0
+			for _, in := range seg.Inputs {
+				if !in.Adjacent {
+					units++
+				}
+			}
+			if units != 2 {
+				t.Fatalf("eltwise segment %d has %d operand units (%d raw inputs)", seg.Index, units, len(seg.Inputs))
+			}
+		}
+		for _, in := range seg.Inputs {
+			if in.Adjacent {
+				concatReads++
+			}
+		}
+	}
+	if eltwise != 3 {
+		t.Fatalf("found %d eltwise segments, want 3 (bypass paths)", eltwise)
+	}
+	if concatReads == 0 {
+		t.Fatal("no concatenation reads detected (fire modules invisible)")
+	}
+}
+
+func TestEnumerateLayerRecoversAlexNetConv1(t *testing.T) {
+	// Observed sizes of AlexNet CONV1: OFM 27²·96, filters 11²·3·96.
+	cands := EnumerateLayer(227, 3, 27*27*96, 11*11*3*96, false, 0, DefaultOptions())
+	foundTrue := false
+	for _, c := range cands {
+		if c.F == 11 && c.S == 4 && c.HasPool && c.FPool == 3 && c.SPool == 2 && c.WOFM == 27 && c.DOFM == 96 {
+			foundTrue = true
+		}
+	}
+	if !foundTrue {
+		t.Fatalf("true CONV1 config missing from %d candidates", len(cands))
+	}
+	// The paper's alternative CONV1₂ class (Wc=56, pool 4/2) must also appear.
+	foundAlt := false
+	for _, c := range cands {
+		if c.F == 11 && c.S == 4 && c.ConvOutW() == 56 && c.HasPool && c.FPool == 4 && c.SPool == 2 {
+			foundAlt = true
+		}
+	}
+	if !foundAlt {
+		t.Fatal("paper's CONV1₂ variant (pool 4/2 on Wc=56) missing")
+	}
+}
+
+func TestEnumerateLayerFCUnique(t *testing.T) {
+	// AlexNet FC6: 6×6×256 → 4096.
+	cands := EnumerateLayer(6, 256, 4096, 6*6*256*4096, false, 0, DefaultOptions())
+	if len(cands) != 1 || !cands[0].FC || cands[0].DOFM != 4096 {
+		t.Fatalf("FC6 should be unique FC config, got %v", cands)
+	}
+}
+
+func TestSolveLeNetFindsTruth(t *testing.T) {
+	net := nn.LeNet(10)
+	a, _ := traceOf(t, net)
+	structures, err := Solve(a, 28, 1, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(structures) == 0 {
+		t.Fatal("no structures found")
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true LeNet structure not among %d candidates", len(structures))
+	}
+	t.Logf("LeNet: %d candidate structures (paper: 9)", len(structures))
+}
+
+func TestSolveConvNetFindsTruth(t *testing.T) {
+	net := nn.ConvNet(10)
+	a, _ := traceOf(t, net)
+	structures, err := Solve(a, 32, 3, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true ConvNet structure not among %d candidates", len(structures))
+	}
+	t.Logf("ConvNet: %d candidate structures (paper: 6)", len(structures))
+}
+
+func TestSolveAlexNetFindsTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full AlexNet trace in -short mode")
+	}
+	net := nn.AlexNet(1000, 1)
+	a, _ := traceOf(t, net)
+	if len(a.Segments) != 8 {
+		t.Fatalf("AlexNet: %d segments, want 8", len(a.Segments))
+	}
+	structures, err := Solve(a, 227, 3, 1000, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true AlexNet structure not among %d candidates", len(structures))
+	}
+	t.Logf("AlexNet: %d candidate structures (paper: 24)", len(structures))
+	perLayer := UniqueConfigs(a, structures)
+	for seg, cfgs := range perLayer {
+		t.Logf("  segment %d: %d configs", seg, len(cfgs))
+		for _, c := range cfgs {
+			t.Logf("    %s", c.String())
+		}
+	}
+}
+
+func TestSolveSqueezeNetModular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SqueezeNet trace in -short mode")
+	}
+	net := nn.SqueezeNet(1000, 1)
+	a, _ := traceOf(t, net)
+	opt := DefaultOptions()
+	opt.IdenticalModules = true
+	structures, err := Solve(a, 227, 3, 1000, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true SqueezeNet structure not among %d candidates", len(structures))
+	}
+	t.Logf("SqueezeNet (modular): %d candidate structures (paper: 9)", len(structures))
+}
+
+func TestSolveBiasAblationShrinksCandidates(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	simB, err := accel.New(net, accel.Config{BiasInDRAM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, net.Input.Len())
+	res, _ := simB.Run(x)
+	aB, err := Analyze(res.Trace, net.Input.Len()*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optB := DefaultOptions()
+	optB.BiasInFilters = true
+	withBias, err := Solve(aB, 28, 1, 10, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPlain, _ := traceOf(t, net)
+	plain, err := Solve(aPlain, 28, 1, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withBias) > len(plain) {
+		t.Fatalf("bias-in-DRAM should not increase candidates: %d vs %d", len(withBias), len(plain))
+	}
+	if !containsTruth(withBias, groundTruth(net)) {
+		t.Fatal("bias ablation lost the true structure")
+	}
+	t.Logf("LeNet candidates: %d (bias in DRAM) vs %d (paper model)", len(withBias), len(plain))
+}
+
+// TestSolveNiNFindsTruth exercises the solver's 1×1-kernel and global-pool
+// corner cases on a fully convolutional victim (beyond the paper's zoo).
+func TestSolveNiNFindsTruth(t *testing.T) {
+	net := nn.NiN(10, 1)
+	a, _ := traceOf(t, net)
+	structures, err := Solve(a, 32, 3, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true NiN structure not among %d candidates", len(structures))
+	}
+	t.Logf("NiN: %d candidate structures", len(structures))
+}
+
+// TestSolveVGG11FindsTruth exercises the solver on a deep uniform-kernel
+// network (beyond the paper's zoo).
+func TestSolveVGG11FindsTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full VGG-11 trace in -short mode")
+	}
+	net := nn.VGG11(1000, 4) // quarter width keeps the FC layers tractable
+	a, _ := traceOf(t, net)
+	if len(a.Segments) != 11 {
+		t.Fatalf("VGG11: %d segments, want 11", len(a.Segments))
+	}
+	structures, err := Solve(a, 224, 3, 1000, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true VGG-11 structure not among %d candidates", len(structures))
+	}
+	t.Logf("VGG-11: %d candidate structures", len(structures))
+}
+
+// TestSolveCoarseGranularity: with a realistic 64-byte DRAM bus, region
+// extents are only block-accurate; the solver's size-slack intervals must
+// still recover the truth.
+func TestSolveCoarseGranularity(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{BlockBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, net.Input.Len())
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res.Trace, net.Input.Len()*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BlockBytes != 64 {
+		t.Fatalf("analysis block size %d", a.BlockBytes)
+	}
+	structures, err := Solve(a, 28, 1, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("truth lost at 64B granularity (%d candidates)", len(structures))
+	}
+}
+
+// TestSolveUnderTimingNoise: per-tile latency jitter must not break the
+// timing filter (layer times are sums of many jittered tiles).
+func TestSolveUnderTimingNoise(t *testing.T) {
+	net := nn.ConvNet(10)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{CycleJitter: 0.3, NoiseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, net.Input.Len())
+	res, err := sim.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res.Trace, net.Input.Len()*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structures, err := Solve(a, 32, 3, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("truth lost under 30%% tile jitter (%d candidates)", len(structures))
+	}
+}
+
+// TestSolveDataflowInvariant: the paper claims the RAW structure survives
+// any data-reuse strategy; the attack must recover the truth from a
+// weight-stationary accelerator just as from the output-stationary default.
+func TestSolveDataflowInvariant(t *testing.T) {
+	for _, df := range []accel.Dataflow{accel.OutputStationary, accel.WeightStationary} {
+		net := nn.ConvNet(10)
+		net.InitWeights(1)
+		sim, err := accel.New(net, accel.Config{Dataflow: df})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		x := make([]float32, net.Input.Len())
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		res, err := sim.Run(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(res.Trace, net.Input.Len()*4, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", df, err)
+		}
+		if len(a.Segments) != 4 {
+			t.Fatalf("%v: %d segments", df, len(a.Segments))
+		}
+		structures, err := Solve(a, 32, 3, 10, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsTruth(structures, groundTruth(net)) {
+			t.Fatalf("%v: truth lost among %d candidates", df, len(structures))
+		}
+	}
+}
+
+// TestSolveSqueezeNetWeightStationary covers the DAG case (fire modules,
+// bypass) under the alternative dataflow.
+func TestSolveSqueezeNetWeightStationary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SqueezeNet trace in -short mode")
+	}
+	net := nn.SqueezeNet(1000, 1)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{Dataflow: accel.WeightStationary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, net.Input.Len())
+	res, err := sim.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res.Trace, net.Input.Len()*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.IdenticalModules = true
+	structures, err := Solve(a, 227, 3, 1000, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("truth lost among %d candidates", len(structures))
+	}
+}
+
+// TestMultiInferenceTrace: an adversary watching a serving accelerator sees
+// several back-to-back inferences in one trace; the analysis must split
+// them cleanly and each slice must solve identically.
+func TestMultiInferenceTrace(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float32
+	for k := 0; k < 3; k++ {
+		x := make([]float32, net.Input.Len())
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		xs = append(xs, x)
+	}
+	results, tr, err := sim.RunMany(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	a, err := Analyze(tr, net.Input.Len()*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Segments) != 12 {
+		t.Fatalf("%d segments for 3 LeNet inferences, want 12", len(a.Segments))
+	}
+	infs := a.Inferences()
+	if len(infs) != 3 {
+		t.Fatalf("%d inferences, want 3", len(infs))
+	}
+	var counts []int
+	for _, inf := range infs {
+		if len(inf.Segments) != 4 {
+			t.Fatalf("inference has %d segments", len(inf.Segments))
+		}
+		structures, err := Solve(inf, 28, 1, 10, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsTruth(structures, groundTruth(net)) {
+			t.Fatal("truth lost in an inference slice")
+		}
+		counts = append(counts, len(structures))
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("inference slices disagree: %v", counts)
+	}
+}
+
+// TestSolveInt8Victim: an int8 accelerator stores one byte per element, so
+// with a 4-byte bus every region size is known only to ±3 elements; the
+// slack-interval solver must still recover the structure.
+func TestSolveInt8Victim(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{ElemBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, net.Input.Len())
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res.Trace, net.Input.Len(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structures, err := Solve(a, 28, 1, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("truth lost on the int8 victim (%d candidates)", len(structures))
+	}
+	t.Logf("int8 victim: %d candidates", len(structures))
+}
+
+// TestSolveResNetMiniFindsTruth: residual shortcuts with a strided
+// projection (the paper's ResNet citation) are recovered like SqueezeNet
+// bypasses.
+func TestSolveResNetMiniFindsTruth(t *testing.T) {
+	net := nn.ResNetMini(10, 1)
+	a, _ := traceOf(t, net)
+	elt := 0
+	for _, seg := range a.Segments {
+		if seg.Kind == SegEltwise {
+			elt++
+		}
+	}
+	if elt != 2 {
+		t.Fatalf("found %d eltwise segments, want 2", elt)
+	}
+	// The strided 1x1 projection violates the paper's Equation (5) (S <= F):
+	// under the literal constraint system the truth is unreachable.
+	strict, err := Solve(a, 32, 3, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsTruth(strict, groundTruth(net)) {
+		t.Fatal("strict Eq(5) should not admit a stride-2 1x1 projection")
+	}
+	opt := DefaultOptions()
+	opt.AllowStrideOverKernel = true
+	structures, err := Solve(a, 32, 3, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(net)) {
+		t.Fatalf("true ResNetMini structure not among %d candidates", len(structures))
+	}
+	t.Logf("ResNetMini: %d candidate structures (strict Eq(5): %d, truth excluded)", len(structures), len(strict))
+}
+
+func TestInferencesSingleRunIsIdentity(t *testing.T) {
+	net := nn.LeNet(10)
+	a, _ := traceOf(t, net)
+	infs := a.Inferences()
+	if len(infs) != 1 {
+		t.Fatalf("%d inference slices for one run", len(infs))
+	}
+	if len(infs[0].Segments) != len(a.Segments) {
+		t.Fatal("identity split changed segment count")
+	}
+	for i := range a.Segments {
+		if infs[0].Segments[i].OFMBytes != a.Segments[i].OFMBytes {
+			t.Fatal("identity split changed segments")
+		}
+	}
+}
+
+func TestSegmentAccessors(t *testing.T) {
+	seg := Segment{StartCycle: 10, EndCycle: 35, Inputs: []SegInput{
+		{Producer: -1, Bytes: 100}, {Producer: 0, Bytes: 50},
+	}}
+	if seg.Cycles() != 25 {
+		t.Fatalf("Cycles = %d", seg.Cycles())
+	}
+	if seg.IFMBytes() != 150 {
+		t.Fatalf("IFMBytes = %d", seg.IFMBytes())
+	}
+	if SegWeighted.String() != "weighted" || SegEltwise.String() != "eltwise" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	net := nn.SqueezeNet(10, 16)
+	a, _ := traceOf(t, net)
+	var sb strings.Builder
+	a.WriteReport(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "eltwise") || !strings.Contains(out, "++") {
+		t.Fatalf("report missing bypass/concat markers:\n%s", out[:200])
+	}
+	if strings.Count(out, "\n") != len(a.Segments)+1 {
+		t.Fatal("one line per segment expected")
+	}
+}

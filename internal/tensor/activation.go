@@ -1,0 +1,37 @@
+package tensor
+
+// ReLUForward writes max(0, in[i]) into out. in and out may alias.
+func ReLUForward(in, out []float32) {
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// ThresholdReLUForward writes in[i] if in[i] > thresh, else 0. A tunable
+// threshold activation is the Minerva/Cnvlutin-style optimization that the
+// paper's §4 exploits to recover the bias: with an all-zero input the output
+// pixel value is exactly the bias, so sweeping the threshold locates it.
+func ThresholdReLUForward(in, out []float32, thresh float32) {
+	for i, v := range in {
+		if v > thresh {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// ReLUBackward accumulates dOut into dIn where the forward output was
+// positive. out must be the forward ReLU output (or input; the mask is the
+// same away from exact zeros).
+func ReLUBackward(out, dOut, dIn []float32) {
+	for i, v := range out {
+		if v > 0 {
+			dIn[i] += dOut[i]
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package tensor
+
+// ConvOutDim returns the spatial output extent of a convolution with kernel
+// width f, per-side padding p and stride s over an input of extent w:
+// floor((w − f + 2p)/s) + 1. It returns 0 when the kernel does not fit.
+// Every component of the reproduction (simulator, solver, attacks) shares
+// this arithmetic so that the constraint equations match the victim exactly.
+func ConvOutDim(w, f, s, p int) int {
+	num := w - f + 2*p
+	if num < 0 || s <= 0 {
+		return 0
+	}
+	return num/s + 1
+}
+
+// PoolOutDim returns the spatial output extent of a pooling window of width
+// f, per-side padding p and stride s over an input of extent w using
+// Caffe-style ceil semantics: ceil((w − f + 2p)/s) + 1. Paper Table 4 is
+// only consistent with ceil-mode pooling (e.g. 55 → 27 with F=3, S=2).
+func PoolOutDim(w, f, s, p int) int {
+	num := w - f + 2*p
+	if num < 0 || s <= 0 {
+		return 0
+	}
+	return (num+s-1)/s + 1
+}
+
+// Conv2D holds the immutable geometry of a 2-D convolution layer.
+type Conv2D struct {
+	InC, OutC int // channel counts
+	F         int // square kernel width
+	S         int // stride
+	P         int // per-side zero padding
+}
+
+// OutDims returns the spatial output size for an h×w input.
+func (c Conv2D) OutDims(h, w int) (oh, ow int) {
+	return ConvOutDim(h, c.F, c.S, c.P), ConvOutDim(w, c.F, c.S, c.P)
+}
+
+// Im2col expands an input image (InC×H×W, flat) into a column matrix of
+// shape (InC·F·F) × (OH·OW) so convolution becomes a single GEMM. cols must
+// have capacity InC·F·F·OH·OW.
+func (c Conv2D) Im2col(in []float32, h, w int, cols []float32) (oh, ow int) {
+	oh, ow = c.OutDims(h, w)
+	rowLen := oh * ow
+	for ch := 0; ch < c.InC; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < c.F; ky++ {
+			for kx := 0; kx < c.F; kx++ {
+				r := (ch*c.F+ky)*c.F + kx
+				dst := cols[r*rowLen : (r+1)*rowLen]
+				di := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.S - c.P + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.S - c.P + kx
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = in[rowBase+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+	return oh, ow
+}
+
+// Col2im scatters a column-matrix gradient back onto an input-shaped
+// gradient buffer, accumulating where kernel windows overlap. It is the
+// adjoint of Im2col. dIn must be pre-zeroed by the caller if accumulation
+// from scratch is desired.
+func (c Conv2D) Col2im(cols []float32, h, w int, dIn []float32) {
+	oh, ow := c.OutDims(h, w)
+	rowLen := oh * ow
+	for ch := 0; ch < c.InC; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < c.F; ky++ {
+			for kx := 0; kx < c.F; kx++ {
+				r := (ch*c.F+ky)*c.F + kx
+				src := cols[r*rowLen : (r+1)*rowLen]
+				si := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.S - c.P + ky
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.S - c.P + kx
+						if ix >= 0 && ix < w {
+							dIn[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward computes the convolution of a single image in (InC×H×W) with
+// weights (OutC × InC·F·F) and per-output-channel bias, writing the result
+// (OutC×OH×OW) into out. cols is scratch space of size InC·F·F·OH·OW; pass
+// nil to allocate internally.
+func (c Conv2D) Forward(in []float32, h, w int, weights, bias, out, cols []float32) (oh, ow int) {
+	oh, ow = c.OutDims(h, w)
+	k := c.InC * c.F * c.F
+	if cols == nil {
+		cols = make([]float32, k*oh*ow)
+	}
+	c.Im2col(in, h, w, cols)
+	Gemm(weights, cols, out, c.OutC, k, oh*ow)
+	if bias != nil {
+		plane := oh * ow
+		for oc := 0; oc < c.OutC; oc++ {
+			b := bias[oc]
+			row := out[oc*plane : (oc+1)*plane]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	return oh, ow
+}
+
+// Backward computes gradients for a single image given upstream gradient
+// dOut (OutC×OH×OW). It accumulates into dWeights (OutC × InC·F·F) and dBias
+// (OutC), and writes the input gradient into dIn (InC×H×W, overwritten).
+// Passing nil for dIn skips input-gradient computation (first layer).
+// cols must hold the Im2col expansion of the forward input (recomputed here
+// from in), and colsGrad is scratch of the same size; pass nil to allocate.
+func (c Conv2D) Backward(in []float32, h, w int, weights, dOut, dWeights, dBias, dIn, cols, colsGrad []float32) {
+	oh, ow := c.OutDims(h, w)
+	k := c.InC * c.F * c.F
+	n := oh * ow
+	if cols == nil {
+		cols = make([]float32, k*n)
+	}
+	c.Im2col(in, h, w, cols)
+
+	// dW += dOut · colsᵀ  (OutC×n)·(n×k)
+	GemmTransBAcc(dOut, cols, dWeights, c.OutC, n, k)
+
+	if dBias != nil {
+		for oc := 0; oc < c.OutC; oc++ {
+			var s float32
+			for _, v := range dOut[oc*n : (oc+1)*n] {
+				s += v
+			}
+			dBias[oc] += s
+		}
+	}
+
+	if dIn != nil {
+		if colsGrad == nil {
+			colsGrad = make([]float32, k*n)
+		}
+		// dcols = Wᵀ · dOut  (k×OutC)·(OutC×n)
+		GemmTransA(weights, dOut, colsGrad, k, c.OutC, n)
+		for i := range dIn[:c.InC*h*w] {
+			dIn[i] = 0
+		}
+		c.Col2im(colsGrad, h, w, dIn)
+	}
+}
+
+// GemmTransBAcc computes C += A*Bᵀ where A is m×k, B is n×k, C is m×n.
+func GemmTransBAcc(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}

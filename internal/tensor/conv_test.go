@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOutDimArithmeticMatchesPaperTable4 pins the conv/pool output-size
+// arithmetic against every row of paper Table 4 (AlexNet candidate layer
+// configurations). The entire structure attack rests on this relation.
+func TestOutDimArithmeticMatchesPaperTable4(t *testing.T) {
+	rows := []struct {
+		name                               string
+		wIFM, wOFM, fc, sc, pc, fp, sp, pp int
+		pooled                             bool
+	}{
+		{"CONV1_1", 227, 27, 11, 4, 1, 3, 2, 0, true},
+		{"CONV1_2", 227, 27, 11, 4, 2, 4, 2, 0, true},
+		{"CONV2_1", 27, 13, 5, 1, 2, 3, 2, 0, true},
+		{"CONV2_2", 27, 26, 10, 1, 4, 0, 0, 0, false},
+		{"CONV3_1", 13, 13, 3, 1, 1, 0, 0, 0, false},
+		{"CONV3_2", 26, 13, 6, 2, 2, 0, 0, 0, false},
+		{"CONV4", 13, 13, 3, 1, 1, 0, 0, 0, false},
+		{"CONV5_1", 13, 6, 3, 1, 1, 3, 2, 0, true},
+		{"CONV5_2", 13, 12, 6, 1, 2, 0, 0, 0, false},
+		{"CONV5_3", 13, 3, 3, 2, 0, 2, 2, 0, true},
+		{"CONV5_4", 13, 3, 3, 2, 0, 4, 1, 0, true},
+		{"CONV5_5", 13, 3, 3, 2, 1, 3, 2, 0, true},
+		{"CONV5_6", 13, 4, 2, 1, 0, 3, 3, 0, true},
+	}
+	for _, r := range rows {
+		wc := ConvOutDim(r.wIFM, r.fc, r.sc, r.pc)
+		got := wc
+		if r.pooled {
+			got = PoolOutDim(wc, r.fp, r.sp, r.pp)
+		}
+		if got != r.wOFM {
+			t.Errorf("%s: W_OFM = %d (conv out %d), paper says %d", r.name, got, wc, r.wOFM)
+		}
+	}
+}
+
+func TestConvOutDimEdgeCases(t *testing.T) {
+	if d := ConvOutDim(5, 7, 1, 0); d != 0 {
+		t.Fatalf("kernel larger than input should give 0, got %d", d)
+	}
+	if d := ConvOutDim(5, 7, 1, 1); d != 1 {
+		t.Fatalf("padding rescue: got %d, want 1", d)
+	}
+	if d := ConvOutDim(5, 3, 0, 0); d != 0 {
+		t.Fatalf("zero stride should give 0, got %d", d)
+	}
+	if d := PoolOutDim(55, 3, 2, 0); d != 27 {
+		t.Fatalf("ceil pool 55/3/2 = %d, want 27", d)
+	}
+	if d := ConvOutDim(55, 3, 2, 0); d != 27 {
+		t.Fatalf("floor conv 55/3/2 = %d, want 27", d)
+	}
+	// Case where ceil and floor genuinely differ.
+	if f, c := ConvOutDim(6, 2, 2, 0), PoolOutDim(6, 2, 2, 0); f != 3 || c != 3 {
+		t.Fatalf("6/2/2: floor %d ceil %d", f, c)
+	}
+	if f, c := ConvOutDim(7, 2, 2, 0), PoolOutDim(7, 2, 2, 0); f != 3 || c != 4 {
+		t.Fatalf("7/2/2: floor %d ceil %d, want 3 and 4", f, c)
+	}
+}
+
+// naiveConv is a direct 7-loop reference convolution.
+func naiveConv(c Conv2D, in []float32, h, w int, weights, bias []float32) []float32 {
+	oh, ow := c.OutDims(h, w)
+	out := make([]float32, c.OutC*oh*ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.F; ky++ {
+						iy := oy*c.S - c.P + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.F; kx++ {
+							ix := ox*c.S - c.P + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wv := weights[((oc*c.InC+ic)*c.F+ky)*c.F+kx]
+							s += wv * in[(ic*h+iy)*w+ix]
+						}
+					}
+				}
+				if bias != nil {
+					s += bias[oc]
+				}
+				out[(oc*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestConvForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		c    Conv2D
+		h, w int
+	}{
+		{Conv2D{InC: 1, OutC: 1, F: 1, S: 1, P: 0}, 3, 3},
+		{Conv2D{InC: 3, OutC: 4, F: 3, S: 1, P: 1}, 7, 7},
+		{Conv2D{InC: 2, OutC: 5, F: 5, S: 2, P: 2}, 11, 11},
+		{Conv2D{InC: 3, OutC: 2, F: 11, S: 4, P: 0}, 23, 23},
+		{Conv2D{InC: 4, OutC: 3, F: 2, S: 3, P: 1}, 9, 8},
+	}
+	for _, tc := range cases {
+		in := randSlice(rng, tc.c.InC*tc.h*tc.w)
+		weights := randSlice(rng, tc.c.OutC*tc.c.InC*tc.c.F*tc.c.F)
+		bias := randSlice(rng, tc.c.OutC)
+		oh, ow := tc.c.OutDims(tc.h, tc.w)
+		out := make([]float32, tc.c.OutC*oh*ow)
+		tc.c.Forward(in, tc.h, tc.w, weights, bias, out, nil)
+		want := naiveConv(tc.c, in, tc.h, tc.w, weights, bias)
+		if d := maxDiff(out, want); d > 1e-3 {
+			t.Errorf("conv %+v on %dx%d: max diff %g", tc.c, tc.h, tc.w, d)
+		}
+	}
+}
+
+// TestIm2colCol2imAdjoint checks the defining adjoint property
+// <im2col(x), y> == <x, col2im(y)> for random x, y, which is exactly what
+// backprop correctness requires.
+func TestIm2colCol2imAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := Conv2D{InC: 2, OutC: 1, F: 3, S: 2, P: 1}
+	h, w := 7, 6
+	oh, ow := c.OutDims(h, w)
+	k := c.InC * c.F * c.F
+	x := randSlice(rng, c.InC*h*w)
+	y := randSlice(rng, k*oh*ow)
+
+	cols := make([]float32, k*oh*ow)
+	c.Im2col(x, h, w, cols)
+	var lhs float64
+	for i := range cols {
+		lhs += float64(cols[i]) * float64(y[i])
+	}
+
+	back := make([]float32, c.InC*h*w)
+	c.Col2im(y, h, w, back)
+	var rhs float64
+	for i := range back {
+		rhs += float64(back[i]) * float64(x[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3*(1+math.Abs(lhs)) {
+		t.Fatalf("adjoint violated: %g vs %g", lhs, rhs)
+	}
+}
+
+// TestConvBackwardNumerical verifies conv gradients against central finite
+// differences on a small problem.
+func TestConvBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := Conv2D{InC: 2, OutC: 3, F: 3, S: 2, P: 1}
+	h, w := 6, 5
+	oh, ow := c.OutDims(h, w)
+	nw := c.OutC * c.InC * c.F * c.F
+	in := randSlice(rng, c.InC*h*w)
+	weights := randSlice(rng, nw)
+	bias := randSlice(rng, c.OutC)
+	dOut := randSlice(rng, c.OutC*oh*ow)
+
+	// Scalar objective L = <out, dOut>; its gradients are what Backward returns.
+	loss := func() float64 {
+		out := make([]float32, c.OutC*oh*ow)
+		c.Forward(in, h, w, weights, bias, out, nil)
+		var s float64
+		for i := range out {
+			s += float64(out[i]) * float64(dOut[i])
+		}
+		return s
+	}
+
+	dW := make([]float32, nw)
+	dB := make([]float32, c.OutC)
+	dIn := make([]float32, c.InC*h*w)
+	c.Backward(in, h, w, weights, dOut, dW, dB, dIn, nil, nil)
+
+	const eps = 1e-2
+	check := func(buf []float32, grad []float32, name string, samples int) {
+		for s := 0; s < samples; s++ {
+			i := rng.Intn(len(buf))
+			orig := buf[i]
+			buf[i] = orig + eps
+			lp := loss()
+			buf[i] = orig - eps
+			lm := loss()
+			buf[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(grad[i])) > 2e-2*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: numeric %g, analytic %g", name, i, num, grad[i])
+			}
+		}
+	}
+	check(weights, dW, "dW", 12)
+	check(bias, dB, "dB", 3)
+	check(in, dIn, "dIn", 12)
+}
+
+// Property: convolution is linear in its input.
+func TestQuickConvLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	c := Conv2D{InC: 1, OutC: 2, F: 3, S: 1, P: 1}
+	h, w := 5, 5
+	oh, ow := c.OutDims(h, w)
+	weights := randSlice(rng, c.OutC*c.F*c.F)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x1, x2 := randSlice(r, h*w), randSlice(r, h*w)
+		sum := make([]float32, h*w)
+		for i := range sum {
+			sum[i] = x1[i] + x2[i]
+		}
+		o1 := make([]float32, c.OutC*oh*ow)
+		o2 := make([]float32, c.OutC*oh*ow)
+		os := make([]float32, c.OutC*oh*ow)
+		c.Forward(x1, h, w, weights, nil, o1, nil)
+		c.Forward(x2, h, w, weights, nil, o2, nil)
+		c.Forward(sum, h, w, weights, nil, os, nil)
+		for i := range os {
+			if math.Abs(float64(os[i]-(o1[i]+o2[i]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

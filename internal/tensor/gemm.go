@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the minimum number of multiply-accumulates below
+// which Gemm runs single-threaded; spawning goroutines for tiny products
+// costs more than it saves.
+const gemmParallelThreshold = 1 << 16
+
+// Gemm computes C = A*B for row-major matrices, where A is m×k, B is k×n and
+// C is m×n. C is overwritten. The inner loops are ordered i,k,j so that the
+// innermost loop streams both B and C rows sequentially, and rows of C are
+// distributed across goroutines for large products.
+func Gemm(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: Gemm buffer too small")
+	}
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	GemmAcc(a, b, c, m, k, n)
+}
+
+// GemmAcc computes C += A*B with the same layout conventions as Gemm.
+func GemmAcc(a, b, c []float32, m, k, n int) {
+	work := m * k * n
+	workers := runtime.GOMAXPROCS(0)
+	if work < gemmParallelThreshold || workers == 1 || m == 1 {
+		gemmRows(a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows accumulates rows [lo,hi) of C += A*B.
+func gemmRows(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTransA computes C = Aᵀ*B where A is k×m (so Aᵀ is m×k), B is k×n and
+// C is m×n. Used by convolution backward passes.
+func GemmTransA(a, b, c []float32, m, k, n int) {
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : p*m+m]
+		brow := b[p*n : p*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : i*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTransB computes C = A*Bᵀ where A is m×k, B is n×k and C is m×n.
+func GemmTransB(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveGemm(a, b []float32, m, k, n int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {7, 11, 13}, {64, 32, 48}, {130, 17, 9}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randSlice(rng, m*k), randSlice(rng, k*n)
+		c := make([]float32, m*n)
+		Gemm(a, b, c, m, k, n)
+		want := naiveGemm(a, b, m, k, n)
+		if d := maxDiff(c, want); d > 1e-4 {
+			t.Fatalf("Gemm(%dx%dx%d) differs from naive by %g", m, k, n, d)
+		}
+	}
+}
+
+func TestGemmParallelLarge(t *testing.T) {
+	// Big enough to cross gemmParallelThreshold and exercise goroutine split.
+	rng := rand.New(rand.NewSource(8))
+	m, k, n := 97, 53, 61
+	a, b := randSlice(rng, m*k), randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	Gemm(a, b, c, m, k, n)
+	if d := maxDiff(c, naiveGemm(a, b, m, k, n)); d > 1e-3 {
+		t.Fatalf("parallel Gemm differs from naive by %g", d)
+	}
+}
+
+func TestGemmAccAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, k, n := 4, 3, 5
+	a, b := randSlice(rng, m*k), randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	for i := range c {
+		c[i] = 1
+	}
+	GemmAcc(a, b, c, m, k, n)
+	want := naiveGemm(a, b, m, k, n)
+	for i := range want {
+		want[i]++
+	}
+	if d := maxDiff(c, want); d > 1e-4 {
+		t.Fatalf("GemmAcc differs by %g", d)
+	}
+}
+
+func TestGemmTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m, k, n := 6, 4, 5 // A stored k×m
+	a, b := randSlice(rng, k*m), randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	GemmTransA(a, b, c, m, k, n)
+	// Explicit transpose then naive multiply.
+	at := make([]float32, m*k)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			at[i*k+p] = a[p*m+i]
+		}
+	}
+	if d := maxDiff(c, naiveGemm(at, b, m, k, n)); d > 1e-4 {
+		t.Fatalf("GemmTransA differs by %g", d)
+	}
+}
+
+func TestGemmTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, k, n := 5, 7, 3 // B stored n×k
+	a, b := randSlice(rng, m*k), randSlice(rng, n*k)
+	c := make([]float32, m*n)
+	GemmTransB(a, b, c, m, k, n)
+	bt := make([]float32, k*n)
+	for j := 0; j < n; j++ {
+		for p := 0; p < k; p++ {
+			bt[p*n+j] = b[j*k+p]
+		}
+	}
+	if d := maxDiff(c, naiveGemm(a, bt, m, k, n)); d > 1e-4 {
+		t.Fatalf("GemmTransB differs by %g", d)
+	}
+	// The accumulating variant must add on top.
+	c2 := make([]float32, m*n)
+	copy(c2, c)
+	GemmTransBAcc(a, b, c2, m, k, n)
+	for i := range c2 {
+		if math.Abs(float64(c2[i]-2*c[i])) > 1e-4 {
+			t.Fatalf("GemmTransBAcc not accumulating at %d", i)
+		}
+	}
+}
+
+// Property: matrix multiplication distributes over addition, (A)(B+B') = AB + AB'.
+func TestQuickGemmDistributive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := randSlice(rng, m*k)
+		b1, b2 := randSlice(rng, k*n), randSlice(rng, k*n)
+		sum := make([]float32, k*n)
+		for i := range sum {
+			sum[i] = b1[i] + b2[i]
+		}
+		c1, c2, cs := make([]float32, m*n), make([]float32, m*n), make([]float32, m*n)
+		Gemm(a, b1, c1, m, k, n)
+		Gemm(a, b2, c2, m, k, n)
+		Gemm(a, sum, cs, m, k, n)
+		for i := range cs {
+			if math.Abs(float64(cs[i]-(c1[i]+c2[i]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package tensor
+
+// Linear is a fully-connected layer mapping In features to Out features.
+// In a CNN accelerator an FC layer is a convolution whose filter width
+// equals the whole input feature map, which is exactly how the paper's
+// structure attack treats it.
+type Linear struct {
+	In, Out int
+}
+
+// Forward computes out = W·in + b for one sample, with W stored row-major
+// as Out×In.
+func (l Linear) Forward(in, weights, bias, out []float32) {
+	for o := 0; o < l.Out; o++ {
+		row := weights[o*l.In : (o+1)*l.In]
+		var s float32
+		for i, v := range in {
+			s += row[i] * v
+		}
+		if bias != nil {
+			s += bias[o]
+		}
+		out[o] = s
+	}
+}
+
+// Backward accumulates dWeights and dBias for one sample and, when dIn is
+// non-nil, overwrites dIn with Wᵀ·dOut.
+func (l Linear) Backward(in, weights, dOut, dWeights, dBias, dIn []float32) {
+	for o := 0; o < l.Out; o++ {
+		g := dOut[o]
+		if dBias != nil {
+			dBias[o] += g
+		}
+		if g == 0 {
+			continue
+		}
+		drow := dWeights[o*l.In : (o+1)*l.In]
+		for i, v := range in {
+			drow[i] += g * v
+		}
+	}
+	if dIn != nil {
+		for i := range dIn[:l.In] {
+			dIn[i] = 0
+		}
+		for o := 0; o < l.Out; o++ {
+			g := dOut[o]
+			if g == 0 {
+				continue
+			}
+			row := weights[o*l.In : (o+1)*l.In]
+			for i, v := range row {
+				dIn[i] += g * v
+			}
+		}
+	}
+}

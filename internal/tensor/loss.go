@@ -1,0 +1,38 @@
+package tensor
+
+import "math"
+
+// Softmax writes the softmax of logits into probs (may alias) using the
+// max-subtraction trick for numeric stability.
+func Softmax(logits, probs []float32) {
+	maxV := float32(math.Inf(-1))
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxV))
+		probs[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range probs {
+		probs[i] *= inv
+	}
+}
+
+// SoftmaxCrossEntropy returns the cross-entropy loss of logits against the
+// integer label and writes dLogits = softmax(logits) − onehot(label), the
+// gradient of the loss with respect to the logits.
+func SoftmaxCrossEntropy(logits []float32, label int, dLogits []float32) float64 {
+	Softmax(logits, dLogits)
+	p := float64(dLogits[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss := -math.Log(p)
+	dLogits[label] -= 1
+	return loss
+}

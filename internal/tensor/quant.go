@@ -1,0 +1,106 @@
+package tensor
+
+import "math"
+
+// Symmetric per-tensor int8 quantization, the scheme inference accelerators
+// commonly use: real ≈ int8 · Scale, accumulating in int32.
+
+// QuantParams holds a symmetric quantization scale.
+type QuantParams struct {
+	Scale float32
+}
+
+// ChooseScale picks the symmetric scale covering data's max magnitude.
+func ChooseScale(data []float32) QuantParams {
+	var m float32
+	for _, v := range data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	return QuantParams{Scale: m / 127}
+}
+
+// Quantize converts data to int8 under q, with saturation.
+func Quantize(data []float32, q QuantParams) []int8 {
+	out := make([]int8, len(data))
+	for i, v := range data {
+		r := math.Round(float64(v / q.Scale))
+		if r > 127 {
+			r = 127
+		}
+		if r < -127 {
+			r = -127
+		}
+		out[i] = int8(r)
+	}
+	return out
+}
+
+// Dequantize converts int8 values back to float32 under q.
+func Dequantize(data []int8, q QuantParams) []float32 {
+	out := make([]float32, len(data))
+	for i, v := range data {
+		out[i] = float32(v) * q.Scale
+	}
+	return out
+}
+
+// QuantConv2D computes an int8×int8 convolution with int32 accumulation,
+// emitting float32 outputs out = accum·(inScale·wScale) + bias. Geometry
+// follows the embedded Conv2D.
+func (c Conv2D) QuantForward(in []int8, h, w int, weights []int8, inScale, wScale float32, bias []float32, out []float32) (oh, ow int) {
+	oh, ow = c.OutDims(h, w)
+	scale := inScale * wScale
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc int32
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.F; ky++ {
+						iy := oy*c.S - c.P + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.F; kx++ {
+							ix := ox*c.S - c.P + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wv := weights[((oc*c.InC+ic)*c.F+ky)*c.F+kx]
+							acc += int32(wv) * int32(in[(ic*h+iy)*w+ix])
+						}
+					}
+				}
+				v := float32(acc) * scale
+				if bias != nil {
+					v += bias[oc]
+				}
+				out[(oc*oh+oy)*ow+ox] = v
+			}
+		}
+	}
+	return oh, ow
+}
+
+// QuantLinearForward computes an int8×int8 fully-connected layer with
+// int32 accumulation and float32 outputs.
+func (l Linear) QuantForward(in []int8, weights []int8, inScale, wScale float32, bias []float32, out []float32) {
+	scale := inScale * wScale
+	for o := 0; o < l.Out; o++ {
+		row := weights[o*l.In : (o+1)*l.In]
+		var acc int32
+		for i, v := range in {
+			acc += int32(row[i]) * int32(v)
+		}
+		s := float32(acc) * scale
+		if bias != nil {
+			s += bias[o]
+		}
+		out[o] = s
+	}
+}

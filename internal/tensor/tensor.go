@@ -1,0 +1,247 @@
+// Package tensor provides the from-scratch numeric substrate used by the
+// reproduction: dense float32 tensors in NCHW layout, convolution and
+// pooling kernels (forward and backward), fully-connected layers, activation
+// functions, and a parallel GEMM. It is deliberately dependency-free
+// (standard library only) and deterministic given a seed.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major float32 tensor. The zero value is an empty
+// tensor; use New or Zeros to construct one with a shape.
+type Tensor struct {
+	// Shape holds the extent of each dimension, outermost first.
+	Shape []int
+	// Data holds the elements in row-major order; len(Data) equals the
+	// product of Shape.
+	Data []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is not
+// copied; the caller must not resize it. It panics if the element count does
+// not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: %d elements cannot form shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if u.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape covering the same data.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// AddScaled accumulates alpha*u into t element-wise. Shapes must match.
+func (t *Tensor) AddScaled(u *Tensor, alpha float32) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range u.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Add accumulates u into t element-wise.
+func (t *Tensor) Add(u *Tensor) { t.AddScaled(u, 1) }
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float64
+	for i, v := range t.Data {
+		s += float64(v) * float64(u.Data[i])
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Argmax returns the index of the largest element in the flat data.
+func (t *Tensor) Argmax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// TopK returns the indices of the k largest elements in descending order.
+// NaN elements sort last.
+func (t *Tensor) TopK(k int) []int {
+	if k > len(t.Data) {
+		k = len(t.Data)
+	}
+	idx := make([]int, 0, k)
+	used := make([]bool, len(t.Data))
+	for n := 0; n < k; n++ {
+		best, bi := float32(math.Inf(-1)), -1
+		for i, v := range t.Data {
+			if used[i] {
+				continue
+			}
+			if bi < 0 || v > best {
+				best, bi = v, i
+			}
+		}
+		used[bi] = true
+		idx = append(idx, bi)
+	}
+	return idx
+}
+
+// CountNonZero returns the number of elements that are not exactly zero.
+func (t *Tensor) CountNonZero() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RandNormal fills t with Gaussian noise of the given standard deviation,
+// using rng for determinism.
+func (t *Tensor) RandNormal(rng *rand.Rand, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * stddev)
+	}
+}
+
+// RandUniform fills t with uniform values in [lo, hi).
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// HeInit fills t with He-normal initialization for a layer with the given
+// fan-in, the standard choice for ReLU networks.
+func (t *Tensor) HeInit(rng *rand.Rand, fanIn int) {
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	t.RandNormal(rng, math.Sqrt(2.0/float64(fanIn)))
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(%d elems)", t.Shape, len(t.Data))
+}

@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	ts := New(2, 3, 4)
+	if ts.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", ts.Len())
+	}
+	for i, v := range ts.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+	if ts.Rank() != 3 || ts.Dim(1) != 3 {
+		t.Fatalf("bad shape bookkeeping: %v", ts.Shape)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	ts := New(2, 3, 4)
+	ts.Set(7.5, 1, 2, 3)
+	if got := ts.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if got := ts.Data[1*12+2*4+3]; got != 7.5 {
+		t.Fatalf("row-major offset wrong: %v", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	ts := New(2, 6)
+	r := ts.Reshape(3, 4)
+	r.Set(1, 0, 0)
+	if ts.Data[0] != 1 {
+		t.Fatal("Reshape must alias the same data")
+	}
+}
+
+func TestReshapePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad reshape")
+		}
+	}()
+	New(2, 3).Reshape(4)
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+	if !a.SameShape(b) {
+		t.Fatal("Clone must preserve shape")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	a.AddScaled(b, 0.5)
+	if a.Data[0] != 6 || a.Data[1] != 12 {
+		t.Fatalf("AddScaled = %v", a.Data)
+	}
+}
+
+func TestArgmaxAndTopK(t *testing.T) {
+	a := FromSlice([]float32{0.1, 5, -2, 3, 5.5}, 5)
+	if a.Argmax() != 4 {
+		t.Fatalf("Argmax = %d, want 4", a.Argmax())
+	}
+	top := a.TopK(3)
+	want := []int{4, 1, 3}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", top, want)
+		}
+	}
+	if got := a.TopK(10); len(got) != 5 {
+		t.Fatalf("TopK over-length = %d entries", len(got))
+	}
+}
+
+func TestCountNonZero(t *testing.T) {
+	a := FromSlice([]float32{0, 1, 0, -2, 0.0001}, 5)
+	if n := a.CountNonZero(); n != 3 {
+		t.Fatalf("CountNonZero = %d, want 3", n)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromSlice([]float32{1, -7, 3}, 3)
+	if a.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", a.MaxAbs())
+	}
+}
+
+func TestHeInitDeterministic(t *testing.T) {
+	a, b := New(100), New(100)
+	a.HeInit(rand.New(rand.NewSource(1)), 50)
+	b.HeInit(rand.New(rand.NewSource(1)), 50)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("HeInit must be deterministic for a fixed seed")
+		}
+	}
+	if a.MaxAbs() == 0 {
+		t.Fatal("HeInit produced all zeros")
+	}
+}
+
+// Property: Dot is symmetric and AddScaled is linear in its scalar.
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(xs []float32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a := FromSlice(append([]float32(nil), xs...), len(xs))
+		b := a.Clone()
+		for i := range b.Data {
+			b.Data[i] = b.Data[i]*0.5 + 1
+		}
+		return a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	data := []float32{-1.27, 0, 0.5, 1.27, 0.009}
+	q := ChooseScale(data)
+	if q.Scale != 1.27/127 {
+		t.Fatalf("scale = %v", q.Scale)
+	}
+	back := Dequantize(Quantize(data, q), q)
+	for i := range data {
+		if e := math.Abs(float64(back[i] - data[i])); e > float64(q.Scale)/2+1e-7 {
+			t.Fatalf("elem %d: %v -> %v (err %g)", i, data[i], back[i], e)
+		}
+	}
+	// Saturation.
+	sat := Quantize([]float32{10}, QuantParams{Scale: 0.01})
+	if sat[0] != 127 {
+		t.Fatalf("saturation failed: %d", sat[0])
+	}
+	if s := ChooseScale([]float32{0, 0}); s.Scale <= 0 {
+		t.Fatal("zero data must still give a positive scale")
+	}
+}
+
+func TestQuantConvMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c := Conv2D{InC: 2, OutC: 3, F: 3, S: 1, P: 1}
+	h, w := 8, 8
+	in := randSlice(rng, c.InC*h*w)
+	weights := randSlice(rng, c.OutC*c.InC*c.F*c.F)
+	bias := randSlice(rng, c.OutC)
+	oh, ow := c.OutDims(h, w)
+
+	ref := make([]float32, c.OutC*oh*ow)
+	c.Forward(in, h, w, weights, bias, ref, nil)
+
+	qi := ChooseScale(in)
+	qw := ChooseScale(weights)
+	out := make([]float32, c.OutC*oh*ow)
+	c.QuantForward(Quantize(in, qi), h, w, Quantize(weights, qw), qi.Scale, qw.Scale, bias, out)
+
+	var maxRef float32
+	for _, v := range ref {
+		if a := float32(math.Abs(float64(v))); a > maxRef {
+			maxRef = a
+		}
+	}
+	for i := range ref {
+		if e := math.Abs(float64(out[i] - ref[i])); e > 0.05*float64(maxRef) {
+			t.Fatalf("quant conv off at %d: %v vs %v", i, out[i], ref[i])
+		}
+	}
+}
+
+func TestQuantLinearMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	l := Linear{In: 64, Out: 8}
+	in := randSlice(rng, l.In)
+	weights := randSlice(rng, l.In*l.Out)
+	bias := randSlice(rng, l.Out)
+	ref := make([]float32, l.Out)
+	l.Forward(in, weights, bias, ref)
+
+	qi, qw := ChooseScale(in), ChooseScale(weights)
+	out := make([]float32, l.Out)
+	l.QuantForward(Quantize(in, qi), Quantize(weights, qw), qi.Scale, qw.Scale, bias, out)
+	for i := range ref {
+		if e := math.Abs(float64(out[i] - ref[i])); e > 0.3 {
+			t.Fatalf("quant linear off at %d: %v vs %v", i, out[i], ref[i])
+		}
+	}
+}

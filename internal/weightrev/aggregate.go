@@ -1,0 +1,36 @@
+package weightrev
+
+// AggregateOracle models the paper's conservative assumption that the
+// dynamic zero pruning "only leaks the number of zero-valued pixels" in
+// total — a single compressed stream per layer rather than one per output
+// channel. It wraps a per-channel oracle and exposes only the sum.
+//
+// Under this oracle a crossing can no longer be attributed to a filter, so
+// Algorithm 2 recovers single-filter layers (where total = per-channel)
+// but is confounded on multi-filter layers — which is why the reproduction
+// defaults to the per-channel oracle, justified by the threat model: write
+// *addresses* are visible, and per-channel compressed streams occupy
+// distinct address ranges.
+type AggregateOracle struct {
+	O Oracle
+}
+
+// Counts returns a single-element slice holding the total non-zero count.
+func (a *AggregateOracle) Counts(pixels []Pixel) []int {
+	total := 0
+	for _, c := range a.O.Counts(pixels) {
+		total += c
+	}
+	return []int{total}
+}
+
+// CountChannel ignores the channel index: only the total is observable.
+func (a *AggregateOracle) CountChannel(_ int, pixels []Pixel) int {
+	return a.Counts(pixels)[0]
+}
+
+// SetThreshold forwards to the device.
+func (a *AggregateOracle) SetThreshold(t float32) { a.O.SetThreshold(t) }
+
+// Queries forwards the device inference count.
+func (a *AggregateOracle) Queries() int { return a.O.Queries() }

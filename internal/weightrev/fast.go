@@ -1,0 +1,248 @@
+package weightrev
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// FastOracle computes the same per-channel non-zero counts as TraceOracle
+// but analytically, exploiting that attack queries are all-zero except a
+// handful of pixels: the convolution output equals the bias everywhere
+// except the few positions the probe pixels touch. It implements the exact
+// semantics of the simulated accelerator's fused conv → activation → pool
+// pipeline (including threshold activations, clipped max-pool windows,
+// fixed-divisor average pooling, and the optional pool-before-activation
+// order), and is validated bit-for-bit against TraceOracle by tests.
+type FastOracle struct {
+	net   *nn.Network
+	layer int
+	spec  *nn.LayerSpec
+	in    nn.Shape
+	conv  nn.Shape
+	out   nn.Shape
+
+	thresh        float32
+	poolBeforeAct bool
+
+	// base state for the all-zero input: per channel, the non-zero count,
+	// and (for pooled layers) per pooled position whether it is non-zero.
+	baseCount []int
+	baseNZ    [][]bool
+
+	queries atomic.Int64
+}
+
+// NewFastOracle builds the analytic oracle for layer 0 of net, mirroring
+// the semantics selected by cfg.
+func NewFastOracle(net *nn.Network, cfg accel.Config, layer int) (*FastOracle, error) {
+	if layer != 0 {
+		return nil, fmt.Errorf("weightrev: the fast oracle models attacker-controlled layer inputs, so the target must be layer 0")
+	}
+	spec := &net.Specs[layer]
+	if spec.Kind != nn.KindConv {
+		return nil, fmt.Errorf("weightrev: layer %d is not a conv layer", layer)
+	}
+	o := &FastOracle{
+		net:           net,
+		layer:         layer,
+		spec:          spec,
+		in:            net.Input,
+		conv:          spec.ConvOut(net.Input),
+		out:           net.Shapes[layer],
+		thresh:        cfg.Threshold,
+		poolBeforeAct: cfg.PoolBeforeActivation,
+	}
+	o.rebuildBase()
+	return o, nil
+}
+
+// SetThreshold adjusts the activation threshold.
+func (o *FastOracle) SetThreshold(t float32) {
+	o.thresh = t
+	o.rebuildBase()
+}
+
+// Queries returns the number of device inferences issued.
+func (o *FastOracle) Queries() int { return int(o.queries.Load()) }
+
+func (o *FastOracle) weight(d, c, ky, kx int) float32 {
+	f := o.spec.F
+	return o.net.Params[o.layer].W.Data[((d*o.in.C+c)*f+ky)*f+kx]
+}
+
+func (o *FastOracle) bias(d int) float32 {
+	return o.net.Params[o.layer].B.Data[d]
+}
+
+func (o *FastOracle) act(v float32) float32 {
+	if v > o.thresh {
+		return v
+	}
+	return 0
+}
+
+// convValue evaluates the conv output at (d, cy, cx) for a sparse input.
+func (o *FastOracle) convValue(d, cy, cx int, pixels []Pixel) float32 {
+	spec := o.spec
+	v := o.bias(d)
+	for _, p := range pixels {
+		ky := p.Y - (cy*spec.S - spec.P)
+		kx := p.X - (cx*spec.S - spec.P)
+		if ky >= 0 && ky < spec.F && kx >= 0 && kx < spec.F {
+			v += o.weight(d, p.C, ky, kx) * p.V
+		}
+	}
+	return v
+}
+
+// pooledValue evaluates the fused pooled output at (d, py, px), honoring
+// the configured activation order, for a sparse input.
+func (o *FastOracle) pooledValue(d, py, px int, pixels []Pixel) float32 {
+	spec := o.spec
+	if spec.Pool == nn.PoolNone {
+		return o.act(o.convValue(d, py, px, pixels))
+	}
+	y0 := py*spec.PoolS - spec.PoolP
+	x0 := px*spec.PoolS - spec.PoolP
+	var maxV float32
+	var sum float32
+	first := true
+	for ky := 0; ky < spec.PoolF; ky++ {
+		cy := y0 + ky
+		if cy < 0 || cy >= o.conv.H {
+			continue
+		}
+		for kx := 0; kx < spec.PoolF; kx++ {
+			cx := x0 + kx
+			if cx < 0 || cx >= o.conv.W {
+				continue
+			}
+			v := o.convValue(d, cy, cx, pixels)
+			if !o.poolBeforeAct {
+				v = o.act(v)
+			}
+			if first || v > maxV {
+				maxV = v
+				first = false
+			}
+			sum += v
+		}
+	}
+	var pooled float32
+	if spec.Pool == nn.PoolMax {
+		pooled = maxV
+	} else {
+		pooled = sum / float32(spec.PoolF*spec.PoolF)
+	}
+	if o.poolBeforeAct {
+		pooled = o.act(pooled)
+	}
+	return pooled
+}
+
+// rebuildBase evaluates the all-zero-input output state once per channel.
+func (o *FastOracle) rebuildBase() {
+	o.baseCount = make([]int, o.out.C)
+	o.baseNZ = make([][]bool, o.out.C)
+	for d := 0; d < o.out.C; d++ {
+		nz := make([]bool, o.out.H*o.out.W)
+		n := 0
+		for py := 0; py < o.out.H; py++ {
+			for px := 0; px < o.out.W; px++ {
+				if o.pooledValue(d, py, px, nil) != 0 {
+					nz[py*o.out.W+px] = true
+					n++
+				}
+			}
+		}
+		o.baseNZ[d] = nz
+		o.baseCount[d] = n
+	}
+}
+
+// affectedOut lists the output (pooled) positions whose value can differ
+// from the base state for the given sparse input.
+func (o *FastOracle) affectedOut(pixels []Pixel) map[[2]int]bool {
+	spec := o.spec
+	conv := map[[2]int]bool{}
+	span := func(p, w int) (int, int) {
+		// conv positions m with 0 <= p - (m*S - P) < F
+		lo := (p + spec.P - spec.F + 1 + spec.S - 1) / spec.S // ceil
+		if lo < 0 {
+			lo = 0
+		}
+		hi := (p + spec.P) / spec.S
+		if hi > w-1 {
+			hi = w - 1
+		}
+		return lo, hi
+	}
+	for _, p := range pixels {
+		y0, y1 := span(p.Y, o.conv.H)
+		x0, x1 := span(p.X, o.conv.W)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				conv[[2]int{cy, cx}] = true
+			}
+		}
+	}
+	if spec.Pool == nn.PoolNone {
+		return conv
+	}
+	pooled := map[[2]int]bool{}
+	pspan := func(p, w int) (int, int) {
+		lo := (p + spec.PoolP - spec.PoolF + 1 + spec.PoolS - 1) / spec.PoolS
+		if lo < 0 {
+			lo = 0
+		}
+		hi := (p + spec.PoolP) / spec.PoolS
+		if hi > w-1 {
+			hi = w - 1
+		}
+		return lo, hi
+	}
+	for pos := range conv {
+		y0, y1 := pspan(pos[0], o.out.H)
+		x0, x1 := pspan(pos[1], o.out.W)
+		for py := y0; py <= y1; py++ {
+			for px := x0; px <= x1; px++ {
+				pooled[[2]int{py, px}] = true
+			}
+		}
+	}
+	return pooled
+}
+
+// CountChannel returns the non-zero output count of channel d.
+func (o *FastOracle) CountChannel(d int, pixels []Pixel) int {
+	o.queries.Add(1)
+	return o.countChannel(d, pixels, o.affectedOut(pixels))
+}
+
+func (o *FastOracle) countChannel(d int, pixels []Pixel, affected map[[2]int]bool) int {
+	n := o.baseCount[d]
+	for pos := range affected {
+		now := o.pooledValue(d, pos[0], pos[1], pixels) != 0
+		was := o.baseNZ[d][pos[0]*o.out.W+pos[1]]
+		if now && !was {
+			n++
+		} else if !now && was {
+			n--
+		}
+	}
+	return n
+}
+
+// Counts returns all channels' non-zero counts.
+func (o *FastOracle) Counts(pixels []Pixel) []int {
+	o.queries.Add(1)
+	affected := o.affectedOut(pixels)
+	counts := make([]int, o.out.C)
+	for d := range counts {
+		counts[d] = o.countChannel(d, pixels, affected)
+	}
+	return counts
+}

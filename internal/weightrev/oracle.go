@@ -1,0 +1,129 @@
+// Package weightrev implements the paper's second attack (§4): reverse
+// engineering convolution weights by exploiting dynamic zero pruning. A
+// zero-pruning accelerator writes only the non-zero output pixels to DRAM,
+// so the number (and, per compressed channel stream, the per-channel
+// number) of write transactions leaks how many output pixels the activation
+// zeroed. By feeding inputs that are zero except for one crafted pixel and
+// binary-searching that pixel's value for the point where the non-zero
+// count changes, the adversary finds zero crossings x* = −b/w and hence the
+// ratio of every weight to the layer's bias (Algorithm 2), with variants
+// for fused max pooling (Eq. 10) and average pooling (Eq. 11). A tunable
+// activation threshold additionally reveals the bias itself, completing
+// exact weight recovery.
+package weightrev
+
+import (
+	"fmt"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+)
+
+// Pixel is one non-zero input element of an attacker-crafted query.
+type Pixel struct {
+	C, Y, X int
+	V       float32
+}
+
+// Oracle answers attacker queries against the victim device: for an input
+// that is all zeros except the given pixels, how many non-zero pixels does
+// each output channel of the target layer produce? This is exactly the
+// information the per-channel compressed write streams leak.
+type Oracle interface {
+	// Counts returns the per-channel non-zero counts for the query input.
+	Counts(pixels []Pixel) []int
+	// CountChannel returns the count for a single channel (the adversary
+	// simply ignores the other channels' bursts).
+	CountChannel(d int, pixels []Pixel) int
+	// SetThreshold adjusts the device's tunable activation threshold (the
+	// Minerva-style optimization; §4's bias-recovery lever).
+	SetThreshold(t float32)
+	// Queries returns the number of device inferences issued so far.
+	Queries() int
+}
+
+// TraceOracle drives the full accelerator simulator for every query and
+// derives counts from the observed compressed write bursts — the reference
+// (slow) oracle. The simulated network must consist of (at least) the
+// target conv layer, and the simulator must have zero pruning enabled.
+type TraceOracle struct {
+	net     *nn.Network
+	cfg     accel.Config
+	layer   int
+	queries int
+}
+
+// NewTraceOracle builds a trace-backed oracle targeting the given layer.
+func NewTraceOracle(net *nn.Network, cfg accel.Config, layer int) (*TraceOracle, error) {
+	cfg.ZeroPrune = true
+	if _, err := accel.New(net, cfg); err != nil {
+		return nil, err
+	}
+	if net.Specs[layer].Kind != nn.KindConv {
+		return nil, fmt.Errorf("weightrev: layer %d is not a conv layer", layer)
+	}
+	return &TraceOracle{net: net, cfg: cfg, layer: layer}, nil
+}
+
+// SetThreshold adjusts the activation threshold used by subsequent queries.
+func (o *TraceOracle) SetThreshold(t float32) { o.cfg.Threshold = t }
+
+// Queries returns the number of device inferences issued.
+func (o *TraceOracle) Queries() int { return o.queries }
+
+// Counts runs one inference and parses the per-channel compressed write
+// volumes out of the memory trace.
+func (o *TraceOracle) Counts(pixels []Pixel) []int {
+	o.queries++
+	sim, err := accel.New(o.net, o.cfg)
+	if err != nil {
+		panic(err)
+	}
+	in := o.net.Input
+	x := make([]float32, in.Len())
+	for _, p := range pixels {
+		// Accumulate so repeated coordinates behave like the analytic
+		// oracle's additive contributions.
+		x[(p.C*in.H+p.Y)*in.W+p.X] += p.V
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		panic(err)
+	}
+	lay := sim.Layout()
+	cfg := sim.Config()
+	shape := o.net.Shapes[o.layer]
+	stride := uint64(shape.H * shape.W * cfg.PruneBytesPerNZ)
+	counts := make([]int, shape.C)
+	reg := lay.Fmaps[o.layer]
+	for _, a := range res.Trace.Accesses {
+		if a.Kind != memtrace.Write {
+			continue
+		}
+		lo, hi := a.Addr, a.End(res.Trace.BlockBytes)
+		if hi <= reg.Base || lo >= reg.End() {
+			continue
+		}
+		// A burst may span several channel slots (the recorder merges
+		// contiguous full-slot streams); apportion it slot by slot.
+		for lo < hi {
+			c := int((lo - reg.Base) / stride)
+			slotEnd := reg.Base + uint64(c+1)*stride
+			seg := hi
+			if slotEnd < seg {
+				seg = slotEnd
+			}
+			if c >= 0 && c < shape.C {
+				counts[c] += int(seg-lo) / cfg.PruneBytesPerNZ
+			}
+			lo = seg
+		}
+	}
+	return counts
+}
+
+// CountChannel returns one channel's count (still a full inference).
+func (o *TraceOracle) CountChannel(d int, pixels []Pixel) int {
+	return o.Counts(pixels)[d]
+}

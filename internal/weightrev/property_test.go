@@ -1,0 +1,139 @@
+package weightrev
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// TestQuickRecoverRandomGeometry: for random unpadded conv geometries,
+// random sign-mixed weights and random non-zero biases, Algorithm 2 must
+// recover every w/b ratio within 2^-10 and classify every exact zero.
+func TestQuickRecoverRandomGeometry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fk := 1 + rng.Intn(5)       // kernel 1..5
+		s := 1 + rng.Intn(fk)       // stride ≤ F
+		inC := 1 + rng.Intn(2)      // 1-2 channels
+		w := 2*fk + 2 + rng.Intn(8) // input wide enough for F ≤ W/2
+		outC := 1 + rng.Intn(2)     // 1-2 filters
+		spec := nn.LayerSpec{Name: "conv", Kind: nn.KindConv, OutC: outC, F: fk, S: s, ReLU: true}
+		net, err := nn.New("victim", nn.Shape{C: inC, H: w, W: w}, []nn.LayerSpec{spec})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := range net.Params[0].W.Data {
+			if rng.Float64() < 0.2 {
+				net.Params[0].W.Data[i] = 0
+				continue
+			}
+			m := 0.05 + 0.3*rng.Float64()
+			if rng.Intn(2) == 0 {
+				m = -m
+			}
+			net.Params[0].W.Data[i] = float32(m)
+		}
+		for d := 0; d < outC; d++ {
+			b := 0.02 + 0.1*rng.Float64()
+			if rng.Intn(2) == 0 {
+				b = -b
+			}
+			net.Params[0].B.Data[d] = float32(b)
+		}
+
+		o, err := NewFastOracle(net, accel.Config{}, 0)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		at := NewAttacker(o, Geometry{In: net.Input, OutC: outC, F: fk, S: s, P: 0})
+		for d := 0; d < outC; d++ {
+			got, err := at.RecoverFilterRatios(d)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			b := float64(net.Params[0].B.Data[d])
+			for c := 0; c < inC; c++ {
+				for ky := 0; ky < fk; ky++ {
+					for kx := 0; kx < fk; kx++ {
+						wv := float64(net.Params[0].W.Data[((d*inC+c)*fk+ky)*fk+kx])
+						if wv == 0 {
+							if !got.Zero[c][ky][kx] {
+								t.Logf("seed %d: zero missed at d%d c%d (%d,%d)", seed, d, c, ky, kx)
+								return false
+							}
+							continue
+						}
+						if got.Zero[c][ky][kx] {
+							t.Logf("seed %d: spurious zero at d%d c%d (%d,%d), w=%g b=%g", seed, d, c, ky, kx, wv, b)
+							return false
+						}
+						if e := math.Abs(got.Ratio[c][ky][kx] - wv/b); e > math.Pow(2, -10) {
+							t.Logf("seed %d: err %g at d%d c%d (%d,%d)", seed, e, d, c, ky, kx)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOraclesAgreeRandom: the analytic oracle and the full trace-level
+// simulation must agree for random geometries and queries.
+func TestQuickOraclesAgreeRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fk := 1 + rng.Intn(4)
+		s := 1 + rng.Intn(fk)
+		p := rng.Intn(fk)
+		w := 2*fk + 2 + rng.Intn(5)
+		spec := nn.LayerSpec{Name: "conv", Kind: nn.KindConv, OutC: 2, F: fk, S: s, P: p, ReLU: true}
+		if rng.Intn(2) == 0 {
+			spec.Pool, spec.PoolF, spec.PoolS = nn.PoolMax, 2, 2
+			if (w-fk+2*p)/s+1 < 3 {
+				return true // pool would not fit; skip
+			}
+		}
+		net, err := nn.New("victim", nn.Shape{C: 1, H: w, W: w}, []nn.LayerSpec{spec})
+		if err != nil {
+			return true // invalid random geometry; skip
+		}
+		net.InitWeights(seed)
+		cfg := accel.Config{Threshold: float32(rng.Float64() * 0.05)}
+		trace, err := NewTraceOracle(net, cfg, 0)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		fast, err := NewFastOracle(net, cfg, 0)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			pix := []Pixel{{C: 0, Y: rng.Intn(w), X: rng.Intn(w), V: float32(rng.NormFloat64())}}
+			a, b := trace.Counts(pix), fast.Counts(pix)
+			for d := range a {
+				if a[d] != b[d] {
+					t.Logf("seed %d: oracle mismatch ch %d: %d vs %d (spec %+v)", seed, d, a[d], b[d], spec)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

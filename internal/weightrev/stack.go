@@ -1,0 +1,603 @@
+package weightrev
+
+import (
+	"fmt"
+	"math"
+
+	"cnnrev/internal/nn"
+)
+
+// This file extends the paper's single-layer weight attack (§4) to whole
+// stacks of convolutional layers — the "duplicated model" end goal its
+// threat model states. The key observation: once layer k−1's weight/bias
+// ratios are known, the adversary can craft a device input that makes layer
+// k's input feature map a *single non-zero pixel* of dialable magnitude,
+// and then rerun Algorithm 2 against layer k's compressed write streams.
+//
+// The injected magnitude is only known up to the (unrecovered) bias scale
+// of the producing channel, so layer k's weights are recovered as scaled
+// ratios ρ_k = w_k·β_k/b_k, where β_k is the bias of the injection channel
+// one layer up. Everything composes in these normalized units:
+//
+//	ν_0 = v (the device dial),   ν_k = 1 + ρ*_{k−1}·ν_{k−1},
+//
+// a pixel is non-zero iff 1 + ρ·ν < 0 (all biases negative), and a layer-k
+// crossing at ν* yields ρ_k = −1/ν*. An L-layer network is thus reduced to
+// L unknown scalars — the per-layer generalization of the paper's "each
+// weight can be expressed as a function of one bias value".
+//
+// Injectability requirement: to isolate channel e of layer k−1, e must own
+// the extreme ρ in some dial direction of some ladder (otherwise another
+// channel turns on first and the feature map is not a single pixel). This
+// depends on the victim's weights, just as the paper's pooled attack
+// depends on negative biases; Recover reports channels it cannot isolate.
+
+// StackOracle answers per-layer non-zero counts for a stack of conv layers
+// — what the per-layer compressed write streams leak. Queries run the full
+// (dense) forward pass, so it suits the small stacks the peeling extension
+// demonstrates.
+type StackOracle struct {
+	net     *nn.Network
+	queries int
+}
+
+// NewStackOracle validates that every layer of net is an unpooled,
+// unpadded conv layer with strictly negative biases (the regime the
+// peeling construction needs) and returns the oracle.
+func NewStackOracle(net *nn.Network) (*StackOracle, error) {
+	for i := range net.Specs {
+		spec := &net.Specs[i]
+		if spec.Kind != nn.KindConv || spec.Pool != nn.PoolNone || spec.P != 0 {
+			return nil, fmt.Errorf("weightrev: stack oracle requires unpooled, unpadded conv layers (layer %d)", i)
+		}
+		if !spec.ReLU {
+			return nil, fmt.Errorf("weightrev: stack oracle requires ReLU layers (layer %d)", i)
+		}
+		for _, b := range net.Params[i].B.Data {
+			if b >= 0 {
+				return nil, fmt.Errorf("weightrev: peeling requires negative biases (layer %d)", i)
+			}
+		}
+	}
+	return &StackOracle{net: net}, nil
+}
+
+// Queries returns the number of device inferences issued.
+func (o *StackOracle) Queries() int { return o.queries }
+
+// LayerCounts runs one inference and returns the per-channel non-zero
+// counts of the given layer's output feature map.
+func (o *StackOracle) LayerCounts(layer int, pixels []Pixel) []int {
+	o.queries++
+	in := o.net.Input
+	x := make([]float32, in.Len())
+	for _, p := range pixels {
+		x[(p.C*in.H+p.Y)*in.W+p.X] += p.V
+	}
+	acts := o.forwardAll(x)
+	shape := o.net.Shapes[layer]
+	counts := make([]int, shape.C)
+	plane := shape.H * shape.W
+	for c := 0; c < shape.C; c++ {
+		for _, v := range acts[layer][c*plane : (c+1)*plane] {
+			if v != 0 {
+				counts[c]++
+			}
+		}
+	}
+	return counts
+}
+
+// forwardAll computes every layer's activation (plain inference).
+func (o *StackOracle) forwardAll(x []float32) [][]float32 {
+	acts := make([][]float32, len(o.net.Specs))
+	cur := x
+	curShape := o.net.Input
+	for i := range o.net.Specs {
+		spec := &o.net.Specs[i]
+		outShape := o.net.Shapes[i]
+		out := make([]float32, outShape.Len())
+		conv := convKernel{inC: curShape.C, outC: spec.OutC, f: spec.F, s: spec.S}
+		conv.forward(cur, curShape.H, curShape.W, o.net.Params[i].W.Data, o.net.Params[i].B.Data, out, outShape.H, outShape.W)
+		acts[i] = out
+		cur = out
+		curShape = outShape
+	}
+	return acts
+}
+
+// convKernel is a minimal direct convolution + ReLU used by the oracle.
+type convKernel struct{ inC, outC, f, s int }
+
+func (k convKernel) forward(in []float32, h, w int, weights, bias, out []float32, oh, ow int) {
+	for d := 0; d < k.outC; d++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias[d]
+				for c := 0; c < k.inC; c++ {
+					for ky := 0; ky < k.f; ky++ {
+						for kx := 0; kx < k.f; kx++ {
+							iy, ix := oy*k.s+ky, ox*k.s+kx
+							sum += weights[((d*k.inC+c)*k.f+ky)*k.f+kx] * in[(c*h+iy)*w+ix]
+						}
+					}
+				}
+				if sum > 0 {
+					out[(d*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+}
+
+// StackRecovery holds the peeled ratios. Layer 0 carries plain w/b ratios;
+// layer k ≥ 1 carries ρ = w·β/b with β the injection channel's bias one
+// layer up.
+//
+// For layer 0, Zero marks weights identified as exactly zero (the paper's
+// missing-crossing rule). For deeper layers, inputs are post-ReLU and hence
+// non-negative, so a single-pixel probe can only drive outputs *upward*:
+// after Recover, Zero there means "non-positive or out of range". A second
+// pass with RecoverNegativeDeep applies Eq-10-style pinning to recover the
+// genuinely negative weights where the geometry permits (stride ≥ 2 and
+// non-interfering probes). Unreachable marks input channels with no
+// feasible injection.
+type StackRecovery struct {
+	// Ratios[k][d][c][ky][kx]
+	Ratios [][][][][]float64
+	Zero   [][][][][]bool
+	// Unreachable[k][c] marks layer-k input channels with no feasible
+	// injection.
+	Unreachable [][]bool
+	Queries     int
+}
+
+// injector produces a single-pixel delta in a layer's input feature map.
+type injector struct {
+	// pixelFor maps a desired delta position to the device input pixel.
+	pixelFor func(y, x int) (Pixel, bool)
+	// nuOf maps the device dial to the normalized delta magnitude ν.
+	nuOf func(v float64) float64
+	// vLo/vHi is the dial window within which the delta is the only
+	// non-zero pixel of the layer input.
+	vLo, vHi float64
+}
+
+// StackAttacker peels a conv stack.
+type StackAttacker struct {
+	O     *StackOracle
+	Net   *nn.Network // structure only (geometry is public via the §3 attack)
+	XMax  float64
+	Iters int
+
+	// injByLayer[k][c] is the injector driving channel c of layer k's input
+	// feature map (populated by Recover; consumed by RecoverNegativeDeep).
+	injByLayer [][]*injector
+}
+
+// NewStackAttacker returns an attacker with default search parameters.
+func NewStackAttacker(o *StackOracle, net *nn.Network) *StackAttacker {
+	return &StackAttacker{O: o, Net: net, XMax: 64, Iters: 48}
+}
+
+// Recover peels every layer of the stack.
+func (a *StackAttacker) Recover() (*StackRecovery, error) {
+	L := len(a.Net.Specs)
+	rec := &StackRecovery{
+		Ratios:      make([][][][][]float64, L),
+		Zero:        make([][][][][]bool, L),
+		Unreachable: make([][]bool, L),
+	}
+
+	// Level-0 injectors: device pixels themselves (ν = v, full dial range).
+	in := a.Net.Input
+	inj := make([]*injector, in.C)
+	for c := 0; c < in.C; c++ {
+		c := c
+		inj[c] = &injector{
+			pixelFor: func(y, x int) (Pixel, bool) {
+				if y < 0 || y >= in.H || x < 0 || x >= in.W {
+					return Pixel{}, false
+				}
+				return Pixel{C: c, Y: y, X: x}, true
+			},
+			nuOf: func(v float64) float64 { return v },
+			vLo:  -a.XMax,
+			vHi:  a.XMax,
+		}
+	}
+
+	a.injByLayer = make([][]*injector, L)
+	curIn := in
+	for k := 0; k < L; k++ {
+		spec := &a.Net.Specs[k]
+		a.injByLayer[k] = inj
+		rec.Unreachable[k] = make([]bool, curIn.C)
+		ratios, zeros, err := a.recoverLayer(k, curIn, spec, inj, rec)
+		if err != nil {
+			return nil, err
+		}
+		rec.Ratios[k] = ratios
+		rec.Zero[k] = zeros
+		if k+1 < L {
+			inj = a.buildInjectors(curIn, spec, inj, ratios, zeros)
+		}
+		curIn = a.Net.Shapes[k]
+	}
+	rec.Queries = a.O.Queries()
+	return rec, nil
+}
+
+// recoverLayer runs Algorithm 2 against layer k through the per-channel
+// injectors, searching in dial units and converting crossings to ν units.
+func (a *StackAttacker) recoverLayer(k int, in nn.Shape, spec *nn.LayerSpec, inj []*injector, rec *StackRecovery) ([][][][]float64, [][][][]bool, error) {
+	f := spec.F
+	ratios := make([][][][]float64, spec.OutC)
+	zeros := make([][][][]bool, spec.OutC)
+	for d := range ratios {
+		ratios[d] = make([][][]float64, in.C)
+		zeros[d] = make([][][]bool, in.C)
+		for c := range ratios[d] {
+			ratios[d][c] = alloc2(f)
+			zeros[d][c] = alloc2b(f)
+		}
+	}
+	// crossings in ν units, NaN for zero/unknown.
+	cross := make([][][][]float64, spec.OutC)
+	for d := range cross {
+		cross[d] = make([][][]float64, in.C)
+		for c := range cross[d] {
+			cross[d][c] = alloc2(f)
+		}
+	}
+
+	for c := 0; c < in.C; c++ {
+		ij := inj[c]
+		if ij == nil {
+			rec.Unreachable[k][c] = true
+			for d := 0; d < spec.OutC; d++ {
+				for ky := 0; ky < f; ky++ {
+					for kx := 0; kx < f; kx++ {
+						zeros[d][c][ky][kx] = true
+						cross[d][c][ky][kx] = math.NaN()
+					}
+				}
+			}
+			continue
+		}
+		for ky := 0; ky < f; ky++ {
+			for kx := 0; kx < f; kx++ {
+				pix, ok := ij.pixelFor(ky, kx)
+				if !ok {
+					return nil, nil, fmt.Errorf("weightrev: probe position (%d,%d) unmappable at layer %d", ky, kx, k)
+				}
+				for d := 0; d < spec.OutC; d++ {
+					// Predicted crossings (in dial units) from already
+					// recovered weights reachable from this probe pixel.
+					var predicted []float64
+					for m := 0; m*spec.S <= ky; m++ {
+						for n := 0; n*spec.S <= kx; n++ {
+							if m == 0 && n == 0 {
+								continue
+							}
+							cr := cross[d][c][ky-m*spec.S][kx-n*spec.S]
+							if v, ok := a.dialForNu(ij, cr); ok {
+								predicted = append(predicted, v)
+							}
+						}
+					}
+					vStar, found := a.findStackCrossing(k, d, pix, ij, predicted)
+					if !found {
+						zeros[d][c][ky][kx] = true
+						cross[d][c][ky][kx] = math.NaN()
+						continue
+					}
+					nu := ij.nuOf(vStar)
+					cross[d][c][ky][kx] = nu
+					ratios[d][c][ky][kx] = -1 / nu
+				}
+			}
+		}
+	}
+	return ratios, zeros, nil
+}
+
+// dialForNu inverts the injector's affine ν(v) for a target ν, reporting
+// whether the dial stays within the injector's window.
+func (a *StackAttacker) dialForNu(ij *injector, nu float64) (float64, bool) {
+	if math.IsNaN(nu) {
+		return 0, false
+	}
+	n0, n1 := ij.nuOf(ij.vLo), ij.nuOf(ij.vHi)
+	if n1 == n0 {
+		return 0, false
+	}
+	v := ij.vLo + (nu-n0)*(ij.vHi-ij.vLo)/(n1-n0)
+	if v <= math.Min(ij.vLo, ij.vHi) || v >= math.Max(ij.vLo, ij.vHi) {
+		return 0, false
+	}
+	return v, true
+}
+
+// findStackCrossing scans the injector's dial window for a count step of
+// layer k channel d unexplained by the predicted crossings.
+func (a *StackAttacker) findStackCrossing(k, d int, pix Pixel, ij *injector, predicted []float64) (float64, bool) {
+	count := func(v float64) int {
+		pix.V = float32(v)
+		return a.O.LayerCounts(k, []Pixel{pix})[d]
+	}
+	return scanCrossing(count, ij.vLo, ij.vHi, predicted, a.Iters)
+}
+
+// buildInjectors constructs, per next-layer input channel, an injector
+// through the just-recovered layer: the channel owning the extreme ρ of
+// some stride-residue ladder can be isolated; others are reported
+// unreachable when the next layer runs.
+func (a *StackAttacker) buildInjectors(in nn.Shape, spec *nn.LayerSpec, inj []*injector, ratios [][][][]float64, zeros [][][][]bool) []*injector {
+	next := make([]*injector, spec.OutC)
+	for e := 0; e < spec.OutC; e++ {
+		next[e] = a.planInjection(e, in, spec, inj, ratios, zeros)
+	}
+	return next
+}
+
+// planInjection searches all (source channel, kernel position, dial
+// direction) combinations that make output channel e of the layer the
+// strictly first to activate, and returns the feasible injector with the
+// largest normalized-magnitude headroom (a narrow window may not reach the
+// next layer's crossings), or nil if e cannot be isolated.
+func (a *StackAttacker) planInjection(e int, in nn.Shape, spec *nn.LayerSpec, inj []*injector, ratios [][][][]float64, zeros [][][][]bool) *injector {
+	f, s := spec.F, spec.S
+	var best *injector
+	bestHeadroom := 0.0
+	for c := 0; c < in.C; c++ {
+		src := inj[c]
+		if src == nil {
+			continue
+		}
+		for ky := 0; ky < f; ky++ {
+			for kx := 0; kx < f; kx++ {
+				if zeros[e][c][ky][kx] {
+					continue
+				}
+				rho := ratios[e][c][ky][kx]
+				// An interior probe pixel at IFM position (y·s+ky, x·s+kx)
+				// reaches, across output windows, every kernel position in
+				// the same stride-residue class (ky mod s, kx mod s) — of
+				// every output channel. The target must be the strictly
+				// largest same-sign ρ in that whole class, and the nearest
+				// same-sign competitor caps the usable ν window.
+				dominant := true
+				nuTarget := -1 / rho // the target turns on past this ν
+				nuLimit := math.Inf(1) * sign(nuTarget)
+				for d := 0; d < spec.OutC && dominant; d++ {
+					for ry := ky % s; ry < f && dominant; ry += s {
+						for rx := kx % s; rx < f && dominant; rx += s {
+							if d == e && ry == ky && rx == kx {
+								continue
+							}
+							if zeros[d][c][ry][rx] {
+								continue
+							}
+							r := ratios[d][c][ry][rx]
+							if r*rho <= 0 {
+								continue // opposite dial direction
+							}
+							if math.Abs(r) >= math.Abs(rho) {
+								dominant = false
+								continue
+							}
+							cr := -1 / r
+							if math.Abs(cr) < math.Abs(nuLimit) {
+								nuLimit = cr
+							}
+						}
+					}
+				}
+				if !dominant {
+					continue
+				}
+				// Dial window: ν from just past the target crossing to just
+				// before the first competitor (or the source window edge).
+				margin := 1e-3 * (1 + math.Abs(nuTarget))
+				nuFrom := nuTarget + sign(nuTarget)*margin
+				var nuTo float64
+				if math.IsInf(nuLimit, 0) {
+					// Use the source injector's reachable extreme, pulled
+					// just inside the window.
+					nuTo = ij2extreme(src, sign(nuTarget))
+					nuTo -= sign(nuTo-nuFrom) * 1e-6 * (1 + math.Abs(nuTo))
+				} else {
+					nuTo = nuLimit - sign(nuLimit)*1e-3*(1+math.Abs(nuLimit))
+				}
+				vFrom, ok1 := a.dialForNu(src, nuFrom)
+				vTo, ok2 := a.dialForNu(src, nuTo)
+				if !ok1 || !ok2 || vFrom == vTo {
+					continue
+				}
+				// Headroom: the largest normalized magnitude this injector
+				// can deliver into the next layer.
+				headroom := math.Abs(1 + rho*nuTo)
+				if headroom <= bestHeadroom {
+					continue
+				}
+				cky, ckx := ky, kx
+				rhoStar := rho
+				srcNu := src.nuOf
+				srcPix := src.pixelFor
+				best = &injector{
+					pixelFor: func(y, x int) (Pixel, bool) {
+						return srcPix(y*s+cky, x*s+ckx)
+					},
+					nuOf: func(v float64) float64 {
+						return 1 + rhoStar*srcNu(v)
+					},
+					vLo: math.Min(vFrom, vTo),
+					vHi: math.Max(vFrom, vTo),
+				}
+				bestHeadroom = headroom
+			}
+		}
+	}
+	return best
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// ij2extreme returns the ν value at the injector window edge in the given
+// direction.
+func ij2extreme(ij *injector, dir float64) float64 {
+	a, b := ij.nuOf(ij.vLo), ij.nuOf(ij.vHi)
+	if dir < 0 {
+		return math.Min(a, b)
+	}
+	return math.Max(a, b)
+}
+
+// RecoverNegativeDeep revisits layer-k weights that single-pixel probing
+// classified as non-positive (k ≥ 1) and recovers the genuinely negative
+// ones with the paper's Eq-10 pinning idea: a second delta, placed in the
+// stride-aligned corner block so that it reaches *only* output (0,0),
+// passes through an already-recovered positive weight and lifts that
+// output above zero; dialing the target delta then drives it back across
+// the boundary, exposing −(1 + ρ_pin·ν_pin)/ν* = ρ_target.
+//
+// Requirements per weight: layer k's stride ≥ 2 (so a pin position exists
+// that reaches no other output), a recovered positive pin weight in the
+// [0,S)² block of the same (filter, input channel), and device probes far
+// enough apart that no intermediate activation sees both deltas. Weights
+// it cannot reach stay flagged. It returns the number recovered and
+// updates rec in place (Zero cleared, Ratios set).
+func (a *StackAttacker) RecoverNegativeDeep(rec *StackRecovery, k int) (int, error) {
+	if k < 1 || k >= len(a.Net.Specs) {
+		return 0, fmt.Errorf("weightrev: RecoverNegativeDeep needs an inner layer index")
+	}
+	if a.injByLayer == nil {
+		return 0, fmt.Errorf("weightrev: run Recover first")
+	}
+	spec := &a.Net.Specs[k]
+	sK, f := spec.S, spec.F
+	if sK < 2 {
+		return 0, nil // no output-exclusive pin block exists
+	}
+	// Interference bound: two probes must not share any activation at the
+	// previous conv level.
+	prevF := a.Net.Specs[k-1].F
+	prevS := a.Net.Specs[k-1].S
+
+	recovered := 0
+	inC := a.Net.InShapes[k][0].C
+	for d := 0; d < spec.OutC; d++ {
+		for c := 0; c < inC; c++ {
+			ij := a.injByLayer[k][c]
+			if ij == nil {
+				continue
+			}
+			// A pin inside [0,S)² reaches only output (0,0); it must carry a
+			// recovered positive weight (ρ > 0 ⇔ w > 0 for negative biases).
+			pinY, pinX := -1, -1
+			for py := 0; py < sK && pinY < 0; py++ {
+				for px := 0; px < sK; px++ {
+					if !rec.Zero[k][d][c][py][px] && rec.Ratios[k][d][c][py][px] > 0 {
+						pinY, pinX = py, px
+						break
+					}
+				}
+			}
+			if pinY < 0 {
+				continue
+			}
+			// Pin dial: past the pin's own crossing with some margin, inside
+			// the injector window.
+			rhoPin := rec.Ratios[k][d][c][pinY][pinX]
+			nuOn := -1 / rhoPin * 1.5 // 50% past the crossing
+			vPin, ok := a.dialForNu(ij, nuOn)
+			if !ok {
+				// Fall back to the deepest reachable ν.
+				vPin, ok = a.dialForNu(ij, ij2extreme(ij, -1)*0.99)
+				if !ok {
+					continue
+				}
+			}
+			nuPin := ij.nuOf(vPin)
+			if 1+rhoPin*nuPin >= 0 {
+				continue // pin cannot lift the output
+			}
+			pinPix, okP := ij.pixelFor(pinY, pinX)
+			if !okP {
+				continue
+			}
+
+			for ky := 0; ky < f; ky++ {
+				for kx := 0; kx < f; kx++ {
+					if !rec.Zero[k][d][c][ky][kx] {
+						continue // already recovered
+					}
+					if ky == pinY && kx == pinX {
+						continue
+					}
+					// Probe separation at the previous conv level.
+					sepY := abs(ky-pinY) * prevS
+					sepX := abs(kx-pinX) * prevS
+					if sepY < prevF && sepX < prevF {
+						continue // probes would share an activation
+					}
+					tgtPix, okT := ij.pixelFor(ky, kx)
+					if !okT {
+						continue
+					}
+					// Predicted crossings of the target delta's other
+					// affected outputs (known positive weights only; the pin
+					// does not reach them, negatives stay off).
+					var predicted []float64
+					for m := 0; m*sK <= ky; m++ {
+						for n := 0; n*sK <= kx; n++ {
+							if m == 0 && n == 0 {
+								continue
+							}
+							r := rec.Ratios[k][d][c][ky-m*sK][kx-n*sK]
+							if rec.Zero[k][d][c][ky-m*sK][kx-n*sK] || r <= 0 {
+								continue
+							}
+							if v, ok := a.dialForNu(ij, -1/r); ok {
+								predicted = append(predicted, v)
+							}
+						}
+					}
+					pinned := pinPix
+					pinned.V = float32(vPin)
+					count := func(v float64) int {
+						probe := tgtPix
+						probe.V = float32(v)
+						return a.O.LayerCounts(k, []Pixel{pinned, probe})[d]
+					}
+					vStar, found := scanCrossing(count, ij.vLo, ij.vHi, predicted, a.Iters)
+					if !found {
+						continue // genuinely (near) zero
+					}
+					nuStar := ij.nuOf(vStar)
+					rho := -(1 + rhoPin*nuPin) / nuStar
+					if rho >= 0 {
+						continue // crossing explained otherwise; stay flagged
+					}
+					rec.Ratios[k][d][c][ky][kx] = rho
+					rec.Zero[k][d][c][ky][kx] = false
+					recovered++
+				}
+			}
+		}
+	}
+	return recovered, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,337 @@
+package weightrev
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnrev/internal/nn"
+)
+
+// stackVictim builds a 2-layer conv stack whose first layer is
+// "ladder-dominant": each output channel owns the extreme weight of one
+// stride-residue class, making every channel injectable for peeling.
+func stackVictim(t *testing.T) *nn.Network {
+	t.Helper()
+	net, err := nn.New("stack", nn.Shape{C: 1, H: 16, W: 16}, []nn.LayerSpec{
+		{Name: "conv0", Kind: nn.KindConv, OutC: 3, F: 3, S: 2, ReLU: true},
+		{Name: "conv1", Kind: nn.KindConv, OutC: 2, F: 2, S: 1, ReLU: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	// Layer 0: small background weights plus one dominant weight per
+	// channel, each in a distinct stride-residue class of the 3x3/stride-2
+	// kernel ((1,1) is a singleton class; (0,1) and (1,0) have two members).
+	w0 := net.Params[0].W.Data
+	for i := range w0 {
+		w0[i] = float32(0.01 + 0.03*rng.Float64())
+		if rng.Intn(2) == 0 {
+			w0[i] = -w0[i]
+		}
+	}
+	set0 := func(d, ky, kx int, v float32) { w0[(d*3+ky)*3+kx] = v }
+	set0(0, 1, 1, 0.5)  // channel 0 dominates class (1,1), positive dial
+	set0(1, 1, 1, -0.5) // channel 1 dominates class (1,1), negative dial
+	set0(2, 0, 1, 0.5)  // channel 2 dominates class (0,1)
+	set0(2, 2, 1, 0.02) // keep its own class-mate small
+	for d := 0; d < 3; d++ {
+		net.Params[0].B.Data[d] = float32(-0.04 - 0.02*rng.Float64())
+	}
+	// Layer 1: mixed-sign weights, a couple of exact zeros.
+	w1 := net.Params[1].W.Data
+	for i := range w1 {
+		m := 0.08 + 0.3*rng.Float64()
+		if rng.Intn(2) == 0 {
+			m = -m
+		}
+		w1[i] = float32(m)
+	}
+	w1[0] = 0
+	w1[7] = 0
+	for d := 0; d < 2; d++ {
+		net.Params[1].B.Data[d] = float32(-0.02 - 0.02*rng.Float64())
+	}
+	return net
+}
+
+func TestStackOracleValidates(t *testing.T) {
+	bad := nn.LeNet(10) // pooled layers, FC, positive-capable biases
+	if _, err := NewStackOracle(bad); err == nil {
+		t.Fatal("expected rejection of a non-stack victim")
+	}
+	good := stackVictim(t)
+	if _, err := NewStackOracle(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackPeelingRecoversBothLayers is the peeling extension's main test:
+// layer 0 fully recovered as w/b; layer 1's positive weights recovered as
+// w·β/b scaled ratios, with non-positive weights classified as such.
+func TestStackPeelingRecoversBothLayers(t *testing.T) {
+	net := stackVictim(t)
+	o, err := NewStackOracle(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewStackAttacker(o, net)
+	rec, err := at.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 0: plain ratios, every weight.
+	b0 := net.Params[0].B.Data
+	for d := 0; d < 3; d++ {
+		for ky := 0; ky < 3; ky++ {
+			for kx := 0; kx < 3; kx++ {
+				w := float64(net.Params[0].W.Data[(d*3+ky)*3+kx])
+				want := w / float64(b0[d])
+				if rec.Zero[0][d][0][ky][kx] {
+					t.Errorf("layer0 d%d (%d,%d): wrongly zero", d, ky, kx)
+					continue
+				}
+				if e := math.Abs(rec.Ratios[0][d][0][ky][kx] - want); e > 1e-3 {
+					t.Errorf("layer0 d%d (%d,%d): err %g", d, ky, kx, e)
+				}
+			}
+		}
+	}
+
+	// All three layer-1 input channels must be injectable.
+	for c := 0; c < 3; c++ {
+		if rec.Unreachable[1][c] {
+			t.Fatalf("layer-1 input channel %d not injectable", c)
+		}
+	}
+
+	// Layer 1: positive weights recovered as ρ = w·β_c/b_d; others flagged.
+	b1 := net.Params[1].B.Data
+	recovered, masked := 0, 0
+	for d := 0; d < 2; d++ {
+		for c := 0; c < 3; c++ {
+			for ky := 0; ky < 2; ky++ {
+				for kx := 0; kx < 2; kx++ {
+					w := float64(net.Params[1].W.Data[((d*3+c)*2+ky)*2+kx])
+					if w <= 0 {
+						masked++
+						if !rec.Zero[1][d][c][ky][kx] {
+							t.Errorf("layer1 d%d c%d (%d,%d): non-positive weight not flagged", d, c, ky, kx)
+						}
+						continue
+					}
+					recovered++
+					if rec.Zero[1][d][c][ky][kx] {
+						t.Errorf("layer1 d%d c%d (%d,%d): positive weight missed", d, c, ky, kx)
+						continue
+					}
+					want := w * float64(b0[c]) / float64(b1[d])
+					if e := math.Abs(rec.Ratios[1][d][c][ky][kx] - want); e > 1e-2*(1+math.Abs(want)) {
+						t.Errorf("layer1 d%d c%d (%d,%d): ρ = %g, want %g", d, c, ky, kx,
+							rec.Ratios[1][d][c][ky][kx], want)
+					}
+				}
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no positive layer-1 weights recovered")
+	}
+	t.Logf("layer 1: %d positive weights recovered, %d non-positive classified, %d queries",
+		recovered, masked, rec.Queries)
+}
+
+// TestStackPeelingThreeLayers exercises the recursive injector composition:
+// layer-2 probes pass through two levels of crafted single-pixel deltas.
+// Layer 1 uses stride 2 so each of its output channels can own a distinct
+// stride-residue ladder (deeper injections only dial upward, so only
+// positive-weight ladders are available there).
+func TestStackPeelingThreeLayers(t *testing.T) {
+	net, err := nn.New("stack3", nn.Shape{C: 1, H: 24, W: 24}, []nn.LayerSpec{
+		{Name: "conv0", Kind: nn.KindConv, OutC: 2, F: 3, S: 2, ReLU: true},
+		{Name: "conv1", Kind: nn.KindConv, OutC: 2, F: 2, S: 2, ReLU: true},
+		{Name: "conv2", Kind: nn.KindConv, OutC: 1, F: 2, S: 1, ReLU: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	// Layer 0: two ladder-dominant channels in the (1,1) singleton class,
+	// opposite dial directions.
+	w0 := net.Params[0].W.Data
+	for i := range w0 {
+		w0[i] = float32(0.01 + 0.02*rng.Float64())
+		if rng.Intn(2) == 0 {
+			w0[i] = -w0[i]
+		}
+	}
+	w0[(0*3+1)*3+1] = 0.6
+	w0[(1*3+1)*3+1] = -0.6
+	net.Params[0].B.Data[0] = -0.05
+	net.Params[0].B.Data[1] = -0.06
+	// Layer 1: stride-2 2x2 kernel — four singleton classes; give each
+	// output channel a dominant POSITIVE weight in a distinct class (deeper
+	// dials only go upward).
+	w1 := net.Params[1].W.Data
+	for i := range w1 {
+		w1[i] = float32(0.02 + 0.05*rng.Float64())
+	}
+	w1[((0*2+0)*2+0)*2+0] = 0.7 // d0 <- c0 at (0,0)
+	w1[((1*2+0)*2+0)*2+1] = 0.7 // d1 <- c0 at (0,1)
+	net.Params[1].B.Data[0] = -0.03
+	net.Params[1].B.Data[1] = -0.04
+	// Layer 2: mixed-sign weights.
+	w2 := net.Params[2].W.Data
+	for i := range w2 {
+		m := 0.1 + 0.3*rng.Float64()
+		if rng.Intn(2) == 0 {
+			m = -m
+		}
+		w2[i] = float32(m)
+	}
+	net.Params[2].B.Data[0] = -0.02
+
+	o, err := NewStackOracle(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewStackAttacker(o, net)
+	rec, err := at.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 0 exact.
+	for d := 0; d < 2; d++ {
+		b := float64(net.Params[0].B.Data[d])
+		for k := 0; k < 9; k++ {
+			w := float64(w0[d*9+k])
+			if e := math.Abs(rec.Ratios[0][d][0][k/3][k%3] - w/b); e > 1e-3 {
+				t.Fatalf("layer0 d%d k%d err %g", d, k, e)
+			}
+		}
+	}
+	// Layer 1: all positive weights recovered (scaled); channels injectable.
+	got1 := 0
+	for d := 0; d < 2; d++ {
+		for c := 0; c < 2; c++ {
+			for k := 0; k < 4; k++ {
+				w := float64(w1[((d*2+c)*2+k/2)*2+k%2])
+				if w <= 0 {
+					continue
+				}
+				if rec.Zero[1][d][c][k/2][k%2] {
+					t.Fatalf("layer1 d%d c%d k%d positive weight missed", d, c, k)
+				}
+				want := w * float64(net.Params[0].B.Data[c]) / float64(net.Params[1].B.Data[d])
+				if e := math.Abs(rec.Ratios[1][d][c][k/2][k%2] - want); e > 1e-2*(1+math.Abs(want)) {
+					t.Fatalf("layer1 d%d c%d k%d: %g want %g", d, c, k,
+						rec.Ratios[1][d][c][k/2][k%2], want)
+				}
+				got1++
+			}
+		}
+	}
+	// Layer 2: every positive weight on an injectable channel recovered.
+	got2 := 0
+	for c := 0; c < 2; c++ {
+		if rec.Unreachable[2][c] {
+			t.Fatalf("layer-2 input channel %d not injectable", c)
+		}
+		for k := 0; k < 4; k++ {
+			w := float64(w2[(c*2+k/2)*2+k%2])
+			if w <= 0 {
+				if !rec.Zero[2][0][c][k/2][k%2] {
+					t.Fatalf("layer2 c%d k%d non-positive not flagged", c, k)
+				}
+				continue
+			}
+			if rec.Zero[2][0][c][k/2][k%2] {
+				t.Fatalf("layer2 c%d k%d positive weight missed", c, k)
+			}
+			want := w * float64(net.Params[1].B.Data[c]) / float64(net.Params[2].B.Data[0])
+			if e := math.Abs(rec.Ratios[2][0][c][k/2][k%2] - want); e > 2e-2*(1+math.Abs(want)) {
+				t.Fatalf("layer2 c%d k%d: %g want %g", c, k, rec.Ratios[2][0][c][k/2][k%2], want)
+			}
+			got2++
+		}
+	}
+	t.Logf("3-layer peel: %d layer-1 and %d layer-2 positive weights recovered, %d queries",
+		got1, got2, rec.Queries)
+}
+
+// TestRecoverNegativeDeep exercises the Eq-10 pinning extension: negative
+// layer-1 weights, invisible to single-pixel probing (deeper inputs are
+// non-negative), become recoverable when a pinned second delta lifts the
+// shared output above zero first.
+func TestRecoverNegativeDeep(t *testing.T) {
+	net, err := nn.New("pinstack", nn.Shape{C: 1, H: 20, W: 20}, []nn.LayerSpec{
+		{Name: "conv0", Kind: nn.KindConv, OutC: 1, F: 3, S: 2, ReLU: true},
+		{Name: "conv1", Kind: nn.KindConv, OutC: 1, F: 3, S: 2, ReLU: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	w0 := net.Params[0].W.Data
+	for i := range w0 {
+		w0[i] = float32(0.01 + 0.02*rng.Float64())
+	}
+	w0[(1)*3+1] = 0.6 // ladder-dominant channel
+	net.Params[0].B.Data[0] = -0.05
+
+	// Layer 1: a positive pin at (0,0) (inside the stride-2 block) and
+	// negative weights at positions far enough from the pin.
+	w1 := net.Params[1].W.Data
+	for i := range w1 {
+		w1[i] = float32(0.05 + 0.1*rng.Float64())
+	}
+	w1[0] = 0.5   // pin (0,0)
+	w1[2] = -0.3  // (0,2): separation 4 >= F0=3, recoverable
+	w1[6] = -0.2  // (2,0): recoverable
+	w1[8] = -0.35 // (2,2): recoverable
+	w1[4] = -0.25 // (1,1): separation 2 < 3, must stay flagged
+	net.Params[1].B.Data[0] = -0.03
+
+	o, err := NewStackOracle(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewStackAttacker(o, net)
+	rec, err := at.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-pixel pass leaves the negatives flagged.
+	for _, k := range [][2]int{{0, 2}, {2, 0}, {2, 2}, {1, 1}} {
+		if !rec.Zero[1][0][0][k[0]][k[1]] {
+			t.Fatalf("(%d,%d) should be flagged before pinning", k[0], k[1])
+		}
+	}
+	n, err := at.RecoverNegativeDeep(rec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3 {
+		t.Fatalf("recovered only %d negative weights", n)
+	}
+	b0 := float64(net.Params[0].B.Data[0])
+	b1 := float64(net.Params[1].B.Data[0])
+	for _, k := range [][2]int{{0, 2}, {2, 0}, {2, 2}} {
+		w := float64(w1[k[0]*3+k[1]])
+		want := w * b0 / b1
+		if rec.Zero[1][0][0][k[0]][k[1]] {
+			t.Fatalf("(%d,%d) still flagged after pinning", k[0], k[1])
+		}
+		got := rec.Ratios[1][0][0][k[0]][k[1]]
+		if e := math.Abs(got - want); e > 2e-2*(1+math.Abs(want)) {
+			t.Fatalf("(%d,%d): ρ = %g, want %g", k[0], k[1], got, want)
+		}
+	}
+	// The interfering position must remain flagged (honest refusal).
+	if !rec.Zero[1][0][0][1][1] {
+		t.Fatal("(1,1) should stay flagged: probes would interfere")
+	}
+}
