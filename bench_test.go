@@ -214,22 +214,63 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 // Substrate micro-benchmarks.
 // ---------------------------------------------------------------------------
 
-func BenchmarkGemm256(b *testing.B) {
-	const m, k, n = 256, 256, 256
+// gemmOperands builds deterministic operands for the GEMM shape benchmarks.
+func gemmOperands(lenA, lenB, lenC int) (a, bb, c []float32) {
 	rng := rand.New(rand.NewSource(1))
-	a := make([]float32, m*k)
-	bb := make([]float32, k*n)
-	c := make([]float32, m*n)
+	a = make([]float32, lenA)
+	bb = make([]float32, lenB)
+	c = make([]float32, lenC)
 	for i := range a {
 		a[i] = float32(rng.NormFloat64())
 	}
 	for i := range bb {
 		bb[i] = float32(rng.NormFloat64())
 	}
+	return a, bb, c
+}
+
+func benchGemmShape(b *testing.B, m, k, n int) {
+	b.Helper()
+	a, bb, c := gemmOperands(m*k, k*n, m*n)
 	b.SetBytes(int64(m*k+k*n+m*n) * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Gemm(a, bb, c, m, k, n)
+	}
+}
+
+// Square, skinny and transposed shapes of the cache-blocked GEMM family.
+// The naive-reference comparison benchmarks live next to the kernels in
+// internal/tensor/gemm_bench_test.go.
+
+func BenchmarkGemm256(b *testing.B)       { benchGemmShape(b, 256, 256, 256) }
+func BenchmarkGemmSquare512(b *testing.B) { benchGemmShape(b, 512, 512, 512) }
+
+// m=1: a single-sample FC forward row (classifier shape).
+func BenchmarkGemmSkinnyM1(b *testing.B) { benchGemmShape(b, 1, 4096, 1000) }
+
+// n=1: a matrix-vector product.
+func BenchmarkGemmSkinnyN1(b *testing.B) { benchGemmShape(b, 2048, 1024, 1) }
+
+func BenchmarkGemmTransA(b *testing.B) {
+	// Conv backward dcols shape: (k×OutC)ᵀ·(OutC×n), AlexNet conv2 family.
+	m, k, n := 2400, 256, 729
+	a, bb, c := gemmOperands(k*m, k*n, m*n)
+	b.SetBytes(int64(k*m+k*n+m*n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmTransA(a, bb, c, m, k, n)
+	}
+}
+
+func BenchmarkGemmTransB(b *testing.B) {
+	// Conv backward dW shape: (OutC×spatial)·(k×spatial)ᵀ.
+	m, k, n := 256, 729, 2400
+	a, bb, c := gemmOperands(m*k, n*k, m*n)
+	b.SetBytes(int64(m*k+n*k+m*n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmTransB(a, bb, c, m, k, n)
 	}
 }
 

@@ -10,14 +10,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/dataset"
 	"cnnrev/internal/nn"
 	"cnnrev/internal/structrev"
+	"cnnrev/internal/tensor"
 	"cnnrev/internal/weightrev"
 )
 
@@ -383,26 +382,15 @@ func RunWeightAttack(net *nn.Network, cfg accel.Config) (*WeightReport, error) {
 	b := net.Params[0].B.Data
 	inC, f := net.Input.C, spec.F
 
-	// Filters are independent: recover them in parallel (the analytic
-	// oracle is read-only per query). In hardware terms this corresponds to
-	// interleaving the per-filter query schedules.
+	// Filters are independent: recover them in parallel on the shared tensor
+	// worker pool (the analytic oracle is read-only per query), one task per
+	// filter so uneven search depths balance dynamically. In hardware terms
+	// this corresponds to interleaving the per-filter query schedules.
 	results := make([]*weightrev.FilterRatios, spec.OutC)
 	errs := make([]error, spec.OutC)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > spec.OutC {
-		workers = spec.OutC
-	}
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func(wkr int) {
-			defer wg.Done()
-			for d := wkr; d < spec.OutC; d += workers {
-				results[d], errs[d] = at.RecoverFilterRatios(d)
-			}
-		}(wkr)
-	}
-	wg.Wait()
+	tensor.Parallel(spec.OutC, func(d int) {
+		results[d], errs[d] = at.RecoverFilterRatios(d)
+	})
 	for d := 0; d < spec.OutC; d++ {
 		if errs[d] != nil {
 			return nil, errs[d]

@@ -72,6 +72,65 @@ func TestTraceSerializationRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceSerializationRoundTripLarge round-trips a trace big enough to
+// exercise the fixed-record fast path across many bufio flushes, and checks
+// the on-disk size against the documented layout (24-byte header + 21-byte
+// records) so the format cannot drift.
+func TestTraceSerializationRoundTripLarge(t *testing.T) {
+	const n = 200_000
+	tr := &Trace{BlockBytes: 64, Accesses: make([]Access, n)}
+	for i := range tr.Accesses {
+		tr.Accesses[i] = Access{
+			Cycle: uint64(i) * 3,
+			Addr:  uint64(i%4096) * 64,
+			Count: uint32(i%7 + 1),
+			Kind:  Kind(i % 2),
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := 24 + n*21; buf.Len() != want {
+		t.Fatalf("serialized size = %d bytes, want %d (format drift)", buf.Len(), want)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockBytes != tr.BlockBytes || len(got.Accesses) != n {
+		t.Fatalf("round trip header mismatch: block=%d n=%d", got.BlockBytes, len(got.Accesses))
+	}
+	for i := range tr.Accesses {
+		if got.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d: %+v != %+v", i, got.Accesses[i], tr.Accesses[i])
+		}
+	}
+}
+
+// TestReadTraceRejectsInvalidKind corrupts the direction byte of a record;
+// silently accepting it would misclassify reads vs. writes downstream.
+func TestReadTraceRejectsInvalidKind(t *testing.T) {
+	tr := &Trace{BlockBytes: 4, Accesses: []Access{
+		{Cycle: 1, Addr: 0, Count: 1, Kind: Read},
+		{Cycle: 2, Addr: 4, Count: 1, Kind: Write},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Kind byte of the second record: header (24) + one record (21) + 20.
+	raw[24+21+20] = 2
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected error for invalid kind byte")
+	}
+	raw[24+21+20] = 0xFF
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected error for 0xFF kind byte")
+	}
+}
+
 func TestReadTraceRejectsGarbage(t *testing.T) {
 	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all........"))); err == nil {
 		t.Fatal("expected error for bad magic")

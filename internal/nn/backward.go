@@ -3,8 +3,6 @@ package nn
 import (
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"cnnrev/internal/tensor"
 )
@@ -202,14 +200,14 @@ type trainBuf struct {
 }
 
 // NewTrainer constructs a trainer with sensible defaults for any zero field
-// (LR 0.01, momentum 0.9, batch 32, GOMAXPROCS workers).
+// (LR 0.01, momentum 0.9, batch 32, one worker per shared-pool slot).
 func NewTrainer(n *Network) *Trainer {
 	tr := &Trainer{
 		Net:       n,
 		LR:        0.01,
 		Momentum:  0.9,
 		BatchSize: 32,
-		Workers:   runtime.GOMAXPROCS(0),
+		Workers:   tensor.Workers(),
 	}
 	tr.velW = make([][]float32, len(n.Specs))
 	tr.velB = make([][]float32, len(n.Specs))
@@ -256,24 +254,25 @@ func (tr *Trainer) step(xs [][]float32, ys []int, batch []int) float64 {
 		workers = len(batch)
 	}
 	losses := make([]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	// Worker shards run on the shared tensor pool; a shard's nested GEMM
+	// parallelism then finds the pool busy and runs inline instead of
+	// oversubscribing. Each shard accumulates its loss in a local before the
+	// single final store, so shards never write adjacent losses[] words in
+	// their hot loop (false sharing).
+	tensor.Parallel(workers, func(w int) {
 		buf := tr.bufs[w]
 		buf.gs.zeroGrads()
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for bi := w; bi < len(batch); bi += workers {
-				idx := batch[bi]
-				x := xs[idx]
-				out := n.forward(buf.st, x)
-				last := len(n.Specs) - 1
-				losses[w] += tensor.SoftmaxCrossEntropy(out, ys[idx], buf.gs.dOut[last])
-				n.backward(buf.st, buf.gs, x)
-			}
-		}(w)
-	}
-	wg.Wait()
+		var loss float64
+		for bi := w; bi < len(batch); bi += workers {
+			idx := batch[bi]
+			x := xs[idx]
+			out := n.forward(buf.st, x)
+			last := len(n.Specs) - 1
+			loss += tensor.SoftmaxCrossEntropy(out, ys[idx], buf.gs.dOut[last])
+			n.backward(buf.st, buf.gs, x)
+		}
+		losses[w] = loss
+	})
 
 	invBatch := 1 / float32(len(batch))
 	// Reduce worker gradients into worker 0 and optionally clip the global
@@ -338,30 +337,26 @@ func Accuracy(n *Network, xs [][]float32, ys []int, k int) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := tensor.Workers()
 	if workers > len(xs) {
 		workers = len(xs)
 	}
 	hits := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st := n.newState()
-			for i := w; i < len(xs); i += workers {
-				out := n.forward(st, xs[i])
-				t := tensor.FromSlice(out, len(out))
-				for _, idx := range t.TopK(k) {
-					if idx == ys[i] {
-						hits[w]++
-						break
-					}
+	tensor.Parallel(workers, func(w int) {
+		st := n.newState()
+		hit := 0 // local accumulator: avoids false sharing on hits[]
+		for i := w; i < len(xs); i += workers {
+			out := n.forward(st, xs[i])
+			t := tensor.FromSlice(out, len(out))
+			for _, idx := range t.TopK(k) {
+				if idx == ys[i] {
+					hit++
+					break
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+		hits[w] = hit
+	})
 	total := 0
 	for _, h := range hits {
 		total += h

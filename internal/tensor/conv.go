@@ -176,19 +176,3 @@ func (c Conv2D) Backward(in []float32, h, w int, weights, dOut, dWeights, dBias,
 		c.Col2im(colsGrad, h, w, dIn)
 	}
 }
-
-// GemmTransBAcc computes C += A*Bᵀ where A is m×k, B is n×k, C is m×n.
-func GemmTransBAcc(a, b, c []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : j*k+k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] += s
-		}
-	}
-}

@@ -1,19 +1,59 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
+import "sync"
+
+// The GEMM family is cache-blocked: the k and n dimensions are walked in
+// KC×NC panels, the B panel is packed into a contiguous scratch buffer so
+// the inner kernels stream it with unit stride regardless of the parent
+// matrix's row length, and the m dimension is split into row blocks that
+// the shared worker pool (pool.go) executes concurrently. All workers of a
+// panel read the same packed B and own disjoint rows of C, so no
+// synchronization is needed inside a panel.
+const (
+	// blockMC is the number of C rows one pool task owns.
+	blockMC = 64
+	// blockKC is the packed panel depth; blockKC·blockNC floats ≈ 256 KiB,
+	// sized to sit in L2 while A rows stream past it. The panel is wide and
+	// shallow (NC ≫ KC) so the innermost j loops stay long enough to amortize
+	// their setup; narrower panels measurably lose to the unblocked kernel on
+	// deep-k convolution shapes even though they touch the same bytes.
+	blockKC = 128
+	// blockNC is the packed panel width.
+	blockNC = 512
 )
 
 // gemmParallelThreshold is the minimum number of multiply-accumulates below
-// which Gemm runs single-threaded; spawning goroutines for tiny products
-// costs more than it saves.
+// which a GEMM runs single-threaded and unblocked; packing a panel and
+// waking pool workers for tiny products costs more than it saves.
 const gemmParallelThreshold = 1 << 16
 
+// gemmPackMinRows is the minimum m for the packed-panel path. Packing costs
+// one copy per panel element and is amortized over the m rows that reuse the
+// panel, so below this the kernels parallelize over unpacked column blocks
+// instead (the depth-scaled candidate networks of the ranking attack produce
+// exactly these few-filter, wide-spatial shapes).
+const gemmPackMinRows = 16
+
+// panelPool recycles packed-panel scratch buffers across GEMM calls.
+var panelPool = sync.Pool{
+	New: func() any { return make([]float32, blockKC*blockNC) },
+}
+
+// colSplit partitions n columns for the unpacked skinny-m paths: wide enough
+// that the inner loops still stream long runs (≥ blockNC), and no finer than
+// ~2 blocks per pool worker. With a single worker this yields one full-width
+// block, making the skinny path bit-for-bit the serial kernel's access
+// pattern rather than paying column-split overhead nobody can use.
+func colSplit(n int) (blocks, width int) {
+	width = (n + 2*Workers() - 1) / (2 * Workers())
+	if width < blockNC {
+		width = blockNC
+	}
+	return (n + width - 1) / width, width
+}
+
 // Gemm computes C = A*B for row-major matrices, where A is m×k, B is k×n and
-// C is m×n. C is overwritten. The inner loops are ordered i,k,j so that the
-// innermost loop streams both B and C rows sequentially, and rows of C are
-// distributed across goroutines for large products.
+// C is m×n. C is overwritten.
 func Gemm(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small")
@@ -21,41 +61,102 @@ func Gemm(a, b, c []float32, m, k, n int) {
 	for i := range c[:m*n] {
 		c[i] = 0
 	}
-	GemmAcc(a, b, c, m, k, n)
+	gemmAcc(a, b, c, m, k, n)
 }
 
 // GemmAcc computes C += A*B with the same layout conventions as Gemm.
 func GemmAcc(a, b, c []float32, m, k, n int) {
-	work := m * k * n
-	workers := runtime.GOMAXPROCS(0)
-	if work < gemmParallelThreshold || workers == 1 || m == 1 {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmAcc buffer too small")
+	}
+	gemmAcc(a, b, c, m, k, n)
+}
+
+func gemmAcc(a, b, c []float32, m, k, n int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if m*k*n < gemmParallelThreshold {
 		gemmRows(a, b, c, 0, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
+	if m < gemmPackMinRows {
+		// Skinny in m (a single-sample FC row, or a depth-scaled conv with a
+		// handful of filters): too few rows to amortize packing, so split
+		// the columns of B and C into blocks and run the plain streaming
+		// kernel on each — disjoint C columns, no scratch, and identical
+		// memory behavior to the serial kernel when the pool is busy.
+		blocks, width := colSplit(n)
+		Parallel(blocks, func(ji int) {
+			jc := ji * width
+			nc := min(width, n-jc)
+			for i := 0; i < m; i++ {
+				arow := a[i*k : i*k+k]
+				crow := c[i*n+jc : i*n+jc+nc]
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n+jc : p*n+jc+nc]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		})
+		return
 	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(a, b, c, lo, hi, k, n)
-		}(lo, hi)
+	// Row blocks sized so every pool worker gets a few tasks to balance.
+	mc := blockMC
+	if w := Workers(); m < 2*w*mc {
+		mc = max((m+2*w-1)/(2*w), 8)
 	}
-	wg.Wait()
+	packed := panelPool.Get().([]float32)
+	defer panelPool.Put(packed)
+	for jc := 0; jc < n; jc += blockNC {
+		nc := min(blockNC, n-jc)
+		for pc := 0; pc < k; pc += blockKC {
+			kc := min(blockKC, k-pc)
+			packB(packed, b, pc, kc, jc, nc, n)
+			Parallel((m+mc-1)/mc, func(bi int) {
+				ic := bi * mc
+				gemmPanel(a, packed, c, ic, min(mc, m-ic), pc, kc, jc, nc, k, n)
+			})
+		}
+	}
 }
 
-// gemmRows accumulates rows [lo,hi) of C += A*B.
+// packB copies the kc×nc sub-panel of row-major B (row length n) starting at
+// (pc, jc) into packed, contiguously with row length nc.
+func packB(packed, b []float32, pc, kc, jc, nc, n int) {
+	for p := 0; p < kc; p++ {
+		src := b[(pc+p)*n+jc:]
+		copy(packed[p*nc:p*nc+nc], src[:nc])
+	}
+}
+
+// gemmPanel accumulates C[ic:ic+mc, jc:jc+nc] += A[ic:ic+mc, pc:pc+kc] times
+// the packed kc×nc B panel. The zero-skip matters for the sparse im2col
+// columns produced by padded convolutions.
+func gemmPanel(a, packed, c []float32, ic, mc, pc, kc, jc, nc, k, n int) {
+	for i := ic; i < ic+mc; i++ {
+		arow := a[i*k+pc : i*k+pc+kc]
+		crow := c[i*n+jc : i*n+jc+nc]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := packed[p*nc : p*nc+nc]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gemmRows accumulates rows [lo,hi) of C += A*B with the i,k,j loop order,
+// streaming B and C rows sequentially. This is the unblocked small-size
+// kernel and the serial baseline the blocked path must agree with.
 func gemmRows(a, b, c []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		arow := a[i*k : i*k+k]
@@ -75,9 +176,79 @@ func gemmRows(a, b, c []float32, lo, hi, k, n int) {
 // GemmTransA computes C = Aᵀ*B where A is k×m (so Aᵀ is m×k), B is k×n and
 // C is m×n. Used by convolution backward passes.
 func GemmTransA(a, b, c []float32, m, k, n int) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmTransA buffer too small")
+	}
 	for i := range c[:m*n] {
 		c[i] = 0
 	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if m*k*n < gemmParallelThreshold {
+		gemmTransASerial(a, b, c, m, k, n)
+		return
+	}
+	if m < gemmPackMinRows {
+		// Too few C rows to amortize packing: split the columns instead and
+		// run the serial loop order on each disjoint column window.
+		blocks, width := colSplit(n)
+		Parallel(blocks, func(ji int) {
+			jc := ji * width
+			nc := min(width, n-jc)
+			for p := 0; p < k; p++ {
+				arow := a[p*m : p*m+m]
+				brow := b[p*n+jc : p*n+jc+nc]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					crow := c[i*n+jc : i*n+jc+nc]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		})
+		return
+	}
+	// Row blocks of C own contiguous runs of every row of A (A is k×m, so
+	// row p contributes a[p*m+ic : p*m+ic+mc]), which keeps both the A reads
+	// and the C writes of a task disjoint and cache-local.
+	mc := blockMC
+	if w := Workers(); m < 2*w*mc {
+		mc = max((m+2*w-1)/(2*w), 8)
+	}
+	packed := panelPool.Get().([]float32)
+	defer panelPool.Put(packed)
+	for jc := 0; jc < n; jc += blockNC {
+		nc := min(blockNC, n-jc)
+		for pc := 0; pc < k; pc += blockKC {
+			kc := min(blockKC, k-pc)
+			packB(packed, b, pc, kc, jc, nc, n)
+			Parallel((m+mc-1)/mc, func(bi int) {
+				ic := bi * mc
+				mcc := min(mc, m-ic)
+				for p := 0; p < kc; p++ {
+					apart := a[(pc+p)*m+ic : (pc+p)*m+ic+mcc]
+					brow := packed[p*nc : p*nc+nc]
+					for ii, av := range apart {
+						if av == 0 {
+							continue
+						}
+						crow := c[(ic+ii)*n+jc : (ic+ii)*n+jc+nc]
+						for j, bv := range brow {
+							crow[j] += av * bv
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// gemmTransASerial is the unblocked Aᵀ*B accumulation kernel.
+func gemmTransASerial(a, b, c []float32, m, k, n int) {
 	for p := 0; p < k; p++ {
 		arow := a[p*m : p*m+m]
 		brow := b[p*n : p*n+n]
@@ -95,16 +266,105 @@ func GemmTransA(a, b, c []float32, m, k, n int) {
 
 // GemmTransB computes C = A*Bᵀ where A is m×k, B is n×k and C is m×n.
 func GemmTransB(a, b, c []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTransB buffer too small")
+	}
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	gemmTransBAcc(a, b, c, m, k, n)
+}
+
+// GemmTransBAcc computes C += A*Bᵀ where A is m×k, B is n×k, C is m×n.
+func GemmTransBAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTransBAcc buffer too small")
+	}
+	gemmTransBAcc(a, b, c, m, k, n)
+}
+
+func gemmTransBAcc(a, b, c []float32, m, k, n int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if m*k*n < gemmParallelThreshold {
+		gemmTransBRows(a, b, c, 0, m, k, n)
+		return
+	}
+	if m < gemmPackMinRows {
+		// Few C rows: every output is an independent dot of contiguous
+		// k-vectors, so split the B rows (= C columns) across the pool
+		// without packing.
+		blocks, width := colSplit(n)
+		Parallel(blocks, func(ji int) {
+			jc := ji * width
+			nc := min(width, n-jc)
+			for i := 0; i < m; i++ {
+				arow := a[i*k : i*k+k]
+				crow := c[i*n+jc : i*n+jc+nc]
+				for j := 0; j < nc; j++ {
+					crow[j] += dot(arow, b[(jc+j)*k:(jc+j)*k+k])
+				}
+			}
+		})
+		return
+	}
+	// Here both A rows and B rows are contiguous k-vectors; the panel packs
+	// nc rows of B restricted to a kc slice so a task's working set is one
+	// nc×kc panel plus the A row it streams.
+	mc := blockMC
+	if w := Workers(); m < 2*w*mc {
+		mc = max((m+2*w-1)/(2*w), 1)
+	}
+	packed := panelPool.Get().([]float32)
+	defer panelPool.Put(packed)
+	for jc := 0; jc < n; jc += blockNC {
+		nc := min(blockNC, n-jc)
+		for pc := 0; pc < k; pc += blockKC {
+			kc := min(blockKC, k-pc)
+			// Pack rows jc..jc+nc of B, columns pc..pc+kc (row length kc).
+			for j := 0; j < nc; j++ {
+				src := b[(jc+j)*k+pc:]
+				copy(packed[j*kc:j*kc+kc], src[:kc])
+			}
+			Parallel((m+mc-1)/mc, func(bi int) {
+				ic := bi * mc
+				for i := ic; i < min(ic+mc, m); i++ {
+					arow := a[i*k+pc : i*k+pc+kc]
+					crow := c[i*n+jc : i*n+jc+nc]
+					for j := 0; j < nc; j++ {
+						crow[j] += dot(arow, packed[j*kc:j*kc+kc])
+					}
+				}
+			})
+		}
+	}
+}
+
+// gemmTransBRows is the unblocked A*Bᵀ kernel over C rows [lo,hi).
+func gemmTransBRows(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		arow := a[i*k : i*k+k]
 		crow := c[i*n : i*n+n]
 		for j := 0; j < n; j++ {
-			brow := b[j*k : j*k+k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
+			crow[j] += dot(arow, b[j*k:j*k+k])
 		}
 	}
+}
+
+// dot returns the inner product of two equal-length float32 vectors, using
+// four accumulators so the multiplies pipeline.
+func dot(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }

@@ -128,6 +128,169 @@ func TestGemmTransB(t *testing.T) {
 	}
 }
 
+// naiveGemmTransA is the reference Aᵀ·B (A stored k×m): explicit transpose
+// plus the naive triple loop.
+func naiveGemmTransA(a, b []float32, m, k, n int) []float32 {
+	at := make([]float32, m*k)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			at[i*k+p] = a[p*m+i]
+		}
+	}
+	return naiveGemm(at, b, m, k, n)
+}
+
+// naiveGemmTransB is the reference A·Bᵀ (B stored n×k).
+func naiveGemmTransB(a, b []float32, m, k, n int) []float32 {
+	bt := make([]float32, k*n)
+	for j := 0; j < n; j++ {
+		for p := 0; p < k; p++ {
+			bt[p*n+j] = b[j*k+p]
+		}
+	}
+	return naiveGemm(a, bt, m, k, n)
+}
+
+// Property: every blocked kernel matches the retained naive reference over
+// randomized shapes, including k=0, skinny m/n, and extents that are not
+// multiples of the MC/KC/NC block sizes (so partial panels are exercised).
+func TestQuickBlockedKernelsMatchNaive(t *testing.T) {
+	dim := func(r *rand.Rand) int {
+		switch r.Intn(4) {
+		case 0:
+			return 1 + r.Intn(8) // tiny / skinny
+		case 1:
+			return r.Intn(2) * (1 + r.Intn(4)) // sometimes 0
+		case 2:
+			return blockMC + r.Intn(blockMC) // straddles a row block
+		default:
+			return 1 + r.Intn(blockKC+40) // may straddle a KC/NC panel
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := dim(r), dim(r), dim(r)
+		tol := 1e-4 + 1e-6*float64(k)
+		a, b := randSlice(r, m*k), randSlice(r, k*n)
+		c := make([]float32, m*n)
+		Gemm(a, b, c, m, k, n)
+		if maxDiff(c, naiveGemm(a, b, m, k, n)) > tol {
+			t.Logf("Gemm mismatch at m=%d k=%d n=%d", m, k, n)
+			return false
+		}
+
+		acc := make([]float32, m*n)
+		for i := range acc {
+			acc[i] = float32(i%5) - 2
+		}
+		want := naiveGemm(a, b, m, k, n)
+		for i := range want {
+			want[i] += float32(i%5) - 2
+		}
+		GemmAcc(a, b, acc, m, k, n)
+		if maxDiff(acc, want) > tol {
+			t.Logf("GemmAcc mismatch at m=%d k=%d n=%d", m, k, n)
+			return false
+		}
+
+		at := randSlice(r, k*m) // stored k×m
+		c2 := make([]float32, m*n)
+		GemmTransA(at, b, c2, m, k, n)
+		if maxDiff(c2, naiveGemmTransA(at, b, m, k, n)) > tol {
+			t.Logf("GemmTransA mismatch at m=%d k=%d n=%d", m, k, n)
+			return false
+		}
+
+		bt := randSlice(r, n*k) // stored n×k
+		c3 := make([]float32, m*n)
+		GemmTransB(a, bt, c3, m, k, n)
+		wantT := naiveGemmTransB(a, bt, m, k, n)
+		if maxDiff(c3, wantT) > tol {
+			t.Logf("GemmTransB mismatch at m=%d k=%d n=%d", m, k, n)
+			return false
+		}
+
+		c4 := make([]float32, m*n)
+		for i := range c4 {
+			c4[i] = 1
+		}
+		GemmTransBAcc(a, bt, c4, m, k, n)
+		for i := range wantT {
+			wantT[i]++
+		}
+		if maxDiff(c4, wantT) > tol {
+			t.Logf("GemmTransBAcc mismatch at m=%d k=%d n=%d", m, k, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGemmZeroK pins the k=0 contract: Gemm/GemmTransA/GemmTransB zero C,
+// the accumulating variants leave it untouched.
+func TestGemmZeroK(t *testing.T) {
+	m, n := 3, 4
+	c := make([]float32, m*n)
+	for i := range c {
+		c[i] = 7
+	}
+	Gemm(nil, nil, c, m, 0, n)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("Gemm k=0 left c[%d]=%g", i, v)
+		}
+	}
+	for i := range c {
+		c[i] = 7
+	}
+	GemmAcc(nil, nil, c, m, 0, n)
+	GemmTransBAcc(nil, nil, c, m, 0, n)
+	for i, v := range c {
+		if v != 7 {
+			t.Fatalf("accumulating k=0 variant changed c[%d] to %g", i, v)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected bounds panic", name)
+		}
+	}()
+	fn()
+}
+
+// Every variant must reject undersized buffers up front rather than
+// corrupting adjacent memory or panicking mid-write.
+func TestGemmBoundsChecks(t *testing.T) {
+	m, k, n := 4, 5, 6
+	a := make([]float32, m*k)
+	at := make([]float32, k*m)
+	b := make([]float32, k*n)
+	bt := make([]float32, n*k)
+	c := make([]float32, m*n)
+	short := func(s []float32) []float32 { return s[:len(s)-1] }
+
+	mustPanic(t, "Gemm short a", func() { Gemm(short(a), b, c, m, k, n) })
+	mustPanic(t, "Gemm short b", func() { Gemm(a, short(b), c, m, k, n) })
+	mustPanic(t, "Gemm short c", func() { Gemm(a, b, short(c), m, k, n) })
+	mustPanic(t, "GemmAcc short c", func() { GemmAcc(a, b, short(c), m, k, n) })
+	mustPanic(t, "GemmTransA short a", func() { GemmTransA(short(at), b, c, m, k, n) })
+	mustPanic(t, "GemmTransA short b", func() { GemmTransA(at, short(b), c, m, k, n) })
+	mustPanic(t, "GemmTransA short c", func() { GemmTransA(at, b, short(c), m, k, n) })
+	mustPanic(t, "GemmTransB short a", func() { GemmTransB(short(a), bt, c, m, k, n) })
+	mustPanic(t, "GemmTransB short b", func() { GemmTransB(a, short(bt), c, m, k, n) })
+	mustPanic(t, "GemmTransB short c", func() { GemmTransB(a, bt, short(c), m, k, n) })
+	mustPanic(t, "GemmTransBAcc short a", func() { GemmTransBAcc(short(a), bt, c, m, k, n) })
+	mustPanic(t, "GemmTransBAcc short b", func() { GemmTransBAcc(a, short(bt), c, m, k, n) })
+	mustPanic(t, "GemmTransBAcc short c", func() { GemmTransBAcc(a, bt, short(c), m, k, n) })
+}
+
 // Property: matrix multiplication distributes over addition, (A)(B+B') = AB + AB'.
 func TestQuickGemmDistributive(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))

@@ -1,167 +1,104 @@
 package tensor
 
-import "math"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
-// Pool2D holds the geometry of a square pooling window. Ceil selects
-// Caffe-style ceil-mode output sizing (the mode the paper's Table 4 implies);
-// windows that extend past the padded input are clipped.
-type Pool2D struct {
-	F, S, P int
-	Ceil    bool
+// workerPool is a fixed set of persistent worker goroutines shared by every
+// parallel kernel in the process. Routing all data parallelism — GEMM row
+// blocks, per-sample training/accuracy fan-out, per-filter weight recovery —
+// through one bounded pool keeps the total number of runnable compute
+// goroutines at the pool size even when parallel regions nest (a trainer
+// worker calling a parallel GEMM), instead of multiplying goroutines per
+// call and oversubscribing GOMAXPROCS.
+type workerPool struct {
+	size  int
+	tasks chan func()
 }
 
-// OutDim returns the pooled output extent for an input extent w.
-func (p Pool2D) OutDim(w int) int {
-	if p.Ceil {
-		return PoolOutDim(w, p.F, p.S, p.P)
+// newWorkerPool starts a pool of the given parallel width. The pool runs
+// size−1 background workers; the goroutine that submits a parallel region
+// always participates, so total concurrency is exactly size.
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
 	}
-	return ConvOutDim(w, p.F, p.S, p.P)
+	p := &workerPool{size: size, tasks: make(chan func())}
+	for i := 0; i < size-1; i++ {
+		go p.work()
+	}
+	return p
 }
 
-// MaxForward applies channel-wise max pooling to in (c×h×w), writing
-// out (c×oh×ow). If argmax is non-nil it records, per output element, the
-// flat input index of the selected maximum (or -1 when the window covered
-// only padding), for use by MaxBackward.
-func (p Pool2D) MaxForward(in []float32, c, h, w int, out []float32, argmax []int) (oh, ow int) {
-	oh, ow = p.OutDim(h), p.OutDim(w)
-	oi := 0
-	for ch := 0; ch < c; ch++ {
-		base := ch * h * w
-		for oy := 0; oy < oh; oy++ {
-			y0 := oy*p.S - p.P
-			for ox := 0; ox < ow; ox++ {
-				x0 := ox*p.S - p.P
-				best := float32(math.Inf(-1))
-				bestIdx := -1
-				for ky := 0; ky < p.F; ky++ {
-					iy := y0 + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for kx := 0; kx < p.F; kx++ {
-						ix := x0 + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						v := in[base+iy*w+ix]
-						if v > best {
-							best, bestIdx = v, base+iy*w+ix
-						}
-					}
-				}
-				if bestIdx < 0 {
-					best = 0 // window fully in padding: emit zero
-				}
-				out[oi] = best
-				if argmax != nil {
-					argmax[oi] = bestIdx
-				}
-				oi++
+func (p *workerPool) work() {
+	for f := range p.tasks {
+		f()
+	}
+}
+
+// parallel executes fn(i) for every i in [0,n), distributing iterations
+// dynamically over idle pool workers plus the calling goroutine. Handing the
+// loop to a worker uses a non-blocking send on an unbuffered channel, which
+// succeeds only when a worker is actually parked waiting — so a nested call
+// issued from inside a worker finds no idle peers and simply runs inline,
+// never growing the goroutine count past the pool size. fn must be safe for
+// concurrent invocation with distinct i.
+func (p *workerPool) parallel(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p.size == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	loop := func() {
+		defer wg.Done()
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
 			}
+			fn(int(i))
 		}
 	}
-	return oh, ow
+recruit:
+	for helpers := 0; helpers < n-1 && helpers < p.size-1; helpers++ {
+		wg.Add(1)
+		select {
+		case p.tasks <- loop:
+		default:
+			wg.Done()
+			break recruit // no idle worker: run the rest inline
+		}
+	}
+	wg.Add(1)
+	loop()
+	wg.Wait()
 }
 
-// MaxBackward scatters the upstream gradient dOut through the argmax map
-// produced by MaxForward, accumulating into dIn (which the caller zeroes).
-func (p Pool2D) MaxBackward(dOut []float32, argmax []int, dIn []float32) {
-	for i, g := range dOut {
-		if idx := argmax[i]; idx >= 0 {
-			dIn[idx] += g
-		}
-	}
+var (
+	sharedOnce sync.Once
+	shared     *workerPool
+)
+
+func sharedPool() *workerPool {
+	sharedOnce.Do(func() { shared = newWorkerPool(runtime.GOMAXPROCS(0)) })
+	return shared
 }
 
-// AvgForward applies channel-wise average pooling with a fixed divisor of
-// F² (padding counts as zeros), matching the paper's Eq. (11) semantics.
-func (p Pool2D) AvgForward(in []float32, c, h, w int, out []float32) (oh, ow int) {
-	oh, ow = p.OutDim(h), p.OutDim(w)
-	inv := 1 / float32(p.F*p.F)
-	oi := 0
-	for ch := 0; ch < c; ch++ {
-		base := ch * h * w
-		for oy := 0; oy < oh; oy++ {
-			y0 := oy*p.S - p.P
-			for ox := 0; ox < ow; ox++ {
-				x0 := ox*p.S - p.P
-				var sum float32
-				for ky := 0; ky < p.F; ky++ {
-					iy := y0 + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for kx := 0; kx < p.F; kx++ {
-						ix := x0 + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						sum += in[base+iy*w+ix]
-					}
-				}
-				out[oi] = sum * inv
-				oi++
-			}
-		}
-	}
-	return oh, ow
-}
+// Workers returns the parallel width of the shared pool (the number of
+// iterations of a Parallel region that can run simultaneously). Callers
+// sizing per-worker scratch buffers should allocate this many.
+func Workers() int { return sharedPool().size }
 
-// AvgBackward distributes the upstream gradient uniformly over each window
-// (1/F² per contributing input element), accumulating into dIn.
-func (p Pool2D) AvgBackward(dOut []float32, c, h, w int, dIn []float32) {
-	oh, ow := p.OutDim(h), p.OutDim(w)
-	inv := 1 / float32(p.F*p.F)
-	oi := 0
-	for ch := 0; ch < c; ch++ {
-		base := ch * h * w
-		for oy := 0; oy < oh; oy++ {
-			y0 := oy*p.S - p.P
-			for ox := 0; ox < ow; ox++ {
-				x0 := ox*p.S - p.P
-				g := dOut[oi] * inv
-				oi++
-				for ky := 0; ky < p.F; ky++ {
-					iy := y0 + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for kx := 0; kx < p.F; kx++ {
-						ix := x0 + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						dIn[base+iy*w+ix] += g
-					}
-				}
-			}
-		}
-	}
-}
-
-// GlobalAvgForward averages each channel plane of in (c×h×w) to a single
-// value, writing c values to out.
-func GlobalAvgForward(in []float32, c, h, w int, out []float32) {
-	plane := h * w
-	inv := 1 / float32(plane)
-	for ch := 0; ch < c; ch++ {
-		var s float32
-		for _, v := range in[ch*plane : (ch+1)*plane] {
-			s += v
-		}
-		out[ch] = s * inv
-	}
-}
-
-// GlobalAvgBackward spreads each channel's gradient uniformly over its plane.
-func GlobalAvgBackward(dOut []float32, c, h, w int, dIn []float32) {
-	plane := h * w
-	inv := 1 / float32(plane)
-	for ch := 0; ch < c; ch++ {
-		g := dOut[ch] * inv
-		row := dIn[ch*plane : (ch+1)*plane]
-		for i := range row {
-			row[i] += g
-		}
-	}
-}
+// Parallel runs fn(i) for every i in [0,n) on the shared pool, returning
+// when all iterations have finished. Iterations are claimed dynamically, so
+// uneven per-iteration cost balances automatically. Nested Parallel calls
+// are safe and degrade to inline execution rather than oversubscribing.
+func Parallel(n int, fn func(i int)) { sharedPool().parallel(n, fn) }

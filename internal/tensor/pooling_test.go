@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	// 1 channel, 4x4 input, 2x2 window stride 2.
+	in := []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	p := Pool2D{F: 2, S: 2}
+	out := make([]float32, 4)
+	arg := make([]int, 4)
+	oh, ow := p.MaxForward(in, 1, 4, 4, out, arg)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("out dims %dx%d, want 2x2", oh, ow)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	wantArg := []int{5, 7, 13, 15}
+	for i := range wantArg {
+		if arg[i] != wantArg[i] {
+			t.Fatalf("argmax = %v, want %v", arg, wantArg)
+		}
+	}
+}
+
+func TestMaxPoolCeilModeClipsWindow(t *testing.T) {
+	// 5x5 input, 2x2 stride 2, ceil mode: output 3x3 with clipped last column/row.
+	in := make([]float32, 25)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	p := Pool2D{F: 2, S: 2, Ceil: true}
+	if d := p.OutDim(5); d != 3 {
+		t.Fatalf("ceil OutDim(5) = %d, want 3", d)
+	}
+	out := make([]float32, 9)
+	p.MaxForward(in, 1, 5, 5, out, nil)
+	// Bottom-right output covers only element 24.
+	if out[8] != 24 {
+		t.Fatalf("clipped corner = %v, want 24", out[8])
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	in := []float32{1, 3, 2, 0}
+	p := Pool2D{F: 2, S: 2}
+	out := make([]float32, 1)
+	arg := make([]int, 1)
+	p.MaxForward(in, 1, 2, 2, out, arg)
+	dIn := make([]float32, 4)
+	p.MaxBackward([]float32{5}, arg, dIn)
+	want := []float32{0, 5, 0, 0}
+	for i := range want {
+		if dIn[i] != want[i] {
+			t.Fatalf("dIn = %v, want %v", dIn, want)
+		}
+	}
+}
+
+func TestAvgPoolFixedDivisor(t *testing.T) {
+	// With padding, the divisor stays F² (padding counts as zeros), matching
+	// the paper's Eq. (11).
+	in := []float32{4}
+	p := Pool2D{F: 2, S: 1, P: 1, Ceil: false}
+	oh := p.OutDim(1)
+	out := make([]float32, oh*oh)
+	p.AvgForward(in, 1, 1, 1, out)
+	// Every window sees the single pixel once: 4/4 = 1.
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("out[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestAvgPoolBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := Pool2D{F: 3, S: 2, P: 1}
+	c, h, w := 2, 6, 5
+	oh, ow := p.OutDim(h), p.OutDim(w)
+	in := randSlice(rng, c*h*w)
+	dOut := randSlice(rng, c*oh*ow)
+	loss := func() float64 {
+		out := make([]float32, c*oh*ow)
+		p.AvgForward(in, c, h, w, out)
+		var s float64
+		for i := range out {
+			s += float64(out[i]) * float64(dOut[i])
+		}
+		return s
+	}
+	dIn := make([]float32, c*h*w)
+	p.AvgBackward(dOut, c, h, w, dIn)
+	const eps = 1e-2
+	for s := 0; s < 10; s++ {
+		i := rng.Intn(len(in))
+		orig := in[i]
+		in[i] = orig + eps
+		lp := loss()
+		in[i] = orig - eps
+		lm := loss()
+		in[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dIn[i])) > 2e-2*(1+math.Abs(num)) {
+			t.Fatalf("dIn[%d]: numeric %g, analytic %g", i, num, dIn[i])
+		}
+	}
+}
+
+func TestGlobalAvg(t *testing.T) {
+	in := []float32{1, 2, 3, 4, 10, 10, 10, 10}
+	out := make([]float32, 2)
+	GlobalAvgForward(in, 2, 2, 2, out)
+	if out[0] != 2.5 || out[1] != 10 {
+		t.Fatalf("global avg = %v", out)
+	}
+	dIn := make([]float32, 8)
+	GlobalAvgBackward([]float32{4, 8}, 2, 2, 2, dIn)
+	if dIn[0] != 1 || dIn[7] != 2 {
+		t.Fatalf("global avg backward = %v", dIn)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := []float32{-1, 0, 2.5, -0.001}
+	out := make([]float32, 4)
+	ReLUForward(in, out)
+	want := []float32{0, 0, 2.5, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("relu = %v, want %v", out, want)
+		}
+	}
+	dIn := make([]float32, 4)
+	ReLUBackward(out, []float32{1, 1, 1, 1}, dIn)
+	if dIn[0] != 0 || dIn[2] != 1 {
+		t.Fatalf("relu backward = %v", dIn)
+	}
+}
+
+func TestThresholdReLU(t *testing.T) {
+	in := []float32{0.05, 0.2, -1}
+	out := make([]float32, 3)
+	ThresholdReLUForward(in, out, 0.1)
+	if out[0] != 0 || out[1] != 0.2 || out[2] != 0 {
+		t.Fatalf("threshold relu = %v", out)
+	}
+	// Threshold zero degenerates to plain ReLU.
+	ThresholdReLUForward(in, out, 0)
+	if out[0] != 0.05 {
+		t.Fatalf("zero-threshold relu = %v", out)
+	}
+}
+
+func TestLinearForwardBackward(t *testing.T) {
+	l := Linear{In: 3, Out: 2}
+	weights := []float32{1, 2, 3, 4, 5, 6}
+	bias := []float32{0.5, -0.5}
+	in := []float32{1, 0, -1}
+	out := make([]float32, 2)
+	l.Forward(in, weights, bias, out)
+	if out[0] != 1-3+0.5 || out[1] != 4-6-0.5 {
+		t.Fatalf("linear forward = %v", out)
+	}
+
+	dOut := []float32{1, 2}
+	dW := make([]float32, 6)
+	dB := make([]float32, 2)
+	dIn := make([]float32, 3)
+	l.Backward(in, weights, dOut, dW, dB, dIn)
+	// dW[o][i] = dOut[o]*in[i]
+	wantDW := []float32{1, 0, -1, 2, 0, -2}
+	for i := range wantDW {
+		if dW[i] != wantDW[i] {
+			t.Fatalf("dW = %v, want %v", dW, wantDW)
+		}
+	}
+	if dB[0] != 1 || dB[1] != 2 {
+		t.Fatalf("dB = %v", dB)
+	}
+	// dIn[i] = sum_o dOut[o]*W[o][i]
+	wantDIn := []float32{1 + 8, 2 + 10, 3 + 12}
+	for i := range wantDIn {
+		if dIn[i] != wantDIn[i] {
+			t.Fatalf("dIn = %v, want %v", dIn, wantDIn)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := []float32{1, 2, 3}
+	probs := make([]float32, 3)
+	Softmax(logits, probs)
+	var sum float32
+	for _, p := range probs {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("prob out of range: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(float64(sum-1)) > 1e-5 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if !(probs[2] > probs[1] && probs[1] > probs[0]) {
+		t.Fatalf("softmax not monotone: %v", probs)
+	}
+
+	dLogits := make([]float32, 3)
+	loss := SoftmaxCrossEntropy(logits, 2, dLogits)
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	// Gradient sums to zero and is negative only at the label.
+	var gsum float64
+	for i, g := range dLogits {
+		gsum += float64(g)
+		if i == 2 && g >= 0 {
+			t.Fatalf("label gradient should be negative: %v", dLogits)
+		}
+		if i != 2 && g <= 0 {
+			t.Fatalf("non-label gradient should be positive: %v", dLogits)
+		}
+	}
+	if math.Abs(gsum) > 1e-5 {
+		t.Fatalf("gradient sum = %v", gsum)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits := []float32{1000, 1001, 999}
+	probs := make([]float32, 3)
+	Softmax(logits, probs)
+	for _, p := range probs {
+		if math.IsNaN(float64(p)) || math.IsInf(float64(p), 0) {
+			t.Fatalf("softmax overflow: %v", probs)
+		}
+	}
+}

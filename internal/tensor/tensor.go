@@ -182,28 +182,51 @@ func (t *Tensor) Argmax() int {
 	return bi
 }
 
-// TopK returns the indices of the k largest elements in descending order.
-// NaN elements sort last.
+// TopK returns the indices of the k largest elements in descending order,
+// breaking ties by ascending index. NaN elements sort last (below −Inf),
+// themselves ordered by ascending index. The selection is a single pass
+// maintaining a size-k sorted prefix, so it runs in O(n·log n̂) for the
+// typical mostly-sorted-input case rather than k full scans.
 func (t *Tensor) TopK(k int) []int {
 	if k > len(t.Data) {
 		k = len(t.Data)
 	}
+	if k <= 0 {
+		return nil
+	}
+	vals := make([]float32, 0, k)
 	idx := make([]int, 0, k)
-	used := make([]bool, len(t.Data))
-	for n := 0; n < k; n++ {
-		best, bi := float32(math.Inf(-1)), -1
-		for i, v := range t.Data {
-			if used[i] {
-				continue
-			}
-			if bi < 0 || v > best {
-				best, bi = v, i
-			}
+	for i, v := range t.Data {
+		if len(idx) == k && !topKOutranks(v, i, vals[k-1], idx[k-1]) {
+			continue
 		}
-		used[bi] = true
-		idx = append(idx, bi)
+		pos := len(idx)
+		for pos > 0 && topKOutranks(v, i, vals[pos-1], idx[pos-1]) {
+			pos--
+		}
+		if len(idx) < k {
+			vals = append(vals, 0)
+			idx = append(idx, 0)
+		}
+		copy(vals[pos+1:], vals[pos:])
+		copy(idx[pos+1:], idx[pos:])
+		vals[pos], idx[pos] = v, i
 	}
 	return idx
+}
+
+// topKOutranks reports whether element (va, ia) ranks strictly above
+// (vb, ib) in TopK order: larger values first, any number above NaN, equal
+// values (and NaN pairs) by ascending index.
+func topKOutranks(va float32, ia int, vb float32, ib int) bool {
+	an, bn := math.IsNaN(float64(va)), math.IsNaN(float64(vb))
+	if an != bn {
+		return bn
+	}
+	if !an && va != vb {
+		return va > vb
+	}
+	return ia < ib
 }
 
 // CountNonZero returns the number of elements that are not exactly zero.

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -104,6 +105,77 @@ func TestArgmaxAndTopK(t *testing.T) {
 	}
 	if got := a.TopK(10); len(got) != 5 {
 		t.Fatalf("TopK over-length = %d entries", len(got))
+	}
+}
+
+// TestTopKNaNAndTies pins the selection order contract: NaN sorts last
+// (below −Inf), ties and NaN runs resolve by ascending index, and a partial
+// selection never reorders equal elements.
+func TestTopKNaNAndTies(t *testing.T) {
+	nan := float32(math.NaN())
+	ninf := float32(math.Inf(-1))
+
+	a := FromSlice([]float32{nan, 2, nan, 5, 2, ninf}, 6)
+	got := a.TopK(6)
+	want := []int{3, 1, 4, 5, 0, 2} // 5, then the 2s by index, −Inf, NaNs by index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK full = %v, want %v", got, want)
+		}
+	}
+
+	// Partial selection must keep NaN out while real values remain.
+	got = a.TopK(4)
+	want = []int{3, 1, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK(4) = %v, want %v", got, want)
+		}
+	}
+
+	// All-NaN input: indices in ascending order.
+	b := FromSlice([]float32{nan, nan, nan}, 3)
+	got = b.TopK(2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("all-NaN TopK = %v, want [0 1]", got)
+	}
+
+	if got := a.TopK(0); len(got) != 0 {
+		t.Fatalf("TopK(0) = %v, want empty", got)
+	}
+}
+
+// Property: the single-pass TopK agrees with a full sort-based selection.
+func TestQuickTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		data := make([]float32, n)
+		for i := range data {
+			switch rng.Intn(6) {
+			case 0:
+				data[i] = float32(math.NaN())
+			case 1:
+				data[i] = float32(rng.Intn(3)) // force ties
+			default:
+				data[i] = float32(rng.NormFloat64())
+			}
+		}
+		k := rng.Intn(n + 1)
+		got := FromSlice(data, n).TopK(k)
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.SliceStable(ref, func(x, y int) bool {
+			return topKOutranks(data[ref[x]], ref[x], data[ref[y]], ref[y])
+		})
+		for i := 0; i < k; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d (n=%d k=%d): TopK=%v want prefix of %v (data %v)",
+					trial, n, k, got, ref, data)
+			}
+		}
 	}
 }
 
