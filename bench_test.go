@@ -22,6 +22,7 @@ import (
 // ---------------------------------------------------------------------------
 
 func benchTable3(b *testing.B, model string, paper int) {
+	b.ReportAllocs()
 	b.Helper()
 	var count int
 	for i := 0; i < b.N; i++ {
@@ -44,6 +45,7 @@ func BenchmarkTable3_AlexNet(b *testing.B)    { benchTable3(b, "alexnet", 24) }
 func BenchmarkTable3_SqueezeNet(b *testing.B) { benchTable3(b, "squeezenet", 9) }
 
 func BenchmarkTable4_AlexNetConfigs(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.Table4Report
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -64,6 +66,7 @@ func BenchmarkTable4_AlexNetConfigs(b *testing.B) {
 }
 
 func BenchmarkFig3_MemoryTrace(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.Fig3Report
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -77,6 +80,7 @@ func BenchmarkFig3_MemoryTrace(b *testing.B) {
 }
 
 func BenchmarkFig4_CandidateAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.RankReport
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -92,6 +96,7 @@ func BenchmarkFig4_CandidateAccuracy(b *testing.B) {
 }
 
 func BenchmarkFig5_SqueezeNetAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.RankReport
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -107,6 +112,7 @@ func BenchmarkFig5_SqueezeNetAccuracy(b *testing.B) {
 }
 
 func BenchmarkFig7_WeightRecovery(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.Fig7Report
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -130,6 +136,7 @@ func BenchmarkFig7_WeightRecovery(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func BenchmarkAblationToleranceSweep(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.TimingSweepRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -146,6 +153,7 @@ func BenchmarkAblationToleranceSweep(b *testing.B) {
 }
 
 func BenchmarkAblationKernelBound(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.KernelBoundRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -158,6 +166,7 @@ func BenchmarkAblationKernelBound(b *testing.B) {
 }
 
 func BenchmarkAblationZeroPruning(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.PruneTrafficRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -170,6 +179,7 @@ func BenchmarkAblationZeroPruning(b *testing.B) {
 }
 
 func BenchmarkAblationORAM(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.ORAMReport
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -185,6 +195,7 @@ func BenchmarkAblationORAM(b *testing.B) {
 }
 
 func BenchmarkAblationBiasInDRAM(b *testing.B) {
+	b.ReportAllocs()
 	var rep *experiments.BiasAblationReport
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -198,6 +209,7 @@ func BenchmarkAblationBiasInDRAM(b *testing.B) {
 }
 
 func BenchmarkAblationBlockSize(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.BlockSizeRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -230,6 +242,7 @@ func gemmOperands(lenA, lenB, lenC int) (a, bb, c []float32) {
 }
 
 func benchGemmShape(b *testing.B, m, k, n int) {
+	b.ReportAllocs()
 	b.Helper()
 	a, bb, c := gemmOperands(m*k, k*n, m*n)
 	b.SetBytes(int64(m*k+k*n+m*n) * 4)
@@ -253,6 +266,7 @@ func BenchmarkGemmSkinnyM1(b *testing.B) { benchGemmShape(b, 1, 4096, 1000) }
 func BenchmarkGemmSkinnyN1(b *testing.B) { benchGemmShape(b, 2048, 1024, 1) }
 
 func BenchmarkGemmTransA(b *testing.B) {
+	b.ReportAllocs()
 	// Conv backward dcols shape: (k×OutC)ᵀ·(OutC×n), AlexNet conv2 family.
 	m, k, n := 2400, 256, 729
 	a, bb, c := gemmOperands(k*m, k*n, m*n)
@@ -264,6 +278,7 @@ func BenchmarkGemmTransA(b *testing.B) {
 }
 
 func BenchmarkGemmTransB(b *testing.B) {
+	b.ReportAllocs()
 	// Conv backward dW shape: (OutC×spatial)·(k×spatial)ᵀ.
 	m, k, n := 256, 729, 2400
 	a, bb, c := gemmOperands(m*k, n*k, m*n)
@@ -275,6 +290,7 @@ func BenchmarkGemmTransB(b *testing.B) {
 }
 
 func BenchmarkConvForwardAlexNetConv2(b *testing.B) {
+	b.ReportAllocs()
 	conv := tensor.Conv2D{InC: 96, OutC: 256, F: 5, S: 1, P: 2}
 	in := make([]float32, 96*27*27)
 	w := make([]float32, 256*96*5*5)
@@ -288,6 +304,7 @@ func BenchmarkConvForwardAlexNetConv2(b *testing.B) {
 }
 
 func BenchmarkAccelTraceAlexNet(b *testing.B) {
+	b.ReportAllocs()
 	net := nn.AlexNet(1000, 1)
 	net.InitWeights(1)
 	x := make([]float32, net.Input.Len())
@@ -303,6 +320,7 @@ func BenchmarkAccelTraceAlexNet(b *testing.B) {
 }
 
 func BenchmarkSolveAlexNet(b *testing.B) {
+	b.ReportAllocs()
 	net := nn.AlexNet(1000, 1)
 	net.InitWeights(1)
 	cap, err := core.Capture(net, accel.Config{}, 2)
@@ -322,6 +340,7 @@ func BenchmarkSolveAlexNet(b *testing.B) {
 }
 
 func BenchmarkTrainerEpochLeNet(b *testing.B) {
+	b.ReportAllocs()
 	net := nn.LeNet(3)
 	net.InitWeights(1)
 	xs := make([][]float32, 30)
@@ -342,6 +361,7 @@ func BenchmarkTrainerEpochLeNet(b *testing.B) {
 }
 
 func BenchmarkORAMObfuscate(b *testing.B) {
+	b.ReportAllocs()
 	net := nn.LeNet(10)
 	net.InitWeights(1)
 	cap, err := core.Capture(net, accel.Config{}, 2)
@@ -357,6 +377,7 @@ func BenchmarkORAMObfuscate(b *testing.B) {
 }
 
 func BenchmarkAblationDataflow(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.DataflowRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -374,6 +395,7 @@ func BenchmarkAblationDataflow(b *testing.B) {
 }
 
 func BenchmarkExtensionLayerPeeling(b *testing.B) {
+	b.ReportAllocs()
 	net := peelingVictim()
 	for i := 0; i < b.N; i++ {
 		o, err := weightrev.NewStackOracle(net)
@@ -428,4 +450,34 @@ func peelingVictim() *nn.Network {
 		net.Params[1].B.Data[d] = float32(-0.02 - 0.02*rng.Float64())
 	}
 	return net
+}
+
+// BenchmarkPipeline_LeNet times the complete attack pipeline end to end:
+// trace capture on the simulated accelerator, trace analysis, structure
+// solving, and parallel candidate ranking — the wall-clock an adversary pays
+// from first observation to a ranked structure list. This is the headline
+// number for the pipeline-throughput work; before/after figures live in
+// results/perf_pipeline.md.
+func BenchmarkPipeline_LeNet(b *testing.B) {
+	b.ReportAllocs()
+	net := nn.LeNet(3)
+	net.InitWeights(1)
+	var ranked int
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunStructureAttack(net, accel.Config{}, structrev.DefaultOptions(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TruthIndex < 0 {
+			b.Fatal("true structure lost")
+		}
+		scores := core.RankCandidates(rep, net.Input, core.RankConfig{
+			Classes: 3, PerClass: 12, Epochs: 3, DepthDiv: 1, Seed: 7, MaxCandidates: 8,
+		})
+		if len(scores) == 0 {
+			b.Fatal("no ranked candidates")
+		}
+		ranked = len(scores)
+	}
+	b.ReportMetric(float64(ranked), "candidates_ranked")
 }

@@ -9,6 +9,12 @@
 // The -scale flag trades fidelity for time in the training-based figures:
 // "smoke" finishes in seconds, "medium" in minutes, "full" trains every
 // candidate longer.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering the
+// selected experiments, for hunting pipeline hot spots:
+//
+//	experiments -run fig4 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,7 +37,28 @@ func main() {
 	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,ablations")
 	outdir := flag.String("outdir", "results", "directory for CSV artifacts")
 	scale := flag.String("scale", "smoke", "training scale for figs 4/5: smoke|medium|full")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fatal(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fatal(err)
+			runtime.GC() // report live steady-state heap, not transient garbage
+			fatal(pprof.WriteHeapProfile(f))
+			fatal(f.Close())
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*run, ",") {

@@ -11,6 +11,7 @@ package accel
 
 import (
 	"fmt"
+	"sync"
 
 	"cnnrev/internal/memtrace"
 	"cnnrev/internal/nn"
@@ -168,7 +169,10 @@ type Layout struct {
 
 const regionAlign = 4096
 
-// Simulator runs a network on the modelled accelerator.
+// Simulator runs a network on the modelled accelerator. A Simulator is safe
+// for concurrent Run/RunMany calls (each borrows an arena from an internal
+// pool); for allocation-free repeated inference give each goroutine its own
+// Session.
 type Simulator struct {
 	cfg Config
 	net *nn.Network
@@ -176,6 +180,16 @@ type Simulator struct {
 
 	// zero-copy concat bookkeeping
 	concatTarget []int // for each layer: consuming concat layer or -1
+
+	// Immutable per-channel dense stored sizes, shared by every session:
+	// denseCB[i][c] for layer i's output, inDenseCB for the network input.
+	denseCB   [][]int
+	inDenseCB []int
+	// estAccesses is the tiling-derived upper bound on coalesced trace
+	// records per inference, used to pre-reserve Recorder capacity.
+	estAccesses int
+
+	sessions sync.Pool // *session arenas for Run/RunMany
 }
 
 // Result captures one inference run.
@@ -205,11 +219,75 @@ func New(net *nn.Network, cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{cfg: cfg, net: net}
 	s.buildLayout()
+	s.denseCB = make([][]int, len(net.Specs))
+	for i := range net.Specs {
+		sh := net.Shapes[i]
+		cb := make([]int, sh.C)
+		for c := range cb {
+			cb[c] = sh.H * sh.W * cfg.ElemBytes
+		}
+		s.denseCB[i] = cb
+	}
+	s.inDenseCB = make([]int, net.Input.C)
+	for c := range s.inDenseCB {
+		s.inDenseCB[c] = net.Input.H * net.Input.W * cfg.ElemBytes
+	}
+	s.estAccesses = s.estimateAccesses()
 	return s, nil
+}
+
+// estimateAccesses bounds the number of coalesced trace records one
+// inference can emit, by walking the same tiling geometry the emitters use.
+// Sessions reserve this much Recorder capacity up front so even the first
+// run records without growth copies. The bound need not be tight (burst
+// merging only shrinks the real count); it is capped so degenerate configs
+// cannot reserve unbounded memory.
+func (s *Simulator) estimateAccesses() int {
+	n := s.net
+	total := 0
+	for i := range n.Specs {
+		spec := &n.Specs[i]
+		out := n.Shapes[i]
+		switch spec.Kind {
+		case nn.KindConv:
+			in := n.InShapes[i][0]
+			convShape := spec.ConvOut(in)
+			bandRows, ocTile := s.convTiling(i, in, convShape, out, in.C*spec.F*spec.F, false)
+			bands := (out.H + bandRows - 1) / bandRows
+			ocTiles := (spec.OutC + ocTile - 1) / ocTile
+			// Per tile: up to in.C IFM read bursts, weight + bias reads,
+			// up to ocTile OFM write bursts.
+			total += bands * ocTiles * (in.C + 2 + ocTile)
+			total += out.C // PadPrunedWrites padding bursts
+		case nn.KindFC:
+			in := n.InShapes[i][0]
+			rowBytes := in.Len() * s.cfg.ElemBytes
+			ocTile := s.cfg.WBufBytes / rowBytes
+			if ocTile < 1 {
+				ocTile = 1
+			}
+			tiles := (spec.OutC + ocTile - 1) / ocTile
+			total += in.C + 2*tiles + 2*out.C
+		case nn.KindEltwise:
+			total += out.C * (len(spec.Inputs) + 1)
+		case nn.KindConcat:
+			total += 2 * len(spec.Inputs)
+		}
+	}
+	const capEntries = 1 << 20
+	if total > capEntries {
+		total = capEntries
+	}
+	return total
 }
 
 // Config returns the simulator's (default-filled) configuration.
 func (s *Simulator) Config() Config { return s.cfg }
+
+// SetThreshold retunes the activation threshold between runs — the knob the
+// §4 bias-recovery attack sweeps. Not safe concurrently with in-flight runs;
+// the oracle serializes sweeps around its query batches.
+func (s *Simulator) SetThreshold(t float32) { s.cfg.Threshold = t }
 
 // Layout returns the DRAM allocation (ground truth for tests and for
 // building oracles; the adversary recovers the equivalent information from

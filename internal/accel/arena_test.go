@@ -1,0 +1,219 @@
+package accel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+)
+
+func traceBytes(t *testing.T, tr *memtrace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func resultsEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	for i := range want.Logits {
+		if got.Logits[i] != want.Logits[i] {
+			t.Fatalf("%s: logit %d = %v, want %v", label, i, got.Logits[i], want.Logits[i])
+		}
+	}
+	for li := range want.Acts {
+		for j := range want.Acts[li] {
+			if got.Acts[li][j] != want.Acts[li][j] {
+				t.Fatalf("%s: act[%d][%d] = %v, want %v", label, li, j, got.Acts[li][j], want.Acts[li][j])
+			}
+		}
+		for c := range want.NZCounts[li] {
+			if got.NZCounts[li][c] != want.NZCounts[li][c] {
+				t.Fatalf("%s: nz[%d][%d] = %d, want %d", label, li, c, got.NZCounts[li][c], want.NZCounts[li][c])
+			}
+		}
+		if got.LayerCycles[li] != want.LayerCycles[li] || got.LayerStartCycle[li] != want.LayerStartCycle[li] {
+			t.Fatalf("%s: layer %d cycles (%d,%d), want (%d,%d)", label, li,
+				got.LayerStartCycle[li], got.LayerCycles[li], want.LayerStartCycle[li], want.LayerCycles[li])
+		}
+	}
+}
+
+// TestArenaReuseMatchesFreshSimulator: a simulator (and a Session) reused
+// across many inferences must emit byte-identical traces and identical
+// Results to a simulator constructed fresh for every run — the arena leaks
+// no state between runs. Exercised over the conv/FC (LeNet), concat
+// (SqueezeNet fire modules) and eltwise (ResNetMini) paths, with pruning
+// and jitter on and off.
+func TestArenaReuseMatchesFreshSimulator(t *testing.T) {
+	nets := []*nn.Network{nn.LeNet(10), nn.SqueezeNet(10, 8), nn.ResNetMini(10, 8)}
+	cfgs := []Config{
+		{},
+		{ZeroPrune: true},
+		{ZeroPrune: true, CycleJitter: 0.05, NoiseSeed: 9},
+	}
+	for _, net := range nets {
+		net.InitWeights(5)
+		for ci, cfg := range cfgs {
+			shared, err := New(net, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ses := shared.NewSession()
+			for run := 0; run < 3; run++ {
+				label := fmt.Sprintf("%s/cfg%d/run%d", net.Name, ci, run)
+				x := randInput(net, int64(20+run))
+
+				fresh, err := New(net, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Run(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				got, err := shared.Run(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsEqual(t, label+"/reused-sim", got, want)
+				if !bytes.Equal(traceBytes(t, got.Trace), traceBytes(t, want.Trace)) {
+					t.Fatalf("%s: reused-simulator trace differs from fresh simulator", label)
+				}
+
+				sres, err := ses.Run(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Session results alias the arena: compare before the next Run.
+				resultsEqual(t, label+"/session", sres, want)
+				if !bytes.Equal(traceBytes(t, sres.Trace), traceBytes(t, want.Trace)) {
+					t.Fatalf("%s: session trace differs from fresh simulator", label)
+				}
+			}
+		}
+	}
+}
+
+// TestRunManyArenaReuseStable: back-to-back RunMany calls on one simulator
+// (the served-victim capture path) must be reproducible — the shared arena
+// carries nothing across calls.
+func TestRunManyArenaReuseStable(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(5)
+	sim, err := New(net, Config{ZeroPrune: true, CycleJitter: 0.05, NoiseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float32{randInput(net, 1), randInput(net, 2), randInput(net, 3)}
+	r1, t1, err := sim.RunMany(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, t2, err := sim.RunMany(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, t1), traceBytes(t, t2)) {
+		t.Fatal("repeated RunMany on one simulator produced different traces")
+	}
+	for i := range r1 {
+		resultsEqual(t, fmt.Sprintf("runmany/%d", i), r2[i], r1[i])
+	}
+}
+
+// TestConcurrentSessionsShareSimulator: distinct Sessions of one Simulator
+// (and concurrent Run calls, which borrow pooled arenas) must be safe to
+// drive from many goroutines — the weight attack issues its oracle queries
+// this way. Run with -race in CI.
+func TestConcurrentSessionsShareSimulator(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(5)
+	sim, err := New(net, Config{ZeroPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, runs = 4, 5
+	inputs := make([][]float32, runs)
+	want := make([][]float32, runs)
+	for i := range inputs {
+		inputs[i] = randInput(net, int64(40+i))
+		res, err := sim.Run(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Logits
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ses := sim.NewSession()
+			for i := 0; i < runs; i++ {
+				idx := (g + i) % runs
+				res, err := ses.Run(inputs[idx])
+				if err != nil {
+					errc <- err
+					return
+				}
+				for j := range want[idx] {
+					if res.Logits[j] != want[idx][j] {
+						errc <- fmt.Errorf("goroutine %d run %d: logit %d = %v, want %v",
+							g, i, j, res.Logits[j], want[idx][j])
+						return
+					}
+				}
+				if _, err := sim.Run(inputs[idx]); err != nil { // pooled-arena path
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionRunSteadyStateAllocs pins the arena design: once a session is
+// warm, an inference allocates nothing — the attack pipelines hinge on this
+// for their oracle-query throughput. Tolerance 1 absorbs a GC draining the
+// GEMM/region sync.Pools mid-measurement.
+func TestSessionRunSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin runs in the non-race job")
+	}
+	for _, cfg := range []Config{{}, {ZeroPrune: true}, {ZeroPrune: true, CycleJitter: 0.05, NoiseSeed: 7}} {
+		net := nn.LeNet(10)
+		net.InitWeights(5)
+		sim, err := New(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses := sim.NewSession()
+		x := randInput(net, 6)
+		for i := 0; i < 2; i++ { // warm the recorder and scratch
+			if _, err := ses.Run(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := ses.Run(x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 1 {
+			t.Fatalf("cfg %+v: Session.Run allocates %.1f objects per inference in steady state, want 0", cfg, allocs)
+		}
+	}
+}

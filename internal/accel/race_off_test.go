@@ -1,0 +1,5 @@
+//go:build !race
+
+package accel
+
+const raceEnabled = false

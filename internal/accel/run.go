@@ -9,157 +9,291 @@ import (
 	"cnnrev/internal/tensor"
 )
 
-// runState carries per-run simulation state.
-type runState struct {
+// session is the per-run simulation arena: every buffer one inference needs,
+// sized once from the network shapes and reused across runs. Simulators keep
+// a sync.Pool of sessions, so both the one-shot Run/RunMany entry points and
+// long-lived Session handles reach a zero-allocation steady state — the §4
+// weight attack drives tens of thousands of oracle inferences through here,
+// and per-query arena churn used to dominate its wall-clock.
+type session struct {
 	rec   *memtrace.Recorder
+	trace memtrace.Trace // reused zero-copy trace view for Session.Run
+	res   Result         // reused result header for Session.Run
 	cycle uint64
 	rng   *rand.Rand // tile-latency jitter source (nil = no jitter)
-	x     []float32
-	acts  [][]float32
+	x     []float32  // current input (caller-owned, valid during one run)
+
+	acts [][]float32 // per-layer output activations
 	// chanBytes[i][c] is the stored byte size of channel c of layer i's
-	// output (compressed when pruned, dense otherwise).
+	// output when pruned[i] (compressed); dense sizes live in the
+	// simulator's immutable tables.
 	chanBytes [][]int
+	pruned    []bool
 	nz        [][]int
 	// chanStream[i][c] is the next write offset into channel c's compressed
 	// stream when pruning.
 	chanStream [][]uint64
 	layerStart []uint64
 	layerCyc   []uint64
+
+	cols        []float32 // im2col scratch for the largest conv layer
+	convScratch []float32 // pre-pool conv output scratch (pooled layers)
+	order       []int     // eltwise producer-order scratch
+}
+
+// newSession allocates a fully-sized arena for one concurrent inference.
+func (s *Simulator) newSession() *session {
+	n := s.net
+	se := &session{
+		rec:        memtrace.NewRecorder(s.cfg.BlockBytes),
+		acts:       make([][]float32, len(n.Specs)),
+		chanBytes:  make([][]int, len(n.Specs)),
+		pruned:     make([]bool, len(n.Specs)),
+		nz:         make([][]int, len(n.Specs)),
+		chanStream: make([][]uint64, len(n.Specs)),
+		layerStart: make([]uint64, len(n.Specs)),
+		layerCyc:   make([]uint64, len(n.Specs)),
+	}
+	se.rec.Reserve(s.estAccesses)
+	maxCols, maxPooledConv, maxEltIn := 0, 0, 0
+	for i := range n.Specs {
+		spec := &n.Specs[i]
+		se.acts[i] = make([]float32, n.Shapes[i].Len())
+		se.nz[i] = make([]int, n.Shapes[i].C)
+		se.chanBytes[i] = make([]int, n.Shapes[i].C)
+		se.chanStream[i] = make([]uint64, n.Shapes[i].C)
+		switch spec.Kind {
+		case nn.KindConv:
+			in := n.InShapes[i][0]
+			c := spec.ConvOut(in)
+			if k := in.C * spec.F * spec.F * c.H * c.W; k > maxCols {
+				maxCols = k
+			}
+			if spec.Pool != nn.PoolNone && c.Len() > maxPooledConv {
+				maxPooledConv = c.Len()
+			}
+		case nn.KindEltwise:
+			if len(spec.Inputs) > maxEltIn {
+				maxEltIn = len(spec.Inputs)
+			}
+		}
+	}
+	se.cols = make([]float32, maxCols)
+	se.convScratch = make([]float32, maxPooledConv)
+	se.order = make([]int, maxEltIn)
+	if s.cfg.CycleJitter > 0 {
+		se.rng = rand.New(rand.NewSource(s.cfg.NoiseSeed))
+	}
+	return se
+}
+
+// acquire takes an arena from the simulator's pool (allocating on first use
+// or after GC pressure drained the pool).
+func (s *Simulator) acquire() *session {
+	if se, ok := s.sessions.Get().(*session); ok {
+		return se
+	}
+	return s.newSession()
+}
+
+func (s *Simulator) release(se *session) {
+	se.x = nil
+	s.sessions.Put(se)
+}
+
+// resetRun prepares the arena for one inference starting at startCycle.
+func (s *Simulator) resetRun(se *session, x []float32, startCycle uint64) {
+	se.x = x
+	se.cycle = startCycle
+	for i := range se.pruned {
+		se.pruned[i] = false
+	}
+}
+
+// reseedJitter restarts the jitter stream for a fresh observation window so
+// equal-seed runs stay identical.
+func (se *session) reseedJitter(cfg *Config) {
+	if se.rng != nil {
+		se.rng.Seed(cfg.NoiseSeed)
+	}
 }
 
 // Run performs one inference, returning the functional outputs and the
-// observed trace.
+// observed trace. The returned Result owns its buffers; for allocation-free
+// repeated inference use NewSession.
 func (s *Simulator) Run(x []float32) (*Result, error) {
-	rec := memtrace.NewRecorder(s.cfg.BlockBytes)
-	res, _, err := s.runOne(x, rec, 0, s.jitterSource())
-	if err != nil {
+	se := s.acquire()
+	defer s.release(se)
+	se.rec.Reset()
+	se.reseedJitter(&s.cfg)
+	if _, err := s.runOne(se, x, 0); err != nil {
 		return nil, err
 	}
-	res.Trace = rec.Trace()
+	res := s.snapshotResult(se)
+	res.Trace = s.snapshotTrace(se)
 	return res, nil
 }
 
 // RunMany performs several back-to-back inferences on the same device —
 // what an adversary watching a serving accelerator observes — returning the
-// per-inference functional results and one continuous trace.
+// per-inference functional results and one continuous trace. All inferences
+// share one arena; the per-run outputs are snapshotted so each Result stays
+// valid after the arena is reused.
 func (s *Simulator) RunMany(xs [][]float32) ([]*Result, *memtrace.Trace, error) {
-	rec := memtrace.NewRecorder(s.cfg.BlockBytes)
-	rng := s.jitterSource()
+	se := s.acquire()
+	defer s.release(se)
+	se.rec.Reset()
+	se.reseedJitter(&s.cfg)
 	var results []*Result
 	cycle := uint64(0)
 	for _, x := range xs {
-		res, end, err := s.runOne(x, rec, cycle, rng)
+		end, err := s.runOne(se, x, cycle)
 		if err != nil {
 			return nil, nil, err
 		}
-		results = append(results, res)
+		results = append(results, s.snapshotResult(se))
 		cycle = end
 	}
-	tr := rec.Trace()
+	tr := s.snapshotTrace(se)
 	for _, r := range results {
 		r.Trace = tr
 	}
 	return results, tr, nil
 }
 
-// runOne executes one inference against a shared recorder, starting at the
-// given cycle, and returns the result (Trace unset) plus the end cycle.
-func (s *Simulator) runOne(x []float32, rec *memtrace.Recorder, startCycle uint64, rng *rand.Rand) (*Result, uint64, error) {
-	if len(x) != s.net.Input.Len() {
-		return nil, 0, fmt.Errorf("accel: input has %d elements, want %d", len(x), s.net.Input.Len())
-	}
+// snapshotResult deep-copies the arena's functional outputs into a fresh
+// Result (Trace unset).
+func (s *Simulator) snapshotResult(se *session) *Result {
 	n := s.net
-	st := &runState{
-		rec:        rec,
-		cycle:      startCycle,
-		x:          x,
-		rng:        rng,
-		acts:       make([][]float32, len(n.Specs)),
-		chanBytes:  make([][]int, len(n.Specs)),
-		nz:         make([][]int, len(n.Specs)),
-		chanStream: make([][]uint64, len(n.Specs)),
-		layerStart: make([]uint64, len(n.Specs)),
-		layerCyc:   make([]uint64, len(n.Specs)),
+	last := len(n.Specs) - 1
+	res := &Result{
+		Logits:          append([]float32(nil), se.acts[last]...),
+		Acts:            make([][]float32, len(n.Specs)),
+		LayerCycles:     append([]uint64(nil), se.layerCyc...),
+		LayerStartCycle: append([]uint64(nil), se.layerStart...),
+		NZCounts:        make([][]int, len(n.Specs)),
 	}
 	for i := range n.Specs {
-		start := st.cycle
-		st.layerStart[i] = start
+		res.Acts[i] = append([]float32(nil), se.acts[i]...)
+		res.NZCounts[i] = append([]int(nil), se.nz[i]...)
+	}
+	return res
+}
+
+// snapshotTrace copies the arena's recorded trace so it survives arena reuse.
+func (s *Simulator) snapshotTrace(se *session) *memtrace.Trace {
+	var view memtrace.Trace
+	se.rec.TraceInto(&view)
+	return &memtrace.Trace{
+		BlockBytes: view.BlockBytes,
+		Accesses:   append([]memtrace.Access(nil), view.Accesses...),
+	}
+}
+
+// Session is a reusable inference handle bound to one Simulator. Run fills
+// and returns a Result whose buffers — activations, counts, and the Trace —
+// are owned by the session and valid only until the next Run on the same
+// session, which makes steady-state inference allocation-free. A Session is
+// not safe for concurrent use, but distinct Sessions of one Simulator are:
+// the oracle attacks issue concurrent queries by giving each goroutine its
+// own session.
+type Session struct {
+	sim *Simulator
+	se  *session
+}
+
+// NewSession allocates an independent run context sized for the network.
+func (s *Simulator) NewSession() *Session {
+	return &Session{sim: s, se: s.newSession()}
+}
+
+// Run performs one inference reusing the session's arena. The returned
+// Result (including its Trace) aliases session memory: copy anything that
+// must survive the next call.
+func (ss *Session) Run(x []float32) (*Result, error) {
+	s, se := ss.sim, ss.se
+	se.rec.Reset()
+	se.reseedJitter(&s.cfg)
+	if _, err := s.runOne(se, x, 0); err != nil {
+		return nil, err
+	}
+	res := &se.res
+	last := len(s.net.Specs) - 1
+	res.Logits = se.acts[last]
+	res.Acts = se.acts
+	res.LayerCycles = se.layerCyc
+	res.LayerStartCycle = se.layerStart
+	res.NZCounts = se.nz
+	se.rec.TraceInto(&se.trace)
+	res.Trace = &se.trace
+	return res, nil
+}
+
+// runOne executes one inference against the arena's recorder, starting at
+// the given cycle, and returns the end cycle. Layer buffers are fully
+// overwritten in execution order, so arena reuse leaks no state between
+// runs; the per-run tests pin this by comparing reused-arena traces against
+// fresh-simulator traces byte for byte.
+func (s *Simulator) runOne(se *session, x []float32, startCycle uint64) (uint64, error) {
+	if len(x) != s.net.Input.Len() {
+		return 0, fmt.Errorf("accel: input has %d elements, want %d", len(x), s.net.Input.Len())
+	}
+	n := s.net
+	s.resetRun(se, x, startCycle)
+	for i := range n.Specs {
+		start := se.cycle
+		se.layerStart[i] = start
 		switch n.Specs[i].Kind {
 		case nn.KindConv:
-			s.simConv(i, st)
+			s.simConv(i, se)
 		case nn.KindFC:
-			s.simFC(i, st)
+			s.simFC(i, se)
 		case nn.KindConcat:
-			s.simConcat(i, st)
+			s.simConcat(i, se)
 		case nn.KindEltwise:
-			s.simEltwise(i, st)
+			s.simEltwise(i, se)
 		}
-		st.layerCyc[i] = st.cycle - start
+		se.layerCyc[i] = se.cycle - start
 	}
-	last := len(n.Specs) - 1
-	logits := make([]float32, len(st.acts[last]))
-	copy(logits, st.acts[last])
-	return &Result{
-		Logits:          logits,
-		Acts:            st.acts,
-		LayerCycles:     st.layerCyc,
-		LayerStartCycle: st.layerStart,
-		NZCounts:        st.nz,
-	}, st.cycle, nil
+	return se.cycle, nil
 }
 
 // inputAct returns the activation buffer feeding input j of layer i.
-func (st *runState) inputAct(n *nn.Network, i, j int) []float32 {
+func (se *session) inputAct(n *nn.Network, i, j int) []float32 {
 	ref := n.Specs[i].Inputs[j]
 	if ref == nn.InputRef {
-		return st.x
+		return se.x
 	}
-	return st.acts[ref]
+	return se.acts[ref]
 }
 
 // inputChanBytes returns the per-channel stored sizes of the region feeding
-// input j of layer i (dense plane size when the producer is unpruned or is
-// the network input).
-func (s *Simulator) inputChanBytes(st *runState, i, j int) []int {
+// input j of layer i: the producer's compressed sizes when it wrote pruned,
+// else the simulator's immutable dense tables.
+func (s *Simulator) inputChanBytes(se *session, i, j int) []int {
 	ref := s.net.Specs[i].Inputs[j]
-	var shape nn.Shape
 	if ref == nn.InputRef {
-		shape = s.net.Input
-	} else {
-		if cb := st.chanBytes[ref]; cb != nil {
-			return cb
-		}
-		shape = s.net.Shapes[ref]
+		return s.inDenseCB
 	}
-	plane := shape.H * shape.W * s.cfg.ElemBytes
-	cb := make([]int, shape.C)
-	for c := range cb {
-		cb[c] = plane
+	if se.pruned[ref] {
+		return se.chanBytes[ref]
 	}
-	return cb
+	return s.denseCB[ref]
 }
 
 // prunedInput reports whether the region feeding input j of layer i holds
 // compressed (pruned) data.
-func (s *Simulator) prunedInput(st *runState, i, j int) bool {
+func (s *Simulator) prunedInput(se *session, i, j int) bool {
 	ref := s.net.Specs[i].Inputs[j]
-	return ref != nn.InputRef && st.chanBytes[ref] != nil
-}
-
-// jitterSource returns the latency-noise generator for one run.
-func (s *Simulator) jitterSource() *rand.Rand {
-	if s.cfg.CycleJitter <= 0 {
-		return nil
-	}
-	return rand.New(rand.NewSource(s.cfg.NoiseSeed))
+	return ref != nn.InputRef && se.pruned[ref]
 }
 
 // jitter scales a chunk latency by a factor uniform in [1−J, 1+J].
-func (s *Simulator) jitter(st *runState, cycles uint64) uint64 {
-	if st.rng == nil {
+func (s *Simulator) jitter(se *session, cycles uint64) uint64 {
+	if se.rng == nil {
 		return cycles
 	}
-	f := 1 + (st.rng.Float64()*2-1)*s.cfg.CycleJitter
+	f := 1 + (se.rng.Float64()*2-1)*s.cfg.CycleJitter
 	if f < 0 {
 		f = 0
 	}
@@ -183,45 +317,48 @@ func (s *Simulator) activate(buf []float32) {
 }
 
 // applyActPool runs the fused activation+pooling stages of a conv layer in
-// the configured order, returning the final output buffer.
-func (s *Simulator) applyActPool(spec *nn.LayerSpec, convOut []float32, convShape nn.Shape, outLen int) []float32 {
-	doPool := func(in []float32) []float32 {
-		if spec.Pool == nn.PoolNone {
-			return in
+// the configured order. For unpooled layers convOut must alias out (the
+// activation happens in place); for pooled layers convOut is the pre-pool
+// scratch and out receives the pooled result.
+func (s *Simulator) applyActPool(spec *nn.LayerSpec, convOut []float32, convShape nn.Shape, out []float32) {
+	if spec.Pool == nn.PoolNone {
+		if spec.ReLU {
+			s.activate(out)
 		}
-		out := make([]float32, outLen)
+		return
+	}
+	doPool := func(in []float32) {
 		p := tensor.Pool2D{F: spec.PoolF, S: spec.PoolS, P: spec.PoolP, Ceil: false}
 		if spec.Pool == nn.PoolMax {
 			p.MaxForward(in, convShape.C, convShape.H, convShape.W, out, nil)
 		} else {
 			p.AvgForward(in, convShape.C, convShape.H, convShape.W, out)
 		}
-		return out
 	}
 	if s.cfg.PoolBeforeActivation {
-		out := doPool(convOut)
+		doPool(convOut)
 		if spec.ReLU {
 			s.activate(out)
 		}
-		return out
+		return
 	}
 	if spec.ReLU {
 		s.activate(convOut)
 	}
-	return doPool(convOut)
+	doPool(convOut)
 }
 
 // recordPrunedWrite emits the compressed write burst for nz non-zero values
 // appended to channel c's stream in layer li's output slot, and returns the
 // byte volume written.
-func (s *Simulator) recordPrunedWrite(st *runState, li, c, nz int, planeBytes uint64) int {
+func (s *Simulator) recordPrunedWrite(se *session, li, c, nz int, planeBytes uint64) int {
 	if nz == 0 {
 		return 0
 	}
 	bytes := nz * s.cfg.PruneBytesPerNZ
-	base := s.lay.Fmaps[li].Base + uint64(c)*planeBytes + st.chanStream[li][c]
-	st.rec.RecordBytes(st.cycle, base, bytes, memtrace.Write)
-	st.chanStream[li][c] += uint64(bytes)
+	base := s.lay.Fmaps[li].Base + uint64(c)*planeBytes + se.chanStream[li][c]
+	se.rec.RecordBytes(se.cycle, base, bytes, memtrace.Write)
+	se.chanStream[li][c] += uint64(bytes)
 	return bytes
 }
 
@@ -239,7 +376,7 @@ func countNZRows(buf []float32, h, w, c, r0, r1 int) int {
 }
 
 // simConv computes a conv layer functionally and emits its tiled trace.
-func (s *Simulator) simConv(li int, st *runState) {
+func (s *Simulator) simConv(li int, se *session) {
 	n := s.net
 	spec := &n.Specs[li]
 	in := n.InShapes[li][0]
@@ -247,13 +384,16 @@ func (s *Simulator) simConv(li int, st *runState) {
 	convShape := spec.ConvOut(in)
 	outShape := n.Shapes[li]
 
-	convOut := make([]float32, convShape.Len())
-	conv.Forward(st.inputAct(n, li, 0), in.H, in.W, n.Params[li].W.Data, n.Params[li].B.Data, convOut, nil)
-	out := s.applyActPool(spec, convOut, convShape, outShape.Len())
-	st.acts[li] = out
+	out := se.acts[li]
+	convOut := out // unpooled: conv and layer output share the buffer
+	if spec.Pool != nn.PoolNone {
+		convOut = se.convScratch[:convShape.Len()]
+	}
+	conv.Forward(se.inputAct(n, li, 0), in.H, in.W, n.Params[li].W.Data, n.Params[li].B.Data, convOut, se.cols)
+	s.applyActPool(spec, convOut, convShape, out)
 
-	s.emitConvTrace(li, st, in, convShape, outShape, conv.InC*spec.F*spec.F)
-	s.finishFmap(li, st, outShape, s.cfg.ZeroPrune)
+	s.emitConvTrace(li, se, in, convShape, outShape, conv.InC*spec.F*spec.F)
+	s.finishFmap(li, se, outShape, s.cfg.ZeroPrune)
 }
 
 // finishFmap records per-channel non-zero statistics and, for layers whose
@@ -261,17 +401,16 @@ func (s *Simulator) simConv(li int, st *runState) {
 // PadPrunedWrites, compressed streams are padded with dummy transactions up
 // to the dense-equivalent worst case, hiding the §4 count leak (at a cost
 // exceeding unpruned traffic).
-func (s *Simulator) finishFmap(li int, st *runState, outShape nn.Shape, pruned bool) {
-	out := st.acts[li]
-	nz := make([]int, outShape.C)
+func (s *Simulator) finishFmap(li int, se *session, outShape nn.Shape, pruned bool) {
+	out := se.acts[li]
+	nz := se.nz[li]
 	for c := 0; c < outShape.C; c++ {
 		nz[c] = countNZRows(out, outShape.H, outShape.W, c, 0, outShape.H)
 	}
-	st.nz[li] = nz
 	if !pruned {
 		return
 	}
-	cb := make([]int, outShape.C)
+	cb := se.chanBytes[li]
 	for c := range cb {
 		cb[c] = nz[c] * s.cfg.PruneBytesPerNZ
 	}
@@ -281,37 +420,25 @@ func (s *Simulator) finishFmap(li int, st *runState, outShape nn.Shape, pruned b
 			pad := int(stride) - cb[c]
 			if pad > 0 {
 				base := s.lay.Fmaps[li].Base + uint64(c)*stride + uint64(cb[c])
-				st.rec.RecordBytes(st.cycle, base, pad, memtrace.Write)
-				st.cycle += s.jitter(st, s.memCycles(pad))
+				se.rec.RecordBytes(se.cycle, base, pad, memtrace.Write)
+				se.cycle += s.jitter(se, s.memCycles(pad))
 			}
 			cb[c] = int(stride)
 		}
 	}
-	st.chanBytes[li] = cb
+	se.pruned[li] = true
 }
 
-// emitConvTrace walks the tiling loop nest of a convolution, emitting reads
-// of IFM and filter tiles, OFM write bursts and the cycle cost of each tile.
-func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape nn.Shape, weightsPerOC int) {
-	n := s.net
-	spec := &n.Specs[li]
+// convTiling derives the conv loop-nest geometry — the output-channel tile
+// and the output-row band height — from the buffer sizes. Shared by the
+// trace emitter and the transaction-count estimator so Recorder reservations
+// match what a run records.
+func (s *Simulator) convTiling(li int, in, convShape, outShape nn.Shape, weightsPerOC int, pruneIn bool) (bandRows, ocTile int) {
+	spec := &s.net.Specs[li]
 	cfg := &s.cfg
 	elem := cfg.ElemBytes
 
-	pruneIn := s.prunedInput(st, li, 0)
-	inCB := s.inputChanBytes(st, li, 0)
-	inReg, _ := s.inputRegion(li, 0)
-	wReg := s.lay.Weights[li]
-	outReg := s.lay.Fmaps[li]
-	inStride := s.inputPlaneStride(li, 0)
-	inDense := inStride == uint64(in.H*in.W*elem)
-	outStride := s.fmapPlaneStride(outShape)
-	outDense := outStride == uint64(outShape.H*outShape.W*elem)
-	if cfg.ZeroPrune {
-		st.chanStream[li] = make([]uint64, outShape.C)
-	}
-
-	ocTile := cfg.WBufBytes / ((weightsPerOC + 1) * elem)
+	ocTile = cfg.WBufBytes / ((weightsPerOC + 1) * elem)
 	if ocTile < 1 {
 		ocTile = 1
 	}
@@ -321,32 +448,9 @@ func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape 
 
 	// Choose a band height (in output rows) so the OFM band fits the OFM
 	// buffer and one channel's IFM band fits the IFM buffer.
-	pooled := spec.Pool != nn.PoolNone
-	bandRows := outShape.H
-	ifmRowsFor := func(bh, p0 int) (i0, i1 int) {
-		c0, c1 := p0, p0+bh // conv rows
-		if pooled {
-			c0 = p0*spec.PoolS - spec.PoolP
-			c1 = (p0+bh-1)*spec.PoolS - spec.PoolP + spec.PoolF
-		}
-		if c0 < 0 {
-			c0 = 0
-		}
-		if c1 > convShape.H {
-			c1 = convShape.H
-		}
-		i0 = c0*spec.S - spec.P
-		i1 = (c1-1)*spec.S - spec.P + spec.F
-		if i0 < 0 {
-			i0 = 0
-		}
-		if i1 > in.H {
-			i1 = in.H
-		}
-		return i0, i1
-	}
+	bandRows = outShape.H
 	for bandRows > 1 {
-		i0, i1 := ifmRowsFor(bandRows, 0)
+		i0, i1 := s.ifmRowsFor(spec, in, convShape, bandRows, 0)
 		ofmOK := bandRows*outShape.W*ocTile*elem <= cfg.OFMBufBytes
 		ifmOK := (i1-i0)*in.W*elem <= cfg.IFMBufBytes
 		if ofmOK && ifmOK {
@@ -359,10 +463,63 @@ func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape 
 		// map once per filter tile instead of banding.
 		bandRows = outShape.H
 	}
+	return bandRows, ocTile
+}
+
+// ifmRowsFor maps an output-row band [p0, p0+bh) back to the input rows it
+// consumes through the (optional) pool and conv windows.
+func (s *Simulator) ifmRowsFor(spec *nn.LayerSpec, in, convShape nn.Shape, bh, p0 int) (i0, i1 int) {
+	c0, c1 := p0, p0+bh // conv rows
+	if spec.Pool != nn.PoolNone {
+		c0 = p0*spec.PoolS - spec.PoolP
+		c1 = (p0+bh-1)*spec.PoolS - spec.PoolP + spec.PoolF
+	}
+	if c0 < 0 {
+		c0 = 0
+	}
+	if c1 > convShape.H {
+		c1 = convShape.H
+	}
+	i0 = c0*spec.S - spec.P
+	i1 = (c1-1)*spec.S - spec.P + spec.F
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > in.H {
+		i1 = in.H
+	}
+	return i0, i1
+}
+
+// emitConvTrace walks the tiling loop nest of a convolution, emitting reads
+// of IFM and filter tiles, OFM write bursts and the cycle cost of each tile.
+func (s *Simulator) emitConvTrace(li int, se *session, in, convShape, outShape nn.Shape, weightsPerOC int) {
+	n := s.net
+	spec := &n.Specs[li]
+	cfg := &s.cfg
+	elem := cfg.ElemBytes
+
+	pruneIn := s.prunedInput(se, li, 0)
+	inCB := s.inputChanBytes(se, li, 0)
+	inReg, _ := s.inputRegion(li, 0)
+	wReg := s.lay.Weights[li]
+	outReg := s.lay.Fmaps[li]
+	inStride := s.inputPlaneStride(li, 0)
+	inDense := inStride == uint64(in.H*in.W*elem)
+	outStride := s.fmapPlaneStride(outShape)
+	outDense := outStride == uint64(outShape.H*outShape.W*elem)
+	if cfg.ZeroPrune {
+		cs := se.chanStream[li]
+		for c := range cs {
+			cs[c] = 0
+		}
+	}
+
+	bandRows, ocTile := s.convTiling(li, in, convShape, outShape, weightsPerOC, pruneIn)
 
 	// Shared tile helpers, composed per the configured dataflow.
 	readIFM := func(p0, p1 int) int {
-		i0, i1 := ifmRowsFor(p1-p0, p0)
+		i0, i1 := s.ifmRowsFor(spec, in, convShape, p1-p0, p0)
 		memBytes := 0
 		if pruneIn {
 			// Compressed channels cannot be row-addressed: stream whole
@@ -371,7 +528,7 @@ func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape 
 				if inCB[c] == 0 {
 					continue
 				}
-				st.rec.RecordBytes(st.cycle, inReg.Base+uint64(c)*inStride, inCB[c], memtrace.Read)
+				se.rec.RecordBytes(se.cycle, inReg.Base+uint64(c)*inStride, inCB[c], memtrace.Read)
 				memBytes += inCB[c]
 			}
 			return memBytes
@@ -379,30 +536,30 @@ func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape 
 		rowBytes := (i1 - i0) * in.W * elem
 		if i0 == 0 && i1 == in.H && inDense {
 			// Whole channels are contiguous: one burst.
-			st.rec.RecordBytes(st.cycle, inReg.Base, in.C*rowBytes, memtrace.Read)
+			se.rec.RecordBytes(se.cycle, inReg.Base, in.C*rowBytes, memtrace.Read)
 			return in.C * rowBytes
 		}
 		for c := 0; c < in.C; c++ {
 			base := inReg.Base + uint64(c)*inStride + uint64(i0*in.W*elem)
-			st.rec.RecordBytes(st.cycle, base, rowBytes, memtrace.Read)
+			se.rec.RecordBytes(se.cycle, base, rowBytes, memtrace.Read)
 			memBytes += rowBytes
 		}
 		return memBytes
 	}
 	readWeights := func(oc0, oc1 int) int {
 		wBytes := (oc1 - oc0) * weightsPerOC * elem
-		st.rec.RecordBytes(st.cycle, wReg.Base+uint64(oc0*weightsPerOC*elem), wBytes, memtrace.Read)
+		se.rec.RecordBytes(se.cycle, wReg.Base+uint64(oc0*weightsPerOC*elem), wBytes, memtrace.Read)
 		if cfg.BiasInDRAM {
 			biasBase := wReg.Base + uint64(spec.OutC*weightsPerOC*elem)
 			bBytes := (oc1 - oc0) * elem
-			st.rec.RecordBytes(st.cycle, biasBase+uint64(oc0*elem), bBytes, memtrace.Read)
+			se.rec.RecordBytes(se.cycle, biasBase+uint64(oc0*elem), bBytes, memtrace.Read)
 			wBytes += bBytes
 		}
 		return wBytes
 	}
 	convRows := func(p0, p1 int) (c0, c1 int) {
 		c0, c1 = p0, p1
-		if pooled {
+		if spec.Pool != nn.PoolNone {
 			c0 = p0*spec.PoolS - spec.PoolP
 			c1 = (p1-1)*spec.PoolS - spec.PoolP + spec.PoolF
 			if c0 < 0 {
@@ -421,29 +578,29 @@ func (s *Simulator) emitConvTrace(li int, st *runState, in, convShape, outShape 
 		if mc := s.memCycles(memBytes); mc > cc {
 			cc = mc
 		}
-		st.cycle += s.jitter(st, cc+cfg.TileOverhead)
+		se.cycle += s.jitter(se, cc+cfg.TileOverhead)
 	}
 	writeOFM := func(p0, p1, oc0, oc1 int) {
 		// OFM band write (once, post activation+pool).
 		if cfg.ZeroPrune {
 			wb := 0
 			for c := oc0; c < oc1; c++ {
-				nz := countNZRows(st.acts[li], outShape.H, outShape.W, c, p0, p1)
-				wb += s.recordPrunedWrite(st, li, c, nz, outStride)
+				nz := countNZRows(se.acts[li], outShape.H, outShape.W, c, p0, p1)
+				wb += s.recordPrunedWrite(se, li, c, nz, outStride)
 			}
-			st.cycle += s.jitter(st, s.memCycles(wb))
+			se.cycle += s.jitter(se, s.memCycles(wb))
 			return
 		}
 		rowBytes := (p1 - p0) * outShape.W * elem
 		if p0 == 0 && p1 == outShape.H && outDense {
-			st.rec.RecordBytes(st.cycle, outReg.Base+uint64(oc0)*outStride, (oc1-oc0)*rowBytes, memtrace.Write)
+			se.rec.RecordBytes(se.cycle, outReg.Base+uint64(oc0)*outStride, (oc1-oc0)*rowBytes, memtrace.Write)
 		} else {
 			for c := oc0; c < oc1; c++ {
 				base := outReg.Base + uint64(c)*outStride + uint64(p0*outShape.W*elem)
-				st.rec.RecordBytes(st.cycle, base, rowBytes, memtrace.Write)
+				se.rec.RecordBytes(se.cycle, base, rowBytes, memtrace.Write)
 			}
 		}
-		st.cycle += s.jitter(st, s.memCycles((oc1-oc0)*rowBytes))
+		se.cycle += s.jitter(se, s.memCycles((oc1-oc0)*rowBytes))
 	}
 
 	switch cfg.Dataflow {
@@ -488,7 +645,7 @@ func minInt(a, b int) int {
 // simFC computes a fully-connected layer and emits its trace: the IFM is
 // read once (it fits on chip), weight rows stream in output tiles, and the
 // output vector is written once.
-func (s *Simulator) simFC(li int, st *runState) {
+func (s *Simulator) simFC(li int, se *session) {
 	n := s.net
 	spec := &n.Specs[li]
 	in := n.InShapes[li][0]
@@ -496,23 +653,25 @@ func (s *Simulator) simFC(li int, st *runState) {
 	elem := cfg.ElemBytes
 
 	l := tensor.Linear{In: in.Len(), Out: spec.OutC}
-	out := make([]float32, spec.OutC)
-	l.Forward(st.inputAct(n, li, 0), n.Params[li].W.Data, n.Params[li].B.Data, out)
+	out := se.acts[li]
+	l.Forward(se.inputAct(n, li, 0), n.Params[li].W.Data, n.Params[li].B.Data, out)
 	if spec.ReLU {
 		s.activate(out)
 	}
-	st.acts[li] = out
 
 	inReg, inShape := s.inputRegion(li, 0)
-	inCB := s.inputChanBytes(st, li, 0)
-	pruneIn := s.prunedInput(st, li, 0)
+	inCB := s.inputChanBytes(se, li, 0)
+	pruneIn := s.prunedInput(se, li, 0)
 	inStride := s.inputPlaneStride(li, 0)
 	inDense := inStride == uint64(inShape.H*inShape.W*elem)
 	wReg := s.lay.Weights[li]
 	outShape := n.Shapes[li]
 	outStride := s.fmapPlaneStride(outShape)
 	if cfg.ZeroPrune {
-		st.chanStream[li] = make([]uint64, outShape.C)
+		cs := se.chanStream[li]
+		for c := range cs {
+			cs[c] = 0
+		}
 	}
 
 	// Read the whole IFM once.
@@ -522,14 +681,14 @@ func (s *Simulator) simFC(li int, st *runState) {
 			if inCB[c] == 0 {
 				continue
 			}
-			st.rec.RecordBytes(st.cycle, inReg.Base+uint64(c)*inStride, inCB[c], memtrace.Read)
+			se.rec.RecordBytes(se.cycle, inReg.Base+uint64(c)*inStride, inCB[c], memtrace.Read)
 			memBytes += inCB[c]
 		}
 	} else {
-		st.rec.RecordBytes(st.cycle, inReg.Base, in.Len()*elem, memtrace.Read)
+		se.rec.RecordBytes(se.cycle, inReg.Base, in.Len()*elem, memtrace.Read)
 		memBytes = in.Len() * elem
 	}
-	st.cycle += s.jitter(st, s.memCycles(memBytes)+cfg.TileOverhead)
+	se.cycle += s.jitter(se, s.memCycles(memBytes)+cfg.TileOverhead)
 
 	rowBytes := in.Len() * elem
 	ocTile := cfg.WBufBytes / rowBytes
@@ -542,17 +701,17 @@ func (s *Simulator) simFC(li int, st *runState) {
 			oc1 = spec.OutC
 		}
 		wBytes := (oc1 - oc0) * rowBytes
-		st.rec.RecordBytes(st.cycle, wReg.Base+uint64(oc0*rowBytes), wBytes, memtrace.Read)
+		se.rec.RecordBytes(se.cycle, wReg.Base+uint64(oc0*rowBytes), wBytes, memtrace.Read)
 		if cfg.BiasInDRAM {
 			biasBase := wReg.Base + uint64(spec.OutC*rowBytes)
-			st.rec.RecordBytes(st.cycle, biasBase+uint64(oc0*elem), (oc1-oc0)*elem, memtrace.Read)
+			se.rec.RecordBytes(se.cycle, biasBase+uint64(oc0*elem), (oc1-oc0)*elem, memtrace.Read)
 		}
 		macs := int64(oc1-oc0) * int64(in.Len())
 		cc := s.computeCycles(macs)
 		if mc := s.memCycles(wBytes); mc > cc {
 			cc = mc
 		}
-		st.cycle += s.jitter(st, cc+cfg.TileOverhead)
+		se.cycle += s.jitter(se, cc+cfg.TileOverhead)
 	}
 
 	if cfg.ZeroPrune {
@@ -562,36 +721,35 @@ func (s *Simulator) simFC(li int, st *runState) {
 			if out[c] != 0 {
 				nz = 1
 			}
-			wb += s.recordPrunedWrite(st, li, c, nz, outStride)
+			wb += s.recordPrunedWrite(se, li, c, nz, outStride)
 		}
-		st.cycle += s.jitter(st, s.memCycles(wb))
+		se.cycle += s.jitter(se, s.memCycles(wb))
 	} else {
-		st.rec.RecordBytes(st.cycle, s.lay.Fmaps[li].Base, spec.OutC*elem, memtrace.Write)
-		st.cycle += s.jitter(st, s.memCycles(spec.OutC*elem))
+		se.rec.RecordBytes(se.cycle, s.lay.Fmaps[li].Base, spec.OutC*elem, memtrace.Write)
+		se.cycle += s.jitter(se, s.memCycles(spec.OutC*elem))
 	}
-	s.finishFmap(li, st, outShape, s.cfg.ZeroPrune)
+	s.finishFmap(li, se, outShape, s.cfg.ZeroPrune)
 }
 
 // simEltwise adds its inputs channel-plane by channel-plane, reading the
 // most recently produced input first (its data is the fresh RAW dependency
 // that marks the layer boundary).
-func (s *Simulator) simEltwise(li int, st *runState) {
+func (s *Simulator) simEltwise(li int, se *session) {
 	n := s.net
 	spec := &n.Specs[li]
 	outShape := n.Shapes[li]
 	elem := s.cfg.ElemBytes
 
-	out := make([]float32, outShape.Len())
-	copy(out, st.inputAct(n, li, 0))
+	out := se.acts[li]
+	copy(out, se.inputAct(n, li, 0))
 	for j := 1; j < len(spec.Inputs); j++ {
-		for k, v := range st.inputAct(n, li, j) {
+		for k, v := range se.inputAct(n, li, j) {
 			out[k] += v
 		}
 	}
-	st.acts[li] = out
 
 	// Visit inputs most-recent-producer first.
-	order := make([]int, len(spec.Inputs))
+	order := se.order[:len(spec.Inputs)]
 	for i := range order {
 		order[i] = i
 	}
@@ -609,54 +767,53 @@ func (s *Simulator) simEltwise(li int, st *runState) {
 		memBytes := 0
 		for _, j := range order {
 			reg, _ := s.inputRegion(li, j)
-			cb := s.inputChanBytes(st, li, j)
+			cb := s.inputChanBytes(se, li, j)
 			stride := s.inputPlaneStride(li, j)
 			if cb[c] == 0 {
 				continue
 			}
-			st.rec.RecordBytes(st.cycle, reg.Base+uint64(c)*stride, cb[c], memtrace.Read)
+			se.rec.RecordBytes(se.cycle, reg.Base+uint64(c)*stride, cb[c], memtrace.Read)
 			memBytes += cb[c]
 		}
-		st.rec.RecordBytes(st.cycle, s.lay.Fmaps[li].Base+uint64(c)*outStride, denseBytes, memtrace.Write)
+		se.rec.RecordBytes(se.cycle, s.lay.Fmaps[li].Base+uint64(c)*outStride, denseBytes, memtrace.Write)
 		memBytes += denseBytes
-		st.cycle += s.jitter(st, s.memCycles(memBytes)+s.cfg.TileOverhead)
+		se.cycle += s.jitter(se, s.memCycles(memBytes)+s.cfg.TileOverhead)
 	}
 	// Element-wise outputs are written dense even under pruning.
-	s.finishFmap(li, st, outShape, false)
+	s.finishFmap(li, se, outShape, false)
 }
 
 // simConcat assembles its output. Producers whose sole consumer is this
 // concat already wrote into the shared region (zero-copy) and contribute no
 // traffic; others are copied through the accelerator.
-func (s *Simulator) simConcat(li int, st *runState) {
+func (s *Simulator) simConcat(li int, se *session) {
 	n := s.net
 	spec := &n.Specs[li]
 	outShape := n.Shapes[li]
 	elem := s.cfg.ElemBytes
 
-	out := make([]float32, outShape.Len())
+	out := se.acts[li]
 	off := 0
 	for j := range spec.Inputs {
-		src := st.inputAct(n, li, j)
+		src := se.inputAct(n, li, j)
 		copy(out[off:off+len(src)], src)
 		off += len(src)
 	}
-	st.acts[li] = out
 
 	// Per-channel stored sizes: concatenation of producer channel sizes
 	// (so downstream readers of a pruned fire module see compressed streams).
-	var cb []int
+	cb := se.chanBytes[li]
+	cOff := 0
 	anyPruned := false
 	for j := range spec.Inputs {
-		jcb := s.inputChanBytes(st, li, j)
-		cb = append(cb, jcb...)
-		if s.prunedInput(st, li, j) {
+		jcb := s.inputChanBytes(se, li, j)
+		copy(cb[cOff:cOff+len(jcb)], jcb)
+		cOff += len(jcb)
+		if s.prunedInput(se, li, j) {
 			anyPruned = true
 		}
 	}
-	if anyPruned {
-		st.chanBytes[li] = cb
-	}
+	se.pruned[li] = anyPruned
 
 	byteOff := uint64(0)
 	felem := uint64(s.fmapElemBytes())
@@ -669,16 +826,15 @@ func (s *Simulator) simConcat(li int, st *runState) {
 			continue // zero-copy: already in place
 		}
 		size := shape.Len() * elem
-		st.rec.RecordBytes(st.cycle, reg.Base, size, memtrace.Read)
-		st.rec.RecordBytes(st.cycle, s.lay.Fmaps[li].Base+byteOff, size, memtrace.Write)
-		st.cycle += s.jitter(st, s.memCycles(2*size)+s.cfg.TileOverhead)
+		se.rec.RecordBytes(se.cycle, reg.Base, size, memtrace.Read)
+		se.rec.RecordBytes(se.cycle, s.lay.Fmaps[li].Base+byteOff, size, memtrace.Write)
+		se.cycle += s.jitter(se, s.memCycles(2*size)+s.cfg.TileOverhead)
 		byteOff += slot
 	}
 
 	// Non-zero statistics for the assembled map.
-	nzs := make([]int, outShape.C)
+	nzs := se.nz[li]
 	for c := 0; c < outShape.C; c++ {
 		nzs[c] = countNZRows(out, outShape.H, outShape.W, c, 0, outShape.H)
 	}
-	st.nz[li] = nzs
 }

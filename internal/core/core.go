@@ -265,6 +265,10 @@ type RankConfig struct {
 	BatchSize int
 	// MaxCandidates caps how many structures are trained (0 = all).
 	MaxCandidates int
+	// Serial forces the candidates to be trained one after another on the
+	// calling goroutine — the reference schedule the determinism regression
+	// tests compare the default parallel ranking against.
+	Serial bool
 }
 
 // CandidateScore is one ranked candidate structure.
@@ -310,15 +314,21 @@ func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []Candi
 	if rc.MaxCandidates > 0 && n > rc.MaxCandidates {
 		n = rc.MaxCandidates
 	}
-	scores := make([]CandidateScore, 0, n)
-	for i := 0; i < n; i++ {
+	// Candidates are fully independent: weights are seeded per candidate
+	// (Seed+i) and each gets a private epoch-shuffle RNG, so training them
+	// concurrently on the shared worker pool reorders nothing observable.
+	// scores[i] is written by exactly one task, the pre-sort order is index
+	// order either way, and sort.Slice is deterministic for a fixed input
+	// order — the ranking is bit-identical to the Serial schedule.
+	scores := make([]CandidateScore, n)
+	rankOne := func(i int) {
 		sc := CandidateScore{Index: i, IsTruth: i == rep.TruthIndex}
+		defer func() { scores[i] = sc }()
 		net, err := Materialize(rep.Analysis, &rep.Structures[i], input, rc.Classes, rc.DepthDiv)
 		if err != nil {
 			sc.Err = err
 			sc.Accuracy = math.NaN()
-			scores = append(scores, sc)
-			continue
+			return
 		}
 		net.InitWeights(rc.Seed + int64(i))
 		tr := nn.NewTrainer(net)
@@ -330,7 +340,13 @@ func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []Candi
 			tr.Epoch(train.X, train.Y, rng)
 		}
 		sc.Accuracy = nn.Accuracy(net, test.X, test.Y, rc.TopK)
-		scores = append(scores, sc)
+	}
+	if rc.Serial {
+		for i := 0; i < n; i++ {
+			rankOne(i)
+		}
+	} else {
+		tensor.Parallel(n, rankOne)
 	}
 	sort.Slice(scores, func(i, j int) bool {
 		ai, aj := scores[i].Accuracy, scores[j].Accuracy

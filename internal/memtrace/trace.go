@@ -200,6 +200,36 @@ func (r *Recorder) Trace() *Trace {
 	return &Trace{BlockBytes: r.BlockBytes, Accesses: r.accesses}
 }
 
+// TraceInto fills t with the recorded trace without copying: t.Accesses
+// shares the recorder's backing array and stays valid only until the next
+// Record or Reset. Reusable simulation sessions use this to hand a trace
+// view to the caller without per-run allocation; use Trace (or copy) when
+// the trace must outlive the recorder.
+func (r *Recorder) TraceInto(t *Trace) {
+	t.BlockBytes = r.BlockBytes
+	t.Accesses = r.accesses
+}
+
+// Reset clears the recorder for a fresh run while retaining the accumulated
+// capacity, so a recorder reused across many inferences reaches a
+// zero-allocation steady state once it has seen the largest trace.
+func (r *Recorder) Reset() { r.accesses = r.accesses[:0] }
+
+// Reserve grows the recorder's capacity to hold at least n accesses without
+// reallocating. Simulators call it with a transaction-count estimate derived
+// from the network's tiling so even the first run records without growth
+// copies.
+func (r *Recorder) Reserve(n int) {
+	if n > cap(r.accesses) {
+		grown := make([]Access, len(r.accesses), n)
+		copy(grown, r.accesses)
+		r.accesses = grown
+	}
+}
+
+// Len returns the number of coalesced accesses recorded so far.
+func (r *Recorder) Len() int { return len(r.accesses) }
+
 // Interval is a half-open byte-address range [Lo, Hi).
 type Interval struct {
 	Lo, Hi uint64

@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTrainerStepSteadyStateAllocs pins the zero-allocation property of the
+// training hot loop: once the per-worker buffers are warm, a minibatch step
+// must not allocate. The parallel candidate ranking runs dozens of short
+// trainings concurrently; per-step garbage would serialize them in the GC.
+// Tolerance 1 covers a GC emptying the shared pools' sync.Pool caches
+// mid-measurement.
+func TestTrainerStepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin runs in the non-race job")
+	}
+	net := LeNet(5)
+	net.InitWeights(3)
+	tr := NewTrainer(net)
+	tr.BatchSize = 8
+	tr.ClipNorm = 1.0
+
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float32, 16)
+	ys := make([]int, 16)
+	for i := range xs {
+		x := make([]float32, net.Input.Len())
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+		}
+		xs[i] = x
+		ys[i] = i % 5
+	}
+	batch := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	tr.step(xs, ys, batch) // warm up worker buffers and pool scratch
+	tr.step(xs, ys, batch)
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.step(xs, ys, batch)
+	})
+	if allocs > 1 {
+		t.Fatalf("Trainer.step allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}

@@ -192,11 +192,47 @@ type Trainer struct {
 
 	velW, velB [][]float32
 	bufs       []*trainBuf
+	losses     []float64
+	shard      stepShard
 }
 
 type trainBuf struct {
 	st *state
 	gs *gradState
+}
+
+// stepShard is the trainer's reusable parallel-region body: one Run(w)
+// invocation processes worker w's strided share of the current minibatch.
+// Keeping it (and the operand references it needs) in a persistent field
+// instead of a per-step closure keeps Trainer.step allocation-free, which
+// the parallel candidate-ranking path relies on — dozens of short trainings
+// run concurrently and per-step garbage would serialize them in the GC.
+type stepShard struct {
+	tr      *Trainer
+	xs      [][]float32
+	ys      []int
+	batch   []int
+	workers int
+}
+
+// Run computes worker w's forward/backward passes and gradient accumulation.
+func (s *stepShard) Run(w int) {
+	tr := s.tr
+	n := tr.Net
+	buf := tr.bufs[w]
+	buf.gs.zeroGrads()
+	var loss float64
+	last := len(n.Specs) - 1
+	for bi := w; bi < len(s.batch); bi += s.workers {
+		idx := s.batch[bi]
+		x := s.xs[idx]
+		out := n.forward(buf.st, x)
+		loss += tensor.SoftmaxCrossEntropy(out, s.ys[idx], buf.gs.dOut[last])
+		n.backward(buf.st, buf.gs, x)
+	}
+	// A local accumulator before the single final store keeps shards from
+	// writing adjacent losses[] words in their hot loop (false sharing).
+	tr.losses[w] = loss
 }
 
 // NewTrainer constructs a trainer with sensible defaults for any zero field
@@ -227,6 +263,9 @@ func (tr *Trainer) ensureBufs() {
 	for len(tr.bufs) < tr.Workers {
 		tr.bufs = append(tr.bufs, &trainBuf{st: tr.Net.newState(), gs: tr.Net.newGradState()})
 	}
+	if len(tr.losses) < tr.Workers {
+		tr.losses = make([]float64, tr.Workers)
+	}
 }
 
 // Epoch runs one pass over the dataset in shuffled minibatches and returns
@@ -248,31 +287,19 @@ func (tr *Trainer) Epoch(xs [][]float32, ys []int, rng *rand.Rand) float64 {
 // step processes one minibatch and applies the SGD update; it returns the
 // summed loss over the batch.
 func (tr *Trainer) step(xs [][]float32, ys []int, batch []int) float64 {
+	tr.ensureBufs() // no-op (and no allocation) once warm
 	n := tr.Net
 	workers := tr.Workers
 	if workers > len(batch) {
 		workers = len(batch)
 	}
-	losses := make([]float64, workers)
 	// Worker shards run on the shared tensor pool; a shard's nested GEMM
 	// parallelism then finds the pool busy and runs inline instead of
-	// oversubscribing. Each shard accumulates its loss in a local before the
-	// single final store, so shards never write adjacent losses[] words in
-	// their hot loop (false sharing).
-	tensor.Parallel(workers, func(w int) {
-		buf := tr.bufs[w]
-		buf.gs.zeroGrads()
-		var loss float64
-		for bi := w; bi < len(batch); bi += workers {
-			idx := batch[bi]
-			x := xs[idx]
-			out := n.forward(buf.st, x)
-			last := len(n.Specs) - 1
-			loss += tensor.SoftmaxCrossEntropy(out, ys[idx], buf.gs.dOut[last])
-			n.backward(buf.st, buf.gs, x)
-		}
-		losses[w] = loss
-	})
+	// oversubscribing. The shard body and loss accumulators are persistent
+	// trainer fields, so a step allocates nothing in steady state.
+	tr.shard = stepShard{tr: tr, xs: xs, ys: ys, batch: batch, workers: workers}
+	tensor.ParallelRun(workers, &tr.shard)
+	tr.shard.xs, tr.shard.ys, tr.shard.batch = nil, nil, nil
 
 	invBatch := 1 / float32(len(batch))
 	// Reduce worker gradients into worker 0 and optionally clip the global
@@ -326,7 +353,7 @@ func (tr *Trainer) step(xs [][]float32, ys []int, batch []int) float64 {
 		}
 	}
 	var loss float64
-	for _, l := range losses {
+	for _, l := range tr.losses[:workers] {
 		loss += l
 	}
 	return loss
@@ -344,11 +371,14 @@ func Accuracy(n *Network, xs [][]float32, ys []int, k int) float64 {
 	hits := make([]int, workers)
 	tensor.Parallel(workers, func(w int) {
 		st := n.newState()
+		// Per-worker top-k scratch: the ranking loop evaluates thousands of
+		// samples and must not allocate per sample.
+		idxBuf := make([]int, 0, k)
+		valBuf := make([]float32, 0, k)
 		hit := 0 // local accumulator: avoids false sharing on hits[]
 		for i := w; i < len(xs); i += workers {
 			out := n.forward(st, xs[i])
-			t := tensor.FromSlice(out, len(out))
-			for _, idx := range t.TopK(k) {
+			for _, idx := range tensor.TopKInto(out, k, idxBuf, valBuf) {
 				if idx == ys[i] {
 					hit++
 					break

@@ -34,9 +34,48 @@ const gemmParallelThreshold = 1 << 16
 // exactly these few-filter, wide-spatial shapes).
 const gemmPackMinRows = 16
 
-// panelPool recycles packed-panel scratch buffers across GEMM calls.
-var panelPool = sync.Pool{
-	New: func() any { return make([]float32, blockKC*blockNC) },
+// gemmTask is the pooled state of one parallel GEMM call: operand views,
+// blocking geometry, the packed-panel scratch, and the kernel to run per
+// pool iteration. Keeping all of it in one recycled struct (instead of a
+// fresh closure per panel) makes every GEMM call allocation-free in steady
+// state, which matters for the trainer's step loop and the simulator's
+// repeated oracle runs.
+type gemmTask struct {
+	kern    func(t *gemmTask, i int)
+	a, b, c []float32
+	packed  []float32 // KC×NC panel scratch, retained across pool cycles
+	m, k, n int
+	width   int // column-block width of the skinny (unpacked) paths
+	// Current panel window for the packed paths.
+	mc, pc, kc, jc, nc int
+}
+
+// Run dispatches one pool iteration to the task's kernel.
+func (t *gemmTask) Run(i int) { t.kern(t, i) }
+
+// gemmTasks recycles task descriptors (with their packed panels) across
+// calls. Nested GEMMs — a trainer shard's conv inside a parallel region —
+// each draw their own descriptor.
+var gemmTasks = sync.Pool{New: func() any { return new(gemmTask) }}
+
+func getGemmTask(a, b, c []float32, m, k, n int) *gemmTask {
+	t := gemmTasks.Get().(*gemmTask)
+	t.a, t.b, t.c = a, b, c
+	t.m, t.k, t.n = m, k, n
+	return t
+}
+
+func putGemmTask(t *gemmTask) {
+	t.a, t.b, t.c = nil, nil, nil // keep packed, drop operand references
+	gemmTasks.Put(t)
+}
+
+// panel ensures the packed scratch exists and returns it.
+func (t *gemmTask) panel() []float32 {
+	if t.packed == nil {
+		t.packed = make([]float32, blockKC*blockNC)
+	}
+	return t.packed
 }
 
 // colSplit partitions n columns for the unpacked skinny-m paths: wide enough
@@ -50,6 +89,16 @@ func colSplit(n int) (blocks, width int) {
 		width = blockNC
 	}
 	return (n + width - 1) / width, width
+}
+
+// rowSplit picks the row-block size for the packed paths: blockMC, shrunk so
+// every pool worker gets a few tasks to balance, but no smaller than lo.
+func rowSplit(m, lo int) int {
+	mc := blockMC
+	if w := Workers(); m < 2*w*mc {
+		mc = max((m+2*w-1)/(2*w), lo)
+	}
+	return mc
 }
 
 // Gemm computes C = A*B for row-major matrices, where A is m×k, B is k×n and
@@ -80,50 +129,61 @@ func gemmAcc(a, b, c []float32, m, k, n int) {
 		gemmRows(a, b, c, 0, m, k, n)
 		return
 	}
+	t := getGemmTask(a, b, c, m, k, n)
+	defer putGemmTask(t)
 	if m < gemmPackMinRows {
 		// Skinny in m (a single-sample FC row, or a depth-scaled conv with a
 		// handful of filters): too few rows to amortize packing, so split
 		// the columns of B and C into blocks and run the plain streaming
 		// kernel on each — disjoint C columns, no scratch, and identical
 		// memory behavior to the serial kernel when the pool is busy.
-		blocks, width := colSplit(n)
-		Parallel(blocks, func(ji int) {
-			jc := ji * width
-			nc := min(width, n-jc)
-			for i := 0; i < m; i++ {
-				arow := a[i*k : i*k+k]
-				crow := c[i*n+jc : i*n+jc+nc]
-				for p, av := range arow {
-					if av == 0 {
-						continue
-					}
-					brow := b[p*n+jc : p*n+jc+nc]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
-				}
-			}
-		})
+		var blocks int
+		blocks, t.width = colSplit(n)
+		t.kern = skinnyAccKern
+		ParallelRun(blocks, t)
 		return
 	}
 	// Row blocks sized so every pool worker gets a few tasks to balance.
-	mc := blockMC
-	if w := Workers(); m < 2*w*mc {
-		mc = max((m+2*w-1)/(2*w), 8)
-	}
-	packed := panelPool.Get().([]float32)
-	defer panelPool.Put(packed)
+	mc := rowSplit(m, 8)
+	t.mc = mc
+	t.kern = panelAccKern
+	packed := t.panel()
 	for jc := 0; jc < n; jc += blockNC {
 		nc := min(blockNC, n-jc)
 		for pc := 0; pc < k; pc += blockKC {
 			kc := min(blockKC, k-pc)
 			packB(packed, b, pc, kc, jc, nc, n)
-			Parallel((m+mc-1)/mc, func(bi int) {
-				ic := bi * mc
-				gemmPanel(a, packed, c, ic, min(mc, m-ic), pc, kc, jc, nc, k, n)
-			})
+			t.pc, t.kc, t.jc, t.nc = pc, kc, jc, nc
+			ParallelRun((m+mc-1)/mc, t)
 		}
 	}
+}
+
+// skinnyAccKern accumulates one column block of C += A*B without packing.
+func skinnyAccKern(t *gemmTask, ji int) {
+	jc := ji * t.width
+	nc := min(t.width, t.n-jc)
+	k, n := t.k, t.n
+	for i := 0; i < t.m; i++ {
+		arow := t.a[i*k : i*k+k]
+		crow := t.c[i*n+jc : i*n+jc+nc]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := t.b[p*n+jc : p*n+jc+nc]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// panelAccKern accumulates one row block of C against the current packed
+// panel window.
+func panelAccKern(t *gemmTask, bi int) {
+	ic := bi * t.mc
+	gemmPanel(t.a, t.packed, t.c, ic, min(t.mc, t.m-ic), t.pc, t.kc, t.jc, t.nc, t.k, t.n)
 }
 
 // packB copies the kc×nc sub-panel of row-major B (row length n) starting at
@@ -189,60 +249,71 @@ func GemmTransA(a, b, c []float32, m, k, n int) {
 		gemmTransASerial(a, b, c, m, k, n)
 		return
 	}
+	t := getGemmTask(a, b, c, m, k, n)
+	defer putGemmTask(t)
 	if m < gemmPackMinRows {
 		// Too few C rows to amortize packing: split the columns instead and
 		// run the serial loop order on each disjoint column window.
-		blocks, width := colSplit(n)
-		Parallel(blocks, func(ji int) {
-			jc := ji * width
-			nc := min(width, n-jc)
-			for p := 0; p < k; p++ {
-				arow := a[p*m : p*m+m]
-				brow := b[p*n+jc : p*n+jc+nc]
-				for i, av := range arow {
-					if av == 0 {
-						continue
-					}
-					crow := c[i*n+jc : i*n+jc+nc]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
-				}
-			}
-		})
+		var blocks int
+		blocks, t.width = colSplit(n)
+		t.kern = skinnyTransAKern
+		ParallelRun(blocks, t)
 		return
 	}
 	// Row blocks of C own contiguous runs of every row of A (A is k×m, so
 	// row p contributes a[p*m+ic : p*m+ic+mc]), which keeps both the A reads
 	// and the C writes of a task disjoint and cache-local.
-	mc := blockMC
-	if w := Workers(); m < 2*w*mc {
-		mc = max((m+2*w-1)/(2*w), 8)
-	}
-	packed := panelPool.Get().([]float32)
-	defer panelPool.Put(packed)
+	mc := rowSplit(m, 8)
+	t.mc = mc
+	t.kern = panelTransAKern
+	packed := t.panel()
 	for jc := 0; jc < n; jc += blockNC {
 		nc := min(blockNC, n-jc)
 		for pc := 0; pc < k; pc += blockKC {
 			kc := min(blockKC, k-pc)
 			packB(packed, b, pc, kc, jc, nc, n)
-			Parallel((m+mc-1)/mc, func(bi int) {
-				ic := bi * mc
-				mcc := min(mc, m-ic)
-				for p := 0; p < kc; p++ {
-					apart := a[(pc+p)*m+ic : (pc+p)*m+ic+mcc]
-					brow := packed[p*nc : p*nc+nc]
-					for ii, av := range apart {
-						if av == 0 {
-							continue
-						}
-						crow := c[(ic+ii)*n+jc : (ic+ii)*n+jc+nc]
-						for j, bv := range brow {
-							crow[j] += av * bv
-						}
-					}
-				}
-			})
+			t.pc, t.kc, t.jc, t.nc = pc, kc, jc, nc
+			ParallelRun((m+mc-1)/mc, t)
+		}
+	}
+}
+
+// skinnyTransAKern accumulates one column block of C += Aᵀ*B unpacked.
+func skinnyTransAKern(t *gemmTask, ji int) {
+	jc := ji * t.width
+	nc := min(t.width, t.n-jc)
+	m, n := t.m, t.n
+	for p := 0; p < t.k; p++ {
+		arow := t.a[p*m : p*m+m]
+		brow := t.b[p*n+jc : p*n+jc+nc]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := t.c[i*n+jc : i*n+jc+nc]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// panelTransAKern accumulates one row block of C += Aᵀ·(packed panel).
+func panelTransAKern(t *gemmTask, bi int) {
+	ic := bi * t.mc
+	mcc := min(t.mc, t.m-ic)
+	m, n := t.m, t.n
+	for p := 0; p < t.kc; p++ {
+		apart := t.a[(t.pc+p)*m+ic : (t.pc+p)*m+ic+mcc]
+		brow := t.packed[p*t.nc : p*t.nc+t.nc]
+		for ii, av := range apart {
+			if av == 0 {
+				continue
+			}
+			crow := t.c[(ic+ii)*n+t.jc : (ic+ii)*n+t.jc+t.nc]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
 		}
 	}
 }
@@ -291,33 +362,25 @@ func gemmTransBAcc(a, b, c []float32, m, k, n int) {
 		gemmTransBRows(a, b, c, 0, m, k, n)
 		return
 	}
+	t := getGemmTask(a, b, c, m, k, n)
+	defer putGemmTask(t)
 	if m < gemmPackMinRows {
 		// Few C rows: every output is an independent dot of contiguous
 		// k-vectors, so split the B rows (= C columns) across the pool
 		// without packing.
-		blocks, width := colSplit(n)
-		Parallel(blocks, func(ji int) {
-			jc := ji * width
-			nc := min(width, n-jc)
-			for i := 0; i < m; i++ {
-				arow := a[i*k : i*k+k]
-				crow := c[i*n+jc : i*n+jc+nc]
-				for j := 0; j < nc; j++ {
-					crow[j] += dot(arow, b[(jc+j)*k:(jc+j)*k+k])
-				}
-			}
-		})
+		var blocks int
+		blocks, t.width = colSplit(n)
+		t.kern = skinnyTransBKern
+		ParallelRun(blocks, t)
 		return
 	}
 	// Here both A rows and B rows are contiguous k-vectors; the panel packs
 	// nc rows of B restricted to a kc slice so a task's working set is one
 	// nc×kc panel plus the A row it streams.
-	mc := blockMC
-	if w := Workers(); m < 2*w*mc {
-		mc = max((m+2*w-1)/(2*w), 1)
-	}
-	packed := panelPool.Get().([]float32)
-	defer panelPool.Put(packed)
+	mc := rowSplit(m, 1)
+	t.mc = mc
+	t.kern = panelTransBKern
+	packed := t.panel()
 	for jc := 0; jc < n; jc += blockNC {
 		nc := min(blockNC, n-jc)
 		for pc := 0; pc < k; pc += blockKC {
@@ -327,16 +390,35 @@ func gemmTransBAcc(a, b, c []float32, m, k, n int) {
 				src := b[(jc+j)*k+pc:]
 				copy(packed[j*kc:j*kc+kc], src[:kc])
 			}
-			Parallel((m+mc-1)/mc, func(bi int) {
-				ic := bi * mc
-				for i := ic; i < min(ic+mc, m); i++ {
-					arow := a[i*k+pc : i*k+pc+kc]
-					crow := c[i*n+jc : i*n+jc+nc]
-					for j := 0; j < nc; j++ {
-						crow[j] += dot(arow, packed[j*kc:j*kc+kc])
-					}
-				}
-			})
+			t.pc, t.kc, t.jc, t.nc = pc, kc, jc, nc
+			ParallelRun((m+mc-1)/mc, t)
+		}
+	}
+}
+
+// skinnyTransBKern accumulates one column block of C += A*Bᵀ unpacked.
+func skinnyTransBKern(t *gemmTask, ji int) {
+	jc := ji * t.width
+	nc := min(t.width, t.n-jc)
+	k, n := t.k, t.n
+	for i := 0; i < t.m; i++ {
+		arow := t.a[i*k : i*k+k]
+		crow := t.c[i*n+jc : i*n+jc+nc]
+		for j := 0; j < nc; j++ {
+			crow[j] += dot(arow, t.b[(jc+j)*k:(jc+j)*k+k])
+		}
+	}
+}
+
+// panelTransBKern accumulates one row block of C += A·(packed Bᵀ panel).
+func panelTransBKern(t *gemmTask, bi int) {
+	ic := bi * t.mc
+	k, n := t.k, t.n
+	for i := ic; i < min(ic+t.mc, t.m); i++ {
+		arow := t.a[i*k+t.pc : i*k+t.pc+t.kc]
+		crow := t.c[i*n+t.jc : i*n+t.jc+t.nc]
+		for j := 0; j < t.nc; j++ {
+			crow[j] += dot(arow, t.packed[j*t.kc:j*t.kc+t.kc])
 		}
 	}
 }

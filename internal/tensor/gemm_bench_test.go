@@ -26,6 +26,7 @@ func benchOperands(m, k, n int) (a, b, c []float32) {
 }
 
 func benchGemmKernel(b *testing.B, m, k, n int, fn func(a, bb, c []float32)) {
+	b.ReportAllocs()
 	b.Helper()
 	a, bb, c := benchOperands(m, k, n)
 	b.SetBytes(int64(m*k+k*n+m*n) * 4)
@@ -38,22 +39,27 @@ func benchGemmKernel(b *testing.B, m, k, n int, fn func(a, bb, c []float32)) {
 // Blocked parallel kernels versus the retained naive reference, same shapes.
 
 func BenchmarkGemmBlocked256(b *testing.B) {
+	b.ReportAllocs()
 	benchGemmKernel(b, 256, 256, 256, func(a, bb, c []float32) { Gemm(a, bb, c, 256, 256, 256) })
 }
 
 func BenchmarkGemmNaive256(b *testing.B) {
+	b.ReportAllocs()
 	benchGemmKernel(b, 256, 256, 256, func(a, bb, c []float32) { naiveGemmInto(a, bb, c, 256, 256, 256) })
 }
 
 func BenchmarkGemmBlocked512(b *testing.B) {
+	b.ReportAllocs()
 	benchGemmKernel(b, 512, 512, 512, func(a, bb, c []float32) { Gemm(a, bb, c, 512, 512, 512) })
 }
 
 func BenchmarkGemmNaive512(b *testing.B) {
+	b.ReportAllocs()
 	benchGemmKernel(b, 512, 512, 512, func(a, bb, c []float32) { naiveGemmInto(a, bb, c, 512, 512, 512) })
 }
 
 func BenchmarkGemmTransBBlocked(b *testing.B) {
+	b.ReportAllocs()
 	// Shape family of a conv-backward dW accumulation (C = dOut·colsᵀ).
 	m, k, n := 256, 729, 512
 	a := randSlice(rand.New(rand.NewSource(1)), m*k)
@@ -67,6 +73,7 @@ func BenchmarkGemmTransBBlocked(b *testing.B) {
 }
 
 func BenchmarkGemmTransBNaive(b *testing.B) {
+	b.ReportAllocs()
 	m, k, n := 256, 729, 512
 	a := randSlice(rand.New(rand.NewSource(1)), m*k)
 	bt := randSlice(rand.New(rand.NewSource(2)), n*k)

@@ -8,14 +8,41 @@ import (
 
 // workerPool is a fixed set of persistent worker goroutines shared by every
 // parallel kernel in the process. Routing all data parallelism — GEMM row
-// blocks, per-sample training/accuracy fan-out, per-filter weight recovery —
-// through one bounded pool keeps the total number of runnable compute
-// goroutines at the pool size even when parallel regions nest (a trainer
-// worker calling a parallel GEMM), instead of multiplying goroutines per
-// call and oversubscribing GOMAXPROCS.
+// blocks, per-sample training/accuracy fan-out, per-filter weight recovery,
+// per-candidate ranking — through one bounded pool keeps the total number of
+// runnable compute goroutines at the pool size even when parallel regions
+// nest (a trainer worker calling a parallel GEMM), instead of multiplying
+// goroutines per call and oversubscribing GOMAXPROCS.
 type workerPool struct {
 	size  int
-	tasks chan func()
+	tasks chan *region
+	// regions recycles parallel-region descriptors so steady-state Parallel
+	// calls allocate nothing: a region is a pointer, and sync.Pool hands
+	// pointers back and forth without boxing.
+	regions sync.Pool
+}
+
+// region describes one parallel loop in flight: the work body, the iteration
+// bound, the shared claim counter, and the completion group. Workers receive
+// a *region over the task channel rather than a fresh closure, so recruiting
+// help costs no allocation.
+type region struct {
+	r    Runner
+	n    int64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// loop claims and runs iterations until the region is exhausted.
+func (rg *region) loop() {
+	defer rg.wg.Done()
+	for {
+		i := rg.next.Add(1) - 1
+		if i >= rg.n {
+			return
+		}
+		rg.r.Run(int(i))
+	}
 }
 
 // newWorkerPool starts a pool of the given parallel width. The pool runs
@@ -25,7 +52,8 @@ func newWorkerPool(size int) *workerPool {
 	if size < 1 {
 		size = 1
 	}
-	p := &workerPool{size: size, tasks: make(chan func())}
+	p := &workerPool{size: size, tasks: make(chan *region)}
+	p.regions.New = func() any { return new(region) }
 	for i := 0; i < size-1; i++ {
 		go p.work()
 	}
@@ -33,53 +61,46 @@ func newWorkerPool(size int) *workerPool {
 }
 
 func (p *workerPool) work() {
-	for f := range p.tasks {
-		f()
+	for rg := range p.tasks {
+		rg.loop()
 	}
 }
 
-// parallel executes fn(i) for every i in [0,n), distributing iterations
+// parallel executes r.Run(i) for every i in [0,n), distributing iterations
 // dynamically over idle pool workers plus the calling goroutine. Handing the
 // loop to a worker uses a non-blocking send on an unbuffered channel, which
 // succeeds only when a worker is actually parked waiting — so a nested call
 // issued from inside a worker finds no idle peers and simply runs inline,
-// never growing the goroutine count past the pool size. fn must be safe for
-// concurrent invocation with distinct i.
-func (p *workerPool) parallel(n int, fn func(i int)) {
+// never growing the goroutine count past the pool size. r.Run must be safe
+// for concurrent invocation with distinct i.
+func (p *workerPool) parallel(n int, r Runner) {
 	if n <= 0 {
 		return
 	}
 	if n == 1 || p.size == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			r.Run(i)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	loop := func() {
-		defer wg.Done()
-		for {
-			i := next.Add(1) - 1
-			if i >= int64(n) {
-				return
-			}
-			fn(int(i))
-		}
-	}
+	rg := p.regions.Get().(*region)
+	rg.r, rg.n = r, int64(n)
+	rg.next.Store(0)
 recruit:
 	for helpers := 0; helpers < n-1 && helpers < p.size-1; helpers++ {
-		wg.Add(1)
+		rg.wg.Add(1)
 		select {
-		case p.tasks <- loop:
+		case p.tasks <- rg:
 		default:
-			wg.Done()
+			rg.wg.Done()
 			break recruit // no idle worker: run the rest inline
 		}
 	}
-	wg.Add(1)
-	loop()
-	wg.Wait()
+	rg.wg.Add(1)
+	rg.loop()
+	rg.wg.Wait()
+	rg.r = nil // drop the body reference before pooling the descriptor
+	p.regions.Put(rg)
 }
 
 var (
@@ -97,8 +118,31 @@ func sharedPool() *workerPool {
 // sizing per-worker scratch buffers should allocate this many.
 func Workers() int { return sharedPool().size }
 
+// Runner is the work body of a ParallelRun region. Hot paths implement it on
+// a reusable (typically pooled) struct instead of passing a closure to
+// Parallel: a pointer receiver converts to the interface without allocating,
+// so steady-state parallel loops stay allocation-free.
+type Runner interface {
+	// Run executes iteration i. It must be safe to call concurrently with
+	// distinct i.
+	Run(i int)
+}
+
+// funcRunner adapts a plain function to Runner. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate (the
+// closure, if any, is the caller's allocation).
+type funcRunner func(int)
+
+func (f funcRunner) Run(i int) { f(i) }
+
 // Parallel runs fn(i) for every i in [0,n) on the shared pool, returning
 // when all iterations have finished. Iterations are claimed dynamically, so
 // uneven per-iteration cost balances automatically. Nested Parallel calls
 // are safe and degrade to inline execution rather than oversubscribing.
-func Parallel(n int, fn func(i int)) { sharedPool().parallel(n, fn) }
+func Parallel(n int, fn func(i int)) { sharedPool().parallel(n, funcRunner(fn)) }
+
+// ParallelRun is Parallel for pre-built Runner bodies. Use it from hot loops
+// that must not allocate: keep the Runner in a reusable struct and the whole
+// region — descriptor, recruitment, claim counter — costs zero allocations
+// in steady state.
+func ParallelRun(n int, r Runner) { sharedPool().parallel(n, r) }

@@ -10,9 +10,9 @@ func TestParallelCoversEveryIndexOnce(t *testing.T) {
 	p := newWorkerPool(4)
 	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
 		counts := make([]int32, n)
-		p.parallel(n, func(i int) {
+		p.parallel(n, funcRunner(func(i int) {
 			atomic.AddInt32(&counts[i], 1)
-		})
+		}))
 		for i, c := range counts {
 			if c != 1 {
 				t.Fatalf("n=%d: index %d executed %d times", n, i, c)
@@ -24,11 +24,11 @@ func TestParallelCoversEveryIndexOnce(t *testing.T) {
 func TestParallelNestedDoesNotDeadlock(t *testing.T) {
 	p := newWorkerPool(4)
 	var total atomic.Int64
-	p.parallel(8, func(i int) {
-		p.parallel(8, func(j int) {
+	p.parallel(8, funcRunner(func(i int) {
+		p.parallel(8, funcRunner(func(j int) {
 			total.Add(1)
-		})
-	})
+		}))
+	}))
 	if got := total.Load(); got != 64 {
 		t.Fatalf("nested parallel ran %d inner iterations, want 64", got)
 	}
@@ -42,7 +42,7 @@ func TestParallelConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.parallel(100, func(i int) { total.Add(1) })
+			p.parallel(100, funcRunner(func(i int) { total.Add(1) }))
 		}()
 	}
 	wg.Wait()
@@ -54,7 +54,7 @@ func TestParallelConcurrentCallers(t *testing.T) {
 func TestParallelSingleWorkerRunsInline(t *testing.T) {
 	p := newWorkerPool(1)
 	order := make([]int, 0, 5)
-	p.parallel(5, func(i int) { order = append(order, i) })
+	p.parallel(5, funcRunner(func(i int) { order = append(order, i) }))
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("single-worker pool must run in order, got %v", order)
@@ -69,7 +69,7 @@ func TestParallelBoundsConcurrency(t *testing.T) {
 	const size = 4
 	p := newWorkerPool(size)
 	var running, peak atomic.Int64
-	p.parallel(64, func(i int) {
+	p.parallel(64, funcRunner(func(i int) {
 		cur := running.Add(1)
 		for {
 			old := peak.Load()
@@ -78,9 +78,9 @@ func TestParallelBoundsConcurrency(t *testing.T) {
 			}
 		}
 		// Nested region: must not raise concurrency past the pool size.
-		p.parallel(4, func(j int) {})
+		p.parallel(4, funcRunner(func(j int) {}))
 		running.Add(-1)
-	})
+	}))
 	if peak.Load() > size {
 		t.Fatalf("peak concurrency %d exceeds pool size %d", peak.Load(), size)
 	}

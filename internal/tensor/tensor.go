@@ -194,9 +194,25 @@ func (t *Tensor) TopK(k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	vals := make([]float32, 0, k)
-	idx := make([]int, 0, k)
-	for i, v := range t.Data {
+	return topKInto(t.Data, k, make([]int, 0, k), make([]float32, 0, k))
+}
+
+// TopKInto is TopK over a raw slice with caller-provided scratch, for hot
+// loops that rank many outputs without allocating: idxBuf and valBuf need
+// capacity k (they are truncated, filled and returned — the result aliases
+// idxBuf). Ordering is identical to TopK.
+func TopKInto(data []float32, k int, idxBuf []int, valBuf []float32) []int {
+	if k > len(data) {
+		k = len(data)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return topKInto(data, k, idxBuf[:0], valBuf[:0])
+}
+
+func topKInto(data []float32, k int, idx []int, vals []float32) []int {
+	for i, v := range data {
 		if len(idx) == k && !topKOutranks(v, i, vals[k-1], idx[k-1]) {
 			continue
 		}

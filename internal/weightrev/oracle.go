@@ -14,6 +14,8 @@ package weightrev
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/memtrace"
@@ -47,53 +49,74 @@ type Oracle interface {
 // derives counts from the observed compressed write bursts — the reference
 // (slow) oracle. The simulated network must consist of (at least) the
 // target conv layer, and the simulator must have zero pruning enabled.
+//
+// All queries share one Simulator; each goroutine borrows a query context
+// (an accel.Session plus an input buffer) from an internal pool, so the
+// oracle is safe for concurrent Counts/CountChannel calls and repeated
+// queries allocate only the returned count slices. SetThreshold retunes the
+// shared device and must not race in-flight queries — the attack's
+// bias-recovery sweep (its only caller) is sequential by construction.
 type TraceOracle struct {
-	net     *nn.Network
-	cfg     accel.Config
+	sim     *accel.Simulator
 	layer   int
-	queries int
+	queries atomic.Int64
+	ctxs    sync.Pool // *oracleCtx
+}
+
+// oracleCtx is one goroutine's reusable query state.
+type oracleCtx struct {
+	ses *accel.Session
+	x   []float32
 }
 
 // NewTraceOracle builds a trace-backed oracle targeting the given layer.
 func NewTraceOracle(net *nn.Network, cfg accel.Config, layer int) (*TraceOracle, error) {
 	cfg.ZeroPrune = true
-	if _, err := accel.New(net, cfg); err != nil {
+	sim, err := accel.New(net, cfg)
+	if err != nil {
 		return nil, err
 	}
 	if net.Specs[layer].Kind != nn.KindConv {
 		return nil, fmt.Errorf("weightrev: layer %d is not a conv layer", layer)
 	}
-	return &TraceOracle{net: net, cfg: cfg, layer: layer}, nil
+	return &TraceOracle{sim: sim, layer: layer}, nil
 }
 
 // SetThreshold adjusts the activation threshold used by subsequent queries.
-func (o *TraceOracle) SetThreshold(t float32) { o.cfg.Threshold = t }
+func (o *TraceOracle) SetThreshold(t float32) { o.sim.SetThreshold(t) }
 
 // Queries returns the number of device inferences issued.
-func (o *TraceOracle) Queries() int { return o.queries }
+func (o *TraceOracle) Queries() int { return int(o.queries.Load()) }
 
 // Counts runs one inference and parses the per-channel compressed write
 // volumes out of the memory trace.
 func (o *TraceOracle) Counts(pixels []Pixel) []int {
-	o.queries++
-	sim, err := accel.New(o.net, o.cfg)
-	if err != nil {
-		panic(err)
+	o.queries.Add(1)
+	ctx, _ := o.ctxs.Get().(*oracleCtx)
+	if ctx == nil {
+		ctx = &oracleCtx{
+			ses: o.sim.NewSession(),
+			x:   make([]float32, o.sim.Net().Input.Len()),
+		}
 	}
-	in := o.net.Input
-	x := make([]float32, in.Len())
+	defer o.ctxs.Put(ctx)
+	net := o.sim.Net()
+	in := net.Input
 	for _, p := range pixels {
 		// Accumulate so repeated coordinates behave like the analytic
 		// oracle's additive contributions.
-		x[(p.C*in.H+p.Y)*in.W+p.X] += p.V
+		ctx.x[(p.C*in.H+p.Y)*in.W+p.X] += p.V
 	}
-	res, err := sim.Run(x)
+	res, err := ctx.ses.Run(ctx.x)
 	if err != nil {
 		panic(err)
 	}
-	lay := sim.Layout()
-	cfg := sim.Config()
-	shape := o.net.Shapes[o.layer]
+	for _, p := range pixels { // restore the all-zero base input
+		ctx.x[(p.C*in.H+p.Y)*in.W+p.X] = 0
+	}
+	lay := o.sim.Layout()
+	cfg := o.sim.Config()
+	shape := net.Shapes[o.layer]
 	stride := uint64(shape.H * shape.W * cfg.PruneBytesPerNZ)
 	counts := make([]int, shape.C)
 	reg := lay.Fmaps[o.layer]

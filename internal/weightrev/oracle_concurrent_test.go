@@ -1,0 +1,59 @@
+package weightrev
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// TestTraceOracleConcurrentQueries: a TraceOracle shares one Simulator
+// across all queries (each goroutine borrowing a pooled session), so
+// concurrent Counts calls must be safe and must agree with serial answers.
+// Run with -race in CI — this is the regression for the shared-arena oracle.
+func TestTraceOracleConcurrentQueries(t *testing.T) {
+	in := nn.Shape{C: 2, H: 12, W: 12}
+	net := convLayer(t, in, 3, 3, 1, 0, nn.PoolNone, 0, 0, 0.07, 0.2, 1)
+	o, err := NewTraceOracle(net, accel.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]Pixel, 12)
+	want := make([][]int, len(queries))
+	for i := range queries {
+		queries[i] = []Pixel{{C: i % in.C, Y: (i * 3) % in.H, X: (i * 5) % in.W, V: 0.4 + 0.1*float32(i)}}
+		want[i] = o.Counts(queries[i])
+	}
+	base := o.Queries()
+
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range queries {
+				idx := (g + i) % len(queries)
+				got := o.Counts(queries[idx])
+				for c := range want[idx] {
+					if got[c] != want[idx][c] {
+						errc <- fmt.Errorf("goroutine %d query %d: channel %d count %d, want %d",
+							g, idx, c, got[c], want[idx][c])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Queries(); got != base+goroutines*len(queries) {
+		t.Fatalf("query counter %d, want %d (atomic accounting lost updates)", got, base+goroutines*len(queries))
+	}
+}
