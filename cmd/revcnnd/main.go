@@ -1,0 +1,83 @@
+// Command revcnnd serves the paper's attack pipeline over HTTP: clients
+// upload recorded memory traces (or ask for a simulated victim by spec) and
+// receive the recovered structure candidates — optionally ranked, and with
+// §4 weight recovery for compatible victims. Jobs run on a bounded queue
+// with per-job deadlines; SIGTERM/SIGINT drain in-flight jobs before exit.
+//
+// Usage:
+//
+//	revcnnd -addr :8080 -workers 1 -queue 8 -timeout 60s
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness + queue occupancy
+//	GET  /metrics              Prometheus text metrics
+//	POST /v1/attack/trace      raw trace body; ?inw=&ind=&classes=[&rank=1...]
+//	POST /v1/attack/simulate   JSON victim spec; see internal/serve
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cnnrev/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 1, "concurrent attack jobs (each job parallelizes internally)")
+	queue := flag.Int("queue", 8, "max queued jobs; a full queue returns 429")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-job deadline cap (requests may ask for less)")
+	maxUpload := flag.Int64("max-upload", 64<<20, "max trace upload size in bytes")
+	maxStructures := flag.Int("max-structures", 0, "cap candidate enumeration per job (0 = solver default)")
+	drain := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *timeout,
+		MaxUploadBytes: *maxUpload,
+		MaxStructures:  *maxStructures,
+		Logger:         log,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("revcnnd listening", "addr", *addr, "workers", *workers, "queue", *queue, "timeout", *timeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Info("shutting down", "signal", sig.String())
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job queue first (aborting queued jobs, finishing in-flight
+	// ones), then close the listener and let handlers flush responses.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Error("job drain incomplete", "err", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("http shutdown", "err", err)
+	}
+	log.Info("drained; exiting")
+}

@@ -28,6 +28,7 @@
 package cnnrev
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -127,6 +128,27 @@ func RunWeightAttack(net *Network, cfg AccelConfig) (*WeightReport, error) {
 	return core.RunWeightAttack(net, cfg)
 }
 
+// RunStructureAttackCtx is RunStructureAttack with cooperative
+// cancellation: on context expiry it returns the partial report found so
+// far (Partial set, structures a deterministic prefix of the full
+// enumeration) alongside the context error. cmd/revcnnd serves this.
+func RunStructureAttackCtx(ctx context.Context, net *Network, cfg AccelConfig, opt SolverOptions, seed int64) (*StructureReport, error) {
+	return core.RunStructureAttackCtx(ctx, net, cfg, opt, seed, nil)
+}
+
+// RankCandidatesCtx is RankCandidates with cooperative cancellation at
+// candidate and epoch granularity; cancelled candidates carry a NaN
+// accuracy and the context error, sorted after every real score.
+func RankCandidatesCtx(ctx context.Context, rep *StructureReport, input Shape, rc RankConfig) []CandidateScore {
+	return core.RankCandidatesCtx(ctx, rep, input, rc)
+}
+
+// RunWeightAttackCtx is RunWeightAttack with cooperative cancellation at
+// per-weight granularity.
+func RunWeightAttackCtx(ctx context.Context, net *Network, cfg AccelConfig) (*WeightReport, error) {
+	return core.RunWeightAttackCtx(ctx, net, cfg)
+}
+
 // RunStructureAttackOnTrace reverse engineers candidate structures directly
 // from a recorded trace (e.g. one written by cmd/tracegen), given the
 // adversary-known input shape and classifier width. Element size is assumed
@@ -196,6 +218,11 @@ func WriteTrace(tr *Trace, w io.Writer) error { return tr.Write(w) }
 
 // ReadTrace deserializes a trace written by WriteTrace.
 func ReadTrace(r io.Reader) (*Trace, error) { return memtrace.ReadTrace(r) }
+
+// DecodeTrace strictly decodes an in-memory trace buffer. Unlike ReadTrace
+// it validates the header against the input length before allocating, and
+// only accepts canonical encodings — use it for untrusted uploads.
+func DecodeTrace(data []byte) (*Trace, error) { return memtrace.DecodeTrace(data) }
 
 // PrunedConv1 builds the Figure-7 victim layer (pruned AlexNet CONV1).
 var PrunedConv1 = experiments.PrunedConv1

@@ -7,10 +7,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/dataset"
@@ -58,22 +61,61 @@ type StructureReport struct {
 	TruthIndex int
 	// Queries counts victim inferences used (the structure attack needs 1).
 	TraceBytes uint64
+	// Partial marks a report whose enumeration was cut short by context
+	// cancellation: Structures is a deterministic prefix of the complete
+	// candidate set.
+	Partial bool
+}
+
+// StageFunc observes the completion of one named pipeline stage; the
+// service layer uses it to feed per-stage latency histograms.
+type StageFunc func(stage string, elapsed time.Duration)
+
+// isCtxErr reports whether err is the context's own cancellation error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // RunStructureAttack captures a trace of net and runs the full §3 pipeline.
 func RunStructureAttack(net *nn.Network, cfg accel.Config, opt structrev.Options, seed int64) (*StructureReport, error) {
+	return RunStructureAttackCtx(context.Background(), net, cfg, opt, seed, nil)
+}
+
+// RunStructureAttackCtx is RunStructureAttack with cooperative cancellation
+// and optional stage observation. If ctx expires during the candidate
+// enumeration, the returned report carries the structures found so far with
+// Partial set, alongside ctx's error; cancellation before the solve stage
+// returns a nil report.
+func RunStructureAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Config, opt structrev.Options, seed int64, onStage StageFunc) (*StructureReport, error) {
+	stage := func(name string, t0 time.Time) {
+		if onStage != nil {
+			onStage(name, time.Since(t0))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
 	cap, err := Capture(net, cfg, seed)
 	if err != nil {
 		return nil, err
 	}
+	stage("capture", t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	elem := cap.Sim.Config().ElemBytes
+	t0 = time.Now()
 	a, err := structrev.Analyze(cap.Result.Trace, net.Input.Len()*elem, elem)
 	if err != nil {
 		return nil, err
 	}
-	structures, err := structrev.Solve(a, net.Input.W, net.Input.C, net.NumClasses(), opt)
-	if err != nil {
-		return nil, err
+	stage("analyze", t0)
+	t0 = time.Now()
+	structures, serr := structrev.SolveCtx(ctx, a, net.Input.W, net.Input.C, net.NumClasses(), opt)
+	stage("solve", t0)
+	if serr != nil && !isCtxErr(serr) {
+		return nil, serr
 	}
 	rep := &StructureReport{
 		Analysis:   a,
@@ -81,6 +123,7 @@ func RunStructureAttack(net *nn.Network, cfg accel.Config, opt structrev.Options
 		PerLayer:   structrev.UniqueConfigs(a, structures),
 		TruthIndex: -1,
 		TraceBytes: cap.Result.Trace.Blocks() * uint64(cap.Result.Trace.BlockBytes),
+		Partial:    serr != nil,
 	}
 	truth := GroundTruthConfigs(net)
 	for i := range structures {
@@ -89,7 +132,7 @@ func RunStructureAttack(net *nn.Network, cfg accel.Config, opt structrev.Options
 			break
 		}
 	}
-	return rep, nil
+	return rep, serr
 }
 
 // GroundTruthConfigs converts a network's weighted layers to the
@@ -285,6 +328,17 @@ type CandidateScore struct {
 // and channel count follow the victim; depth scaling substitutes for the
 // paper's full-scale ImageNet training (see DESIGN.md §2).
 func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []CandidateScore {
+	return RankCandidatesCtx(context.Background(), rep, input, rc)
+}
+
+// RankCandidatesCtx is RankCandidates with cooperative cancellation at
+// candidate and epoch granularity: a cancelled ranking abandons untrained
+// candidates (and unfinished epochs) and marks their scores with ctx's
+// error and a NaN accuracy, which sorts them after every real score. The
+// per-candidate RNG and shard-state isolation means a cancelled run leaves
+// no residue — a subsequent rank over the same report is bit-identical to
+// one that was never preceded by a cancellation.
+func RankCandidatesCtx(ctx context.Context, rep *StructureReport, input nn.Shape, rc RankConfig) []CandidateScore {
 	if rc.Classes == 0 {
 		rc.Classes = 4
 	}
@@ -324,6 +378,11 @@ func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []Candi
 	rankOne := func(i int) {
 		sc := CandidateScore{Index: i, IsTruth: i == rep.TruthIndex}
 		defer func() { scores[i] = sc }()
+		if err := ctx.Err(); err != nil {
+			sc.Err = err
+			sc.Accuracy = math.NaN()
+			return
+		}
 		net, err := Materialize(rep.Analysis, &rep.Structures[i], input, rc.Classes, rc.DepthDiv)
 		if err != nil {
 			sc.Err = err
@@ -337,6 +396,11 @@ func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []Candi
 		tr.ClipNorm = 1.0 // deep candidates at aggressive rates need clipping
 		rng := rand.New(rand.NewSource(rc.Seed + 7))
 		for e := 0; e < rc.Epochs; e++ {
+			if err := ctx.Err(); err != nil {
+				sc.Err = err
+				sc.Accuracy = math.NaN()
+				return
+			}
 			tr.Epoch(train.X, train.Y, rng)
 		}
 		sc.Accuracy = nn.Accuracy(net, test.X, test.Y, rc.TopK)
@@ -348,10 +412,13 @@ func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []Candi
 	} else {
 		tensor.Parallel(n, rankOne)
 	}
-	sort.Slice(scores, func(i, j int) bool {
+	// Stable sort so candidates with equal accuracies — and the NaN block of
+	// cancelled/failed candidates — keep index order, making the output
+	// well-defined even when a deadline strikes mid-rank.
+	sort.SliceStable(scores, func(i, j int) bool {
 		ai, aj := scores[i].Accuracy, scores[j].Accuracy
 		if math.IsNaN(aj) {
-			return true
+			return !math.IsNaN(ai)
 		}
 		if math.IsNaN(ai) {
 			return false
@@ -382,6 +449,14 @@ type WeightReport struct {
 // (which must be an unpooled, unpadded conv layer) through the zero-pruning
 // side channel, and scores the recovery against the true parameters.
 func RunWeightAttack(net *nn.Network, cfg accel.Config) (*WeightReport, error) {
+	return RunWeightAttackCtx(context.Background(), net, cfg)
+}
+
+// RunWeightAttackCtx is RunWeightAttack with cooperative cancellation: each
+// parallel per-filter recovery checks ctx before starting and between
+// individual weight searches, so a cancelled attack releases the worker
+// pool within one binary-search (single-weight) boundary.
+func RunWeightAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Config) (*WeightReport, error) {
 	oracle, err := weightrev.NewFastOracle(net, cfg, 0)
 	if err != nil {
 		return nil, err
@@ -405,7 +480,11 @@ func RunWeightAttack(net *nn.Network, cfg accel.Config) (*WeightReport, error) {
 	results := make([]*weightrev.FilterRatios, spec.OutC)
 	errs := make([]error, spec.OutC)
 	tensor.Parallel(spec.OutC, func(d int) {
-		results[d], errs[d] = at.RecoverFilterRatios(d)
+		if err := ctx.Err(); err != nil {
+			errs[d] = err
+			return
+		}
+		results[d], errs[d] = at.RecoverFilterRatiosCtx(ctx, d)
 	})
 	for d := 0; d < spec.OutC; d++ {
 		if errs[d] != nil {

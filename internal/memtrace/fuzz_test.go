@@ -1,0 +1,113 @@
+package memtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzAccesses deterministically builds an access list from raw fuzz bytes:
+// each full 21-byte chunk becomes one record with a valid direction byte.
+func fuzzAccesses(raw []byte) []Access {
+	n := len(raw) / accessRecordBytes
+	accs := make([]Access, 0, n)
+	for i := 0; i < n; i++ {
+		rec := raw[i*accessRecordBytes:][:accessRecordBytes]
+		accs = append(accs, Access{
+			Cycle: binary.LittleEndian.Uint64(rec[0:8]),
+			Addr:  binary.LittleEndian.Uint64(rec[8:16]),
+			Count: binary.LittleEndian.Uint32(rec[16:20]),
+			Kind:  Kind(rec[20] & 1),
+		})
+	}
+	return accs
+}
+
+func sameAccesses(a, b []Access) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzTraceRoundTrip checks that any trace built from arbitrary field values
+// survives Write → DecodeTrace and Write → ReadTrace unchanged.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(4, []byte{})
+	f.Add(64, bytes.Repeat([]byte{0xA5}, accessRecordBytes*3))
+	f.Add(1, bytes.Repeat([]byte{0xFF}, accessRecordBytes+7))
+	f.Fuzz(func(t *testing.T, block int, raw []byte) {
+		if block <= 0 || block > MaxBlockBytes {
+			block = 4
+		}
+		tr := &Trace{BlockBytes: block, Accesses: fuzzAccesses(raw)}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		dec, err := DecodeTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("DecodeTrace of Write output: %v", err)
+		}
+		if dec.BlockBytes != tr.BlockBytes || !sameAccesses(dec.Accesses, tr.Accesses) {
+			t.Fatalf("DecodeTrace round-trip mismatch: got %d accesses block %d, want %d accesses block %d",
+				len(dec.Accesses), dec.BlockBytes, len(tr.Accesses), tr.BlockBytes)
+		}
+		rd, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadTrace of Write output: %v", err)
+		}
+		if rd.BlockBytes != tr.BlockBytes || !sameAccesses(rd.Accesses, tr.Accesses) {
+			t.Fatal("ReadTrace round-trip mismatch")
+		}
+	})
+}
+
+// FuzzTraceDecode feeds arbitrary bytes to both decode paths: they must
+// never panic, DecodeTrace's allocation must be bounded by the input length
+// (not the header's claim), and any accepted buffer must be canonical —
+// re-encoding reproduces the input byte for byte.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte{})
+	// A valid empty trace.
+	var empty bytes.Buffer
+	(&Trace{BlockBytes: 64}).Write(&empty)
+	f.Add(empty.Bytes())
+	// A header that declares far more records than the buffer holds.
+	forged := append([]byte(nil), empty.Bytes()...)
+	binary.LittleEndian.PutUint64(forged[16:24], 1<<40)
+	f.Add(forged)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := DecodeTrace(raw)
+		if err == nil {
+			if want := (len(raw) - traceHeaderBytes) / accessRecordBytes; len(tr.Accesses) != want {
+				t.Fatalf("decoded %d accesses from a buffer that holds %d", len(tr.Accesses), want)
+			}
+			var re bytes.Buffer
+			if err := tr.Write(&re); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(re.Bytes(), raw) {
+				t.Fatal("accepted buffer is not canonical: re-encoding differs")
+			}
+			// The streaming reader must accept everything the strict decoder
+			// accepts, and agree on the contents.
+			rd, err := ReadTrace(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("ReadTrace rejected a DecodeTrace-accepted buffer: %v", err)
+			}
+			if rd.BlockBytes != tr.BlockBytes || !sameAccesses(rd.Accesses, tr.Accesses) {
+				t.Fatal("ReadTrace and DecodeTrace disagree on an accepted buffer")
+			}
+			return
+		}
+		// Invalid input: the streaming reader may be more lenient (it ignores
+		// block-size bounds and trailing bytes) but must not panic.
+		_, _ = ReadTrace(bytes.NewReader(raw))
+	})
+}

@@ -109,10 +109,75 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadTrace deserializes a trace written by Write. It rejects records whose
-// direction byte is neither Read nor Write: silently coercing a corrupt
-// byte into a Kind would misclassify reads versus writes downstream, where
-// the structure attack's RAW segmentation depends on the distinction.
+// MaxBlockBytes bounds the block size DecodeTrace accepts. Real DRAM
+// transaction granularities are tens of bytes; a megabyte is already absurd,
+// and the bound keeps downstream block arithmetic far from overflow.
+const MaxBlockBytes = 1 << 20
+
+// decodeAccess parses one 21-byte record, rejecting direction bytes that
+// are neither Read nor Write: silently coercing a corrupt byte into a Kind
+// would misclassify reads versus writes downstream, where the structure
+// attack's RAW segmentation depends on the distinction.
+func decodeAccess(rec []byte) (Access, error) {
+	if rec[20] > uint8(Write) {
+		return Access{}, fmt.Errorf("invalid kind %d", rec[20])
+	}
+	return Access{
+		Cycle: binary.LittleEndian.Uint64(rec[0:8]),
+		Addr:  binary.LittleEndian.Uint64(rec[8:16]),
+		Count: binary.LittleEndian.Uint32(rec[16:20]),
+		Kind:  Kind(rec[20]),
+	}, nil
+}
+
+// DecodeTrace parses a serialized trace from an in-memory buffer — the
+// hardened entry point for untrusted input (e.g. service uploads). Unlike
+// the streaming ReadTrace it knows the total input length up front, so the
+// header's declared record count is validated against the bytes actually
+// present before any allocation: a forged count can never make the decoder
+// allocate more than the input itself could hold. Block sizes outside
+// (0, MaxBlockBytes] and trailing bytes past the declared records are
+// rejected, which makes the accepted encoding canonical — any buffer
+// DecodeTrace accepts re-encodes via Write to the identical bytes.
+func DecodeTrace(data []byte) (*Trace, error) {
+	if len(data) < traceHeaderBytes {
+		return nil, fmt.Errorf("memtrace: decode: %d bytes is shorter than the %d-byte header", len(data), traceHeaderBytes)
+	}
+	magic := binary.LittleEndian.Uint64(data[0:8])
+	block := binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint64(data[16:24])
+	// Canonicality demands the full 64-bit header word, not just the low
+	// half the streaming reader checks.
+	if magic != uint64(traceMagic) {
+		return nil, fmt.Errorf("memtrace: decode: bad magic %#x", magic)
+	}
+	if block == 0 || block > MaxBlockBytes {
+		return nil, fmt.Errorf("memtrace: decode: implausible block size %d", block)
+	}
+	body := uint64(len(data) - traceHeaderBytes)
+	if n > body/accessRecordBytes {
+		return nil, fmt.Errorf("memtrace: decode: header declares %d records but only %d bytes follow", n, body)
+	}
+	if n*accessRecordBytes != body {
+		return nil, fmt.Errorf("memtrace: decode: %d trailing bytes past %d declared records", body-n*accessRecordBytes, n)
+	}
+	t := &Trace{BlockBytes: int(block), Accesses: make([]Access, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		rec := data[traceHeaderBytes+i*accessRecordBytes:][:accessRecordBytes]
+		a, err := decodeAccess(rec)
+		if err != nil {
+			return nil, fmt.Errorf("memtrace: decode: access %d: %w", i, err)
+		}
+		t.Accesses = append(t.Accesses, a)
+	}
+	return t, nil
+}
+
+// ReadTrace deserializes a trace written by Write. It shares DecodeTrace's
+// invalid-kind rejection but, reading from a stream of unknown length, it
+// cannot pre-validate the declared record count; the preallocation is capped
+// and bogus counts simply hit EOF. Prefer DecodeTrace for untrusted
+// in-memory input.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var hdr [traceHeaderBytes]byte
@@ -137,15 +202,11 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("memtrace: read access %d: %w", i, err)
 		}
-		if rec[20] > uint8(Write) {
-			return nil, fmt.Errorf("memtrace: access %d: invalid kind %d", i, rec[20])
+		a, err := decodeAccess(rec[:])
+		if err != nil {
+			return nil, fmt.Errorf("memtrace: access %d: %w", i, err)
 		}
-		t.Accesses = append(t.Accesses, Access{
-			Cycle: binary.LittleEndian.Uint64(rec[0:8]),
-			Addr:  binary.LittleEndian.Uint64(rec[8:16]),
-			Count: binary.LittleEndian.Uint32(rec[16:20]),
-			Kind:  Kind(rec[20]),
-		})
+		t.Accesses = append(t.Accesses, a)
 	}
 	return t, nil
 }

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cnnrev/internal/memtrace"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/attack/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/attack/simulate", s.handleSimulate)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	depth := len(s.pending)
+	s.mu.Unlock()
+	st := struct {
+		Status     string `json:"status"`
+		Workers    int    `json:"workers"`
+		Running    int64  `json:"running"`
+		QueueDepth int    `json:"queue_depth"`
+	}{"ok", s.cfg.Workers, s.met.running.Load(), depth}
+	code := http.StatusOK
+	if draining {
+		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.writePrometheus(w, s.queueDepth(), s.cfg.Workers)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, v)
+	}
+	return n, nil
+}
+
+func queryBool(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// rankFromQuery assembles optional ranking parameters from rank_* query
+// params; nil when ranking was not requested.
+func rankFromQuery(r *http.Request) (*rankParams, error) {
+	if !queryBool(r, "rank") {
+		return nil, nil
+	}
+	rp := &rankParams{}
+	var err error
+	if rp.Classes, err = queryInt(r, "rank_classes", 0); err != nil {
+		return nil, err
+	}
+	if rp.PerClass, err = queryInt(r, "rank_per_class", 0); err != nil {
+		return nil, err
+	}
+	if rp.Epochs, err = queryInt(r, "rank_epochs", 0); err != nil {
+		return nil, err
+	}
+	if rp.DepthDiv, err = queryInt(r, "rank_depth_div", 0); err != nil {
+		return nil, err
+	}
+	if rp.MaxCandidates, err = queryInt(r, "rank_max_candidates", 0); err != nil {
+		return nil, err
+	}
+	seed, err := queryInt(r, "rank_seed", 0)
+	if err != nil {
+		return nil, err
+	}
+	rp.Seed = int64(seed)
+	return rp, nil
+}
+
+// handleTrace accepts a raw serialized memtrace body plus query parameters
+// describing what the adversary knows (input geometry and class count).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("trace exceeds %d byte upload limit", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := &attackRequest{mode: "trace"}
+	decodeStart := time.Now()
+	req.trace, err = memtrace.DecodeTrace(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.met.ObserveStage("decode", time.Since(decodeStart))
+	if req.inW, err = queryInt(r, "inw", 0); err == nil && req.inW <= 0 {
+		err = errors.New("trace attack requires inw > 0 (input width)")
+	}
+	if err == nil {
+		if req.inD, err = queryInt(r, "ind", 0); err == nil && req.inD <= 0 {
+			err = errors.New("trace attack requires ind > 0 (input channels)")
+		}
+	}
+	if err == nil {
+		if req.classes, err = queryInt(r, "classes", 0); err == nil && req.classes <= 0 {
+			err = errors.New("trace attack requires classes > 0")
+		}
+	}
+	if err == nil {
+		req.elemBytes, err = queryInt(r, "elem", 4)
+	}
+	if err == nil {
+		req.maxStructures, err = queryInt(r, "max_structures", 0)
+	}
+	if err == nil {
+		req.maxReturn, err = queryInt(r, "max_return", 0)
+	}
+	if err == nil {
+		req.rank, err = rankFromQuery(r)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.modular = queryBool(r, "modular")
+	if tol := r.URL.Query().Get("tol"); tol != "" {
+		if req.tol, err = strconv.ParseFloat(tol, 64); err != nil {
+			http.Error(w, fmt.Sprintf("bad tol=%q", tol), http.StatusBadRequest)
+			return
+		}
+	}
+	req.allowStrideOK = queryBool(r, "allow_stride_over_kernel")
+	timeoutMS, err := queryInt(r, "timeout_ms", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.timeout = time.Duration(timeoutMS) * time.Millisecond
+	s.submit(w, r, req)
+}
+
+// simulateRequest is the JSON body of /v1/attack/simulate.
+type simulateRequest struct {
+	Model         string      `json:"model"`
+	Classes       int         `json:"classes"`
+	DepthDiv      int         `json:"depth_div"`
+	Filters       int         `json:"filters"`
+	ZeroFrac      float64     `json:"zero_frac"`
+	Seed          int64       `json:"seed"`
+	Modular       bool        `json:"modular"`
+	Tol           float64     `json:"tol"`
+	AllowStrideOK bool        `json:"allow_stride_over_kernel"`
+	MaxStructures int         `json:"max_structures"`
+	MaxReturn     int         `json:"max_return"`
+	Rank          *rankParams `json:"rank"`
+	Weights       bool        `json:"weights"`
+	TimeoutMS     int         `json:"timeout_ms"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var sr simulateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if sr.Model == "" {
+		http.Error(w, "missing model", http.StatusBadRequest)
+		return
+	}
+	seed := sr.Seed
+	if seed == 0 {
+		seed = 2
+	}
+	req := &attackRequest{
+		mode: "simulate", model: sr.Model, classes: sr.Classes, depthDiv: sr.DepthDiv,
+		filters: sr.Filters, zeroFrac: sr.ZeroFrac, seed: seed,
+		modular: sr.Modular, tol: sr.Tol, allowStrideOK: sr.AllowStrideOK,
+		maxStructures: sr.MaxStructures, maxReturn: sr.MaxReturn,
+		rank: sr.Rank, weights: sr.Weights,
+		timeout: time.Duration(sr.TimeoutMS) * time.Millisecond,
+	}
+	s.submit(w, r, req)
+}
+
+// submit enqueues the job and blocks until a worker (or shutdown) finishes
+// it, then writes the job's outcome. The job context is the request context
+// bounded by the requested (capped) deadline, so a disconnecting client
+// cancels its own job and a queue wait counts against the deadline.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, req *attackRequest) {
+	if req.timeout <= 0 || req.timeout > s.cfg.JobTimeout {
+		req.timeout = s.cfg.JobTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	defer cancel()
+	j := &job{id: s.jobSeq.Add(1), ctx: ctx, req: req, done: make(chan struct{})}
+	if err := s.enqueue(j); err != nil {
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, errQueueFull) {
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		}
+		s.log.Info("job rejected", "job", j.id, "reason", err)
+		http.Error(w, err.Error(), code)
+		return
+	}
+	<-j.done
+	if j.resp == nil {
+		status := j.status
+		msg := "job failed"
+		if j.err != nil {
+			msg = j.err.Error()
+		}
+		if status == 0 { // client is gone; status is moot
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, msg, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(j.status)
+	json.NewEncoder(w).Encode(j.resp)
+}

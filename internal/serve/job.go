@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/core"
+	"cnnrev/internal/experiments"
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+	"cnnrev/internal/structrev"
+)
+
+// rankParams mirrors core.RankConfig for the request surface.
+type rankParams struct {
+	Classes       int   `json:"classes"`
+	PerClass      int   `json:"per_class"`
+	Epochs        int   `json:"epochs"`
+	DepthDiv      int   `json:"depth_div"`
+	TopK          int   `json:"top_k"`
+	Seed          int64 `json:"seed"`
+	MaxCandidates int   `json:"max_candidates"`
+}
+
+// attackRequest is a fully parsed job input, either a decoded uploaded
+// trace ("trace" mode) or a victim spec to simulate ("simulate" mode).
+type attackRequest struct {
+	mode string // "trace" | "simulate"
+
+	// trace mode
+	trace     *memtrace.Trace
+	inW, inD  int
+	elemBytes int
+
+	// simulate mode
+	model    string
+	depthDiv int
+	filters  int
+	zeroFrac float64
+	seed     int64
+
+	// common
+	classes       int
+	modular       bool
+	tol           float64
+	allowStrideOK bool
+	maxStructures int
+	maxReturn     int
+	rank          *rankParams
+	weights       bool
+	timeout       time.Duration
+}
+
+type segInputJSON struct {
+	Producer int    `json:"producer"`
+	Bytes    uint64 `json:"bytes"`
+	Adjacent bool   `json:"adjacent,omitempty"`
+}
+
+type segmentJSON struct {
+	Index        int            `json:"index"`
+	Kind         string         `json:"kind"`
+	WeightsBytes uint64         `json:"weights_bytes"`
+	OFMBytes     uint64         `json:"ofm_bytes"`
+	Cycles       uint64         `json:"cycles"`
+	Inputs       []segInputJSON `json:"inputs"`
+}
+
+type scoreJSON struct {
+	Candidate int      `json:"candidate"`
+	Accuracy  *float64 `json:"accuracy"` // null when training failed or was cancelled
+	IsTruth   bool     `json:"is_truth,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+type weightsJSON struct {
+	Filters       int     `json:"filters"`
+	MaxRatioErr   float64 `json:"max_ratio_err"`
+	ZerosActual   int     `json:"zeros_actual"`
+	ZerosDetected int     `json:"zeros_detected"`
+	ZeroErrors    int     `json:"zero_errors"`
+	Queries       int     `json:"queries"`
+}
+
+// attackResponse is the JSON result of one job. Partial marks a response
+// cut short by the job deadline: the populated fields are a deterministic
+// prefix of the full result.
+type attackResponse struct {
+	JobID         uint64           `json:"job_id"`
+	Mode          string           `json:"mode"`
+	Model         string           `json:"model,omitempty"`
+	Partial       bool             `json:"partial,omitempty"`
+	Segments      []segmentJSON    `json:"segments,omitempty"`
+	NumStructures int              `json:"num_structures"`
+	Structures    []string         `json:"structures,omitempty"`
+	Truncated     bool             `json:"structures_truncated,omitempty"`
+	TruthIndex    *int             `json:"truth_index,omitempty"`
+	Scores        []scoreJSON      `json:"scores,omitempty"`
+	Weights       *weightsJSON     `json:"weights,omitempty"`
+	WeightsError  string           `json:"weights_error,omitempty"`
+	TraceBytes    uint64           `json:"trace_bytes,omitempty"`
+	StageMS       map[string]int64 `json:"stage_ms"`
+}
+
+// buildVictim constructs the simulate-mode victim. initWeights reports
+// whether the caller should seed the weights (the pruned-conv victim of the
+// weight attack arrives with its magnitude-pruned weights already set).
+func buildVictim(model string, classes, depthDiv, filters int, zeroFrac float64, seed int64) (net *nn.Network, initWeights bool, err error) {
+	if classes <= 0 {
+		classes = 10
+		if model == "alexnet" || model == "squeezenet" {
+			classes = 1000
+		}
+	}
+	if depthDiv <= 0 {
+		depthDiv = 1
+	}
+	switch model {
+	case "lenet":
+		return nn.LeNet(classes), true, nil
+	case "convnet":
+		return nn.ConvNet(classes), true, nil
+	case "alexnet":
+		return nn.AlexNet(classes, depthDiv), true, nil
+	case "squeezenet":
+		return nn.SqueezeNet(classes, depthDiv), true, nil
+	case "vgg11":
+		return nn.VGG11(classes, depthDiv), true, nil
+	case "nin":
+		return nn.NiN(classes, depthDiv), true, nil
+	case "resnetmini":
+		return nn.ResNetMini(classes, depthDiv), true, nil
+	case "prunedconv1":
+		// The §4 weight-attack victim: a first layer the corner-iteration
+		// algorithm can reach (unpooled, unpadded conv).
+		if zeroFrac <= 0 || zeroFrac >= 1 {
+			zeroFrac = 0.25
+		}
+		return experiments.PrunedConv1(filters, zeroFrac, seed), false, nil
+	}
+	return nil, false, fmt.Errorf("unknown model %q", model)
+}
+
+// solverOptions maps request knobs onto the solver's option set.
+func (s *Server) solverOptions(req *attackRequest) structrev.Options {
+	opt := structrev.DefaultOptions()
+	opt.IdenticalModules = req.modular
+	opt.AllowStrideOverKernel = req.allowStrideOK
+	if req.tol > 0 {
+		opt.TimingSpreadMax = req.tol
+	}
+	if s.cfg.MaxStructures > 0 {
+		opt.MaxStructures = s.cfg.MaxStructures
+	}
+	if req.maxStructures > 0 && (opt.MaxStructures == 0 || req.maxStructures < opt.MaxStructures) {
+		opt.MaxStructures = req.maxStructures
+	}
+	return opt
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute runs the attack pipeline for one job. It returns the response
+// (possibly partial), or a nil response with the HTTP status to report.
+// A context.Canceled error means the client disconnected; the job is
+// abandoned without a response.
+func (s *Server) execute(j *job) (*attackResponse, int, error) {
+	req, ctx := j.req, j.ctx
+	resp := &attackResponse{JobID: j.id, Mode: req.mode, Model: req.model, StageMS: map[string]int64{}}
+	observe := func(stage string, d time.Duration) {
+		s.met.ObserveStage(stage, d)
+		resp.StageMS[stage] = d.Milliseconds()
+	}
+	opt := s.solverOptions(req)
+
+	// cancelledIn attributes a context expiration to the stage that was (or
+	// would have been) running: the first pipeline stage with no recorded
+	// completion.
+	cancelledIn := func() string {
+		for _, st := range stageNames {
+			if _, done := resp.StageMS[st]; !done {
+				return st
+			}
+		}
+		return stageNames[len(stageNames)-1]
+	}
+	fail := func(status int, err error) (*attackResponse, int, error) {
+		if isCtxErr(err) {
+			s.met.MarkStageCancelled(cancelledIn())
+			if errors.Is(err, context.Canceled) {
+				return nil, 0, err
+			}
+			status = http.StatusGatewayTimeout
+		}
+		return nil, status, err
+	}
+
+	var rep *core.StructureReport
+	var input nn.Shape
+	var net *nn.Network
+
+	switch req.mode {
+	case "trace":
+		input = nn.Shape{C: req.inD, H: req.inW, W: req.inW}
+		t0 := time.Now()
+		a, err := structrev.Analyze(req.trace, input.Len()*req.elemBytes, req.elemBytes)
+		if err != nil {
+			return fail(http.StatusUnprocessableEntity, err)
+		}
+		observe("analyze", time.Since(t0))
+		t0 = time.Now()
+		structures, serr := structrev.SolveCtx(ctx, a, req.inW, req.inD, req.classes, opt)
+		observe("solve", time.Since(t0))
+		if serr != nil && !isCtxErr(serr) {
+			return fail(http.StatusUnprocessableEntity, serr)
+		}
+		rep = &core.StructureReport{
+			Analysis:   a,
+			Structures: structures,
+			PerLayer:   structrev.UniqueConfigs(a, structures),
+			TruthIndex: -1,
+			TraceBytes: req.trace.Blocks() * uint64(req.trace.BlockBytes),
+			Partial:    serr != nil,
+		}
+		if serr != nil {
+			s.met.MarkStageCancelled("solve")
+		}
+	case "simulate":
+		var initW bool
+		var err error
+		net, initW, err = buildVictim(req.model, req.classes, req.depthDiv, req.filters, req.zeroFrac, req.seed)
+		if err != nil {
+			return fail(http.StatusBadRequest, err)
+		}
+		if initW {
+			net.InitWeights(req.seed)
+		}
+		input = net.Input
+		rep, err = core.RunStructureAttackCtx(ctx, net, accel.Config{}, opt, req.seed, observe)
+		if err != nil && rep == nil {
+			return fail(http.StatusUnprocessableEntity, err)
+		}
+		if rep.Partial {
+			s.met.MarkStageCancelled("solve")
+		}
+		idx := rep.TruthIndex
+		resp.TruthIndex = &idx
+	default:
+		return fail(http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.mode))
+	}
+
+	fillStructureResult(resp, rep, req.maxReturn)
+
+	// A partial solve means the deadline already struck: later stages would
+	// start cancelled, so return what we have.
+	if rep.Partial {
+		resp.Partial = true
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return nil, 0, ctx.Err()
+		}
+		return resp, http.StatusOK, nil
+	}
+
+	if req.rank != nil {
+		rc := core.RankConfig{
+			Classes: req.rank.Classes, PerClass: req.rank.PerClass, Epochs: req.rank.Epochs,
+			DepthDiv: req.rank.DepthDiv, TopK: req.rank.TopK, Seed: req.rank.Seed,
+			MaxCandidates: req.rank.MaxCandidates,
+		}
+		t0 := time.Now()
+		scores := core.RankCandidatesCtx(ctx, rep, input, rc)
+		observe("rank", time.Since(t0))
+		for _, sc := range scores {
+			sj := scoreJSON{Candidate: sc.Index, IsTruth: sc.IsTruth}
+			if !math.IsNaN(sc.Accuracy) {
+				acc := sc.Accuracy
+				sj.Accuracy = &acc
+			}
+			if sc.Err != nil {
+				sj.Error = sc.Err.Error()
+			}
+			resp.Scores = append(resp.Scores, sj)
+		}
+		if ctx.Err() != nil {
+			s.met.MarkStageCancelled("rank")
+			resp.Partial = true
+		}
+	}
+
+	if req.weights && !resp.Partial {
+		if net == nil {
+			resp.WeightsError = "weight attack requires simulate mode"
+		} else {
+			t0 := time.Now()
+			wrep, err := core.RunWeightAttackCtx(ctx, net, accel.Config{})
+			switch {
+			case err != nil && isCtxErr(err):
+				s.met.MarkStageCancelled("weights")
+				resp.Partial = true
+			case err != nil:
+				// The victim's first layer is out of the §4 algorithm's
+				// reach (pooled/padded); report it without failing the job.
+				resp.WeightsError = err.Error()
+			default:
+				observe("weights", time.Since(t0))
+				resp.Weights = &weightsJSON{
+					Filters: wrep.Filters, MaxRatioErr: wrep.MaxRatioErr,
+					ZerosActual: wrep.ZerosActual, ZerosDetected: wrep.ZerosDetected,
+					ZeroErrors: wrep.ZeroErrors, Queries: wrep.Queries,
+				}
+			}
+		}
+	}
+
+	if cerr := ctx.Err(); cerr != nil {
+		resp.Partial = true
+		if errors.Is(cerr, context.Canceled) {
+			return nil, 0, cerr
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+// fillStructureResult populates the structure-attack portion of a response.
+// maxReturn bounds the rendered structure list (the count is always exact);
+// Truncated flags the cut so a capped list is never mistaken for the full
+// enumeration.
+func fillStructureResult(resp *attackResponse, rep *core.StructureReport, maxReturn int) {
+	if maxReturn <= 0 {
+		maxReturn = 50
+	}
+	for i := range rep.Analysis.Segments {
+		seg := &rep.Analysis.Segments[i]
+		sj := segmentJSON{
+			Index: seg.Index, Kind: seg.Kind.String(),
+			WeightsBytes: seg.WeightsBytes, OFMBytes: seg.OFMBytes, Cycles: seg.Cycles(),
+		}
+		for _, in := range seg.Inputs {
+			sj.Inputs = append(sj.Inputs, segInputJSON{Producer: in.Producer, Bytes: in.Bytes, Adjacent: in.Adjacent})
+		}
+		resp.Segments = append(resp.Segments, sj)
+	}
+	resp.NumStructures = len(rep.Structures)
+	resp.TraceBytes = rep.TraceBytes
+	n := len(rep.Structures)
+	if n > maxReturn {
+		n = maxReturn
+		resp.Truncated = true
+	}
+	for i := 0; i < n; i++ {
+		resp.Structures = append(resp.Structures, renderStructure(&rep.Structures[i]))
+	}
+}
+
+// renderStructure prints a candidate as its weighted configs in execution
+// order, the same view cmd/revcnn prints.
+func renderStructure(st *structrev.Structure) string {
+	var parts []string
+	for _, c := range st.WeightedConfigs() {
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"cnnrev/internal/tensor"
+)
+
+// stageNames is the fixed pipeline-stage vocabulary, in execution order.
+// Fixing the set up front lets every stage own lock-free atomics.
+var stageNames = []string{"decode", "capture", "analyze", "solve", "rank", "weights"}
+
+// latBounds are the per-stage latency histogram bucket upper bounds in
+// seconds; stage work spans sub-millisecond trace decodes to multi-minute
+// AlexNet ranks.
+var latBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// histogram is a fixed-bucket latency histogram on atomics, rendered in
+// Prometheus text format (cumulative le buckets).
+type histogram struct {
+	counts   []atomic.Int64 // len(latBounds)+1; last bucket is +Inf
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.counts[sort.SearchFloat64s(latBounds, d.Seconds())].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Metrics is the service's observability surface: job lifecycle counters,
+// occupancy gauges, and per-stage latency histograms, all updated with
+// atomics so the hot path never takes a lock.
+type Metrics struct {
+	started   atomic.Int64
+	completed atomic.Int64
+	partial   atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	failed    atomic.Int64
+	aborted   atomic.Int64
+	running   atomic.Int64
+
+	stageLat    map[string]*histogram
+	stageCancel map[string]*atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{
+		stageLat:    make(map[string]*histogram, len(stageNames)),
+		stageCancel: make(map[string]*atomic.Int64, len(stageNames)),
+	}
+	for _, s := range stageNames {
+		m.stageLat[s] = newHistogram()
+		m.stageCancel[s] = new(atomic.Int64)
+	}
+	return m
+}
+
+// ObserveStage records one completed stage execution.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	if h := m.stageLat[stage]; h != nil {
+		h.observe(d)
+	}
+}
+
+// MarkStageCancelled records that a job's context expired inside the stage.
+func (m *Metrics) MarkStageCancelled(stage string) {
+	if c := m.stageCancel[stage]; c != nil {
+		c.Add(1)
+	}
+}
+
+// Counter returns a lifecycle counter by its short name; unknown names
+// return 0. The e2e tests use this instead of scraping the text output.
+func (m *Metrics) Counter(name string) int64 {
+	switch name {
+	case "started":
+		return m.started.Load()
+	case "completed":
+		return m.completed.Load()
+	case "partial":
+		return m.partial.Load()
+	case "rejected":
+		return m.rejected.Load()
+	case "cancelled":
+		return m.cancelled.Load()
+	case "failed":
+		return m.failed.Load()
+	case "aborted":
+		return m.aborted.Load()
+	case "running":
+		return m.running.Load()
+	}
+	return 0
+}
+
+// StageCancelled returns the cancellation count recorded against a stage.
+func (m *Metrics) StageCancelled(stage string) int64 {
+	if c := m.stageCancel[stage]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// StageCount returns how many completed executions a stage has observed.
+func (m *Metrics) StageCount(stage string) int64 {
+	if h := m.stageLat[stage]; h != nil {
+		return h.count.Load()
+	}
+	return 0
+}
+
+// writePrometheus renders the metrics in Prometheus text exposition format.
+// queueDepth and workers are owned by the server (the queue is mutex-backed)
+// and passed in at scrape time.
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP revcnnd_%s %s\n# TYPE revcnnd_%s counter\nrevcnnd_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP revcnnd_%s %s\n# TYPE revcnnd_%s gauge\nrevcnnd_%s %d\n", name, help, name, name, v)
+	}
+	counter("jobs_started_total", "Jobs a worker began executing.", m.started.Load())
+	counter("jobs_completed_total", "Jobs that produced a full result.", m.completed.Load())
+	counter("jobs_partial_total", "Jobs that hit their deadline and returned a partial result.", m.partial.Load())
+	counter("jobs_rejected_total", "Jobs rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("jobs_cancelled_total", "Jobs abandoned because the client disconnected.", m.cancelled.Load())
+	counter("jobs_failed_total", "Jobs that ended in an error.", m.failed.Load())
+	counter("jobs_aborted_total", "Queued jobs aborted by shutdown.", m.aborted.Load())
+	gauge("jobs_running", "Jobs currently executing on workers.", m.running.Load())
+	gauge("queue_depth", "Jobs waiting for a worker.", int64(queueDepth))
+	gauge("workers", "Configured worker count.", int64(workers))
+	gauge("tensor_pool_workers", "Shared tensor worker pool size used inside jobs.", int64(tensor.Workers()))
+
+	fmt.Fprintf(w, "# HELP revcnnd_stage_seconds Per-stage job latency.\n# TYPE revcnnd_stage_seconds histogram\n")
+	for _, s := range stageNames {
+		h := m.stageLat[s]
+		var cum int64
+		for i, b := range latBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "revcnnd_stage_seconds_bucket{stage=%q,le=%q} %d\n", s, fmt.Sprintf("%g", b), cum)
+		}
+		cum += h.counts[len(latBounds)].Load()
+		fmt.Fprintf(w, "revcnnd_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", s, cum)
+		fmt.Fprintf(w, "revcnnd_stage_seconds_sum{stage=%q} %g\n", s, time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(w, "revcnnd_stage_seconds_count{stage=%q} %d\n", s, h.count.Load())
+	}
+	fmt.Fprintf(w, "# HELP revcnnd_stage_cancelled_total Context expirations observed inside a stage.\n# TYPE revcnnd_stage_cancelled_total counter\n")
+	for _, s := range stageNames {
+		fmt.Fprintf(w, "revcnnd_stage_cancelled_total{stage=%q} %d\n", s, m.stageCancel[s].Load())
+	}
+}

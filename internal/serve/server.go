@@ -1,0 +1,245 @@
+// Package serve implements revcnnd, the long-running attack-pipeline
+// service: it accepts uploaded memory traces (and simulate-by-spec
+// requests), and runs the paper's structure attack — optionally followed by
+// candidate ranking and the zero-pruning weight attack — as jobs on a
+// bounded queue with per-job deadlines. Overload is rejected up front
+// (429), an abandoned client's job is cancelled at the next
+// candidate/epoch/weight boundary, a deadline yields the partial result
+// accumulated so far, and shutdown drains exactly the in-flight jobs while
+// aborting queued ones.
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the number of jobs executed concurrently. Each job already
+	// fans out internally on the shared tensor worker pool, so this defaults
+	// to 1; raise it to trade per-job latency for throughput.
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// submissions beyond it are rejected with 429.
+	QueueDepth int
+	// JobTimeout caps every job's deadline; requests may ask for less but
+	// never more. Default 60s.
+	JobTimeout time.Duration
+	// MaxUploadBytes bounds trace upload request bodies. Default 64 MiB.
+	MaxUploadBytes int64
+	// MaxStructures caps the solver's enumeration per job (0 = solver
+	// default). It protects the service from pathological traces whose
+	// candidate count explodes.
+	MaxStructures int
+	// Logger receives structured per-job logs; defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// errQueueFull rejects a submission because the queue is at capacity.
+var errQueueFull = errors.New("serve: job queue full")
+
+// errDraining rejects a submission (or aborts a queued job) during shutdown.
+var errDraining = errors.New("serve: server shutting down")
+
+// job is one queued attack request and its completion slot.
+type job struct {
+	id  uint64
+	ctx context.Context
+	req *attackRequest
+
+	// Written by exactly one of runJob / Shutdown, then done is closed.
+	resp   *attackResponse
+	status int // HTTP status when resp is nil
+	err    error
+	done   chan struct{}
+}
+
+func (j *job) finish(resp *attackResponse, status int, err error) {
+	j.resp, j.status, j.err = resp, status, err
+	close(j.done)
+}
+
+// Server runs the bounded job queue and its HTTP surface.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	met *Metrics
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*job
+	draining bool
+
+	wg     sync.WaitGroup
+	jobSeq atomic.Uint64
+}
+
+// New builds a server and starts its worker goroutines.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, log: cfg.Logger, met: newMetrics()}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = http.NewServeMux()
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters, mainly for tests.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// queueDepth returns the number of jobs waiting for a worker.
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// enqueue admits a job to the bounded queue, or reports why it cannot.
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.met.rejected.Add(1)
+		return errQueueFull
+	}
+	s.pending = append(s.pending, j)
+	s.cond.Signal()
+	return nil
+}
+
+// dequeue blocks until a job is available; nil means the server is draining
+// and the worker should exit.
+func (s *Server) dequeue() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && !s.draining {
+		s.cond.Wait()
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	j := s.pending[0]
+	s.pending = s.pending[1:]
+	return j
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.dequeue()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// Shutdown drains the server: new submissions are refused, every queued
+// (not yet started) job is aborted with 503, and in-flight jobs run to
+// completion. It returns once all workers have exited, or ctx's error if
+// that takes longer than ctx allows (workers keep finishing in the
+// background either way).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	aborted := s.pending
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range aborted {
+		s.met.aborted.Add(1)
+		s.log.Info("job aborted by shutdown", "job", j.id)
+		j.finish(nil, http.StatusServiceUnavailable, errDraining)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runJob executes one job and classifies its outcome for metrics/logging.
+func (s *Server) runJob(j *job) {
+	s.met.running.Add(1)
+	s.met.started.Add(1)
+	start := time.Now()
+	s.log.Info("job start", "job", j.id, "mode", j.req.mode, "model", j.req.model,
+		"rank", j.req.rank != nil, "weights", j.req.weights, "timeout", j.req.timeout)
+
+	resp, status, err := s.execute(j)
+
+	elapsed := time.Since(start)
+	s.met.running.Add(-1)
+	outcome := "ok"
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		outcome = "cancelled"
+		s.met.cancelled.Add(1)
+	case err != nil:
+		outcome = "error"
+		s.met.failed.Add(1)
+	case resp.Partial:
+		outcome = "partial"
+		s.met.partial.Add(1)
+		s.met.completed.Add(1)
+	default:
+		s.met.completed.Add(1)
+	}
+	s.log.Info("job end", "job", j.id, "outcome", outcome, "elapsed", elapsed,
+		"structures", respStructures(resp), "err", err)
+	j.finish(resp, status, err)
+}
+
+func respStructures(resp *attackResponse) int {
+	if resp == nil {
+		return 0
+	}
+	return resp.NumStructures
+}

@@ -1,6 +1,8 @@
 package structrev
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -98,6 +100,16 @@ type dims struct{ W, D int }
 // analysis, the known input (inW×inW×inD) and output (classes), the
 // constraint system, and the execution-time filter.
 func Solve(a *Analysis, inW, inD, classes int, opt Options) ([]Structure, error) {
+	return SolveCtx(context.Background(), a, inW, inD, classes, opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the chaining recursion
+// checks ctx at every segment node it visits, so a cancelled solve stops
+// within one candidate-assignment step. On cancellation it returns the
+// structures fully enumerated so far together with ctx.Err() — a
+// deterministic prefix of the complete enumeration — so callers can serve a
+// partial result against a deadline.
+func SolveCtx(ctx context.Context, a *Analysis, inW, inD, classes int, opt Options) ([]Structure, error) {
 	if opt.TimingSpreadMax == 0 {
 		opt.TimingSpreadMax = 1.35
 	}
@@ -154,6 +166,9 @@ func Solve(a *Analysis, inW, inD, classes int, opt Options) ([]Structure, error)
 
 	var rec func(si int, t timingWindow) error
 	rec = func(si int, t timingWindow) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if si == len(a.Segments) {
 			st := Structure{}
 			for i := range a.Segments {
@@ -232,6 +247,9 @@ func Solve(a *Analysis, inW, inD, classes int, opt Options) ([]Structure, error)
 		return nil
 	}
 	if err := rec(0, timingWindow{}); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return results, err // partial prefix
+		}
 		return nil, err
 	}
 	return results, nil

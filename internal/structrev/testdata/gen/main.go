@@ -1,0 +1,82 @@
+// Command gen regenerates the golden-trace conformance corpus consumed by
+// golden_test.go: for each Table 3 victim it captures one deterministic
+// inference trace on the default simulated accelerator and writes the
+// serialized trace plus the recovered dataflow-graph report.
+//
+// Regenerate (from internal/structrev) with:
+//
+//	go generate ./...
+//
+// The traces are value-independent — without zero pruning the accelerator's
+// transaction schedule depends only on layer shapes and tiling — so
+// regeneration is byte-identical across machines as long as the capture
+// parameters below (weight seed 1, input seed 2, default accel.Config)
+// stay fixed.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+	"cnnrev/internal/structrev"
+)
+
+func main() {
+	out := flag.String("out", filepath.Join("testdata", "golden"), "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	victims := []struct {
+		name string
+		net  *nn.Network
+	}{
+		{"lenet", nn.LeNet(10)},
+		{"convnet", nn.ConvNet(10)},
+		{"alexnet", nn.AlexNet(1000, 1)},
+		{"squeezenet", nn.SqueezeNet(1000, 1)},
+	}
+	for _, v := range victims {
+		v.net.InitWeights(1)
+		sim, err := accel.New(v.net, accel.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		x := make([]float32, v.net.Input.Len())
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		res, err := sim.Run(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Trace.Write(&buf); err != nil {
+			log.Fatal(err)
+		}
+		tracePath := filepath.Join(*out, v.name+".trace")
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		a, err := structrev.Analyze(res.Trace, v.net.Input.Len()*4, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rep bytes.Buffer
+		a.WriteReport(&rep)
+		reportPath := filepath.Join(*out, v.name+".report.txt")
+		if err := os.WriteFile(reportPath, rep.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %7d accesses  %8d trace bytes  %2d segments\n",
+			v.name, len(res.Trace.Accesses), buf.Len(), len(a.Segments))
+	}
+}

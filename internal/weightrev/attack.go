@@ -1,6 +1,7 @@
 package weightrev
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -172,6 +173,14 @@ func sortFloats(x []float64) {
 // weight, so its crossing is predictable and the one unexplained step
 // reveals b/w(ky,kx).
 func (a *Attacker) RecoverFilterRatios(d int) (*FilterRatios, error) {
+	return a.RecoverFilterRatiosCtx(context.Background(), d)
+}
+
+// RecoverFilterRatiosCtx is RecoverFilterRatios with cooperative
+// cancellation, checked before each weight's crossing search — one
+// scan-plus-bisection, tens of oracle queries — so an abandoned attack
+// stops within a single-weight boundary.
+func (a *Attacker) RecoverFilterRatiosCtx(ctx context.Context, d int) (*FilterRatios, error) {
 	g := a.G
 	if g.Pool != nn.PoolNone {
 		return nil, fmt.Errorf("weightrev: RecoverFilterRatios handles unpooled layers; use RecoverPooled* for fused pooling")
@@ -190,6 +199,9 @@ func (a *Attacker) RecoverFilterRatios(d int) (*FilterRatios, error) {
 		crossings[c] = alloc2(g.F)
 		for ky := 0; ky < g.F; ky++ {
 			for kx := 0; kx < g.F; kx++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				// Predicted crossings: outputs (m,n) ≥ (0,0), m·S ≤ ky etc.,
 				// reached through weight (ky−mS, kx−nS); all but (0,0) known.
 				var predicted []float64
