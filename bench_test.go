@@ -131,6 +131,64 @@ func BenchmarkFig7_WeightRecovery(b *testing.B) {
 	b.ReportMetric(float64(rep.Queries), "device_queries")
 }
 
+// weightAttackVictim builds a single-conv victim with a model's first-layer
+// geometry, minus pooling and padding (the ratio attack's corner iteration
+// needs P=0 and no fused pool): deterministic signed weights bounded away
+// from zero, 20% exact zeros, positive bias.
+func weightAttackVictim(in nn.Shape, outC, f int, seed int64) *nn.Network {
+	spec := nn.LayerSpec{Name: "conv1", Kind: nn.KindConv, OutC: outC, F: f, S: 1, ReLU: true}
+	net := nn.MustNew("victim", in, []nn.LayerSpec{spec})
+	rng := rand.New(rand.NewSource(seed))
+	w := net.Params[0].W.Data
+	for i := range w {
+		if rng.Float64() < 0.2 {
+			w[i] = 0
+			continue
+		}
+		mag := 0.05 + 0.25*rng.Float64()
+		if rng.Intn(2) == 0 {
+			mag = -mag
+		}
+		w[i] = float32(mag)
+	}
+	for i := range net.Params[0].B.Data {
+		net.Params[0].B.Data[i] = 0.07
+	}
+	return net
+}
+
+// benchWeightAttack runs the full §4 recovery (parallel per-filter fan-out
+// through core.RunWeightAttack) against a first-layer-geometry victim.
+func benchWeightAttack(b *testing.B, in nn.Shape, outC, f int, seed int64) {
+	net := weightAttackVictim(in, outC, f, seed)
+	b.ReportAllocs()
+	var rep *core.WeightReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = core.RunWeightAttack(net, accel.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.ZeroErrors != 0 {
+			b.Fatalf("%d zero-weight misclassifications", rep.ZeroErrors)
+		}
+	}
+	b.ReportMetric(float64(rep.Queries), "device_queries")
+	b.ReportMetric(rep.MaxRatioErr, "max_ratio_err")
+}
+
+// BenchmarkWeightAttack_LeNet: LeNet conv1 geometry (1x28x28 in, 6 filters
+// of 5x5), unpooled/unpadded.
+func BenchmarkWeightAttack_LeNet(b *testing.B) {
+	benchWeightAttack(b, nn.Shape{C: 1, H: 28, W: 28}, 6, 5, 31)
+}
+
+// BenchmarkWeightAttack_ConvNet: CIFAR ConvNet conv1 geometry (3x32x32 in,
+// 32 filters of 5x5), unpooled/unpadded.
+func BenchmarkWeightAttack_ConvNet(b *testing.B) {
+	benchWeightAttack(b, nn.Shape{C: 3, H: 32, W: 32}, 32, 5, 32)
+}
+
 // ---------------------------------------------------------------------------
 // Ablations (design choices DESIGN.md calls out).
 // ---------------------------------------------------------------------------

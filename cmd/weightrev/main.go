@@ -5,13 +5,23 @@
 //
 // Usage:
 //
-//	weightrev [-filters 96] [-zerofrac 0.25]
+//	weightrev [-filters 96] [-zerofrac 0.25] [-parallel=false]
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of the attack
+// for hunting hot spots:
+//
+//	weightrev -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cnnrev"
@@ -23,19 +33,48 @@ func main() {
 	filters := flag.Int("filters", 96, "number of CONV1 filters to recover")
 	zeroFrac := flag.Float64("zerofrac", 0.25, "fraction of weights pruned to exactly zero")
 	seed := flag.Int64("seed", 42, "victim weight seed")
+	parallel := flag.Bool("parallel", true, "recover filters in parallel on the worker pool (results are identical either way)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the attack to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fatal(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fatal(err)
+			runtime.GC() // report live steady-state heap, not transient garbage
+			fatal(pprof.WriteHeapProfile(f))
+			fatal(f.Close())
+		}()
+	}
+
 	net := cnnrev.PrunedConv1(*filters, *zeroFrac, *seed)
-	fmt.Printf("victim: AlexNet CONV1, %d filters of 11x11x3, %.0f%% zero weights\n",
-		*filters, *zeroFrac*100)
+	mode := "parallel"
+	if !*parallel {
+		mode = "serial"
+	}
+	fmt.Printf("victim: AlexNet CONV1, %d filters of 11x11x3, %.0f%% zero weights (%s recovery)\n",
+		*filters, *zeroFrac*100, mode)
 
 	start := time.Now()
-	rep, err := core.RunWeightAttack(net, cnnrev.AccelConfig{})
+	rep, err := core.RunWeightAttackOpts(context.Background(), net, cnnrev.AccelConfig{},
+		core.WeightAttackConfig{Serial: !*parallel})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("recovered %d filters in %s using %d device queries\n",
-		rep.Filters, time.Since(start).Round(time.Millisecond), rep.Queries)
+	elapsed := time.Since(start)
+	qps := float64(rep.Queries) / elapsed.Seconds()
+	fmt.Printf("recovered %d filters in %s using %d device queries (%.0f queries/s)\n",
+		rep.Filters, elapsed.Round(time.Millisecond), rep.Queries, qps)
 	fmt.Printf("max |w/b| error: %.3g (paper bound: 2^-10 = %.3g)\n", rep.MaxRatioErr, 1.0/1024)
 	fmt.Printf("zero weights: %d/%d detected, %d misclassified\n",
 		rep.ZerosDetected, rep.ZerosActual, rep.ZeroErrors)
@@ -43,5 +82,11 @@ func main() {
 		fmt.Println("PASS: recovery within the paper's reported precision")
 	} else {
 		fmt.Println("WARN: recovery outside the paper's reported precision")
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
 	}
 }

@@ -209,6 +209,13 @@ type Result struct {
 	// NZCounts[i][c] is the number of non-zero pixels in channel c of layer
 	// i's output (meaningful when ZeroPrune is set; ground truth for tests).
 	NZCounts [][]int
+	// LayerAccessRange[i] brackets layer i's records in the trace: the
+	// accesses layer i issued are Trace.Accesses[lo:hi] for [lo, hi] =
+	// LayerAccessRange[i]. Region-scoped consumers (the §4 count oracle) use
+	// it to read one layer's bursts without scanning the whole trace. For a
+	// prefix run, layers past the stop layer carry an empty range at the
+	// trace end.
+	LayerAccessRange [][2]int
 }
 
 // New builds a simulator for net with the given configuration.

@@ -1,0 +1,138 @@
+package accel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+)
+
+// TestRunPrefixIsByteExactPrefix: for every stop layer, RunPrefix must
+// record exactly the accesses a full Run records up to that layer — the
+// serialized prefix trace equals the serialized truncation of the full
+// trace, and the executed layers' activations, counts and cycles match.
+// Exercised over conv/FC (LeNet), concat (SqueezeNet fire) and eltwise
+// (ResNetMini) paths, with pruning and jitter on and off.
+func TestRunPrefixIsByteExactPrefix(t *testing.T) {
+	nets := []*nn.Network{nn.LeNet(10), nn.SqueezeNet(10, 8), nn.ResNetMini(10, 8)}
+	cfgs := []Config{
+		{},
+		{ZeroPrune: true},
+		{ZeroPrune: true, CycleJitter: 0.05, NoiseSeed: 9},
+	}
+	for _, net := range nets {
+		net.InitWeights(5)
+		for ci, cfg := range cfgs {
+			sim, err := New(net, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := randInput(net, 77)
+			full, err := sim.Run(x) // snapshot owns its buffers
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullBytes := traceBytes(t, full.Trace)
+
+			ses := sim.NewSession()
+			// Warm the session with a full run so prefix runs reuse a dirty
+			// arena — stale downstream buffers must not leak into the prefix.
+			if _, err := ses.Run(randInput(net, 78)); err != nil {
+				t.Fatal(err)
+			}
+			for last := 0; last < len(net.Specs); last++ {
+				label := fmt.Sprintf("%s/cfg%d/last%d", net.Name, ci, last)
+				res, err := ses.RunPrefix(x, last)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := len(res.Trace.Accesses)
+				if want := full.LayerAccessRange[last][1]; n != want {
+					t.Fatalf("%s: prefix records %d accesses, full run's layer range ends at %d", label, n, want)
+				}
+				trunc := &memtrace.Trace{BlockBytes: full.Trace.BlockBytes, Accesses: full.Trace.Accesses[:n]}
+				if !bytes.Equal(traceBytes(t, res.Trace), traceBytes(t, trunc)) {
+					t.Fatalf("%s: prefix trace is not a byte-exact prefix of the full trace", label)
+				}
+				for i := 0; i <= last; i++ {
+					if res.LayerAccessRange[i] != full.LayerAccessRange[i] {
+						t.Fatalf("%s: layer %d access range %v, full run %v", label, i,
+							res.LayerAccessRange[i], full.LayerAccessRange[i])
+					}
+					if res.LayerCycles[i] != full.LayerCycles[i] || res.LayerStartCycle[i] != full.LayerStartCycle[i] {
+						t.Fatalf("%s: layer %d cycles diverge", label, i)
+					}
+					for j := range full.Acts[i] {
+						if res.Acts[i][j] != full.Acts[i][j] {
+							t.Fatalf("%s: act[%d][%d] = %v, want %v", label, i, j, res.Acts[i][j], full.Acts[i][j])
+						}
+					}
+					for c := range full.NZCounts[i] {
+						if res.NZCounts[i][c] != full.NZCounts[i][c] {
+							t.Fatalf("%s: nz[%d][%d] = %d, want %d", label, i, c, res.NZCounts[i][c], full.NZCounts[i][c])
+						}
+					}
+				}
+				for i := last + 1; i < len(net.Specs); i++ {
+					if lo, hi := res.LayerAccessRange[i][0], res.LayerAccessRange[i][1]; lo != n || hi != n {
+						t.Fatalf("%s: skipped layer %d has range [%d,%d], want empty at %d", label, i, lo, hi, n)
+					}
+				}
+			}
+			// The session still produces full-run traces after prefix runs.
+			after, err := ses.Run(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(traceBytes(t, after.Trace), fullBytes) {
+				t.Fatalf("%s/cfg%d: full run after prefix runs diverged", net.Name, ci)
+			}
+		}
+	}
+}
+
+// TestLayerAccessRangePartitionsTrace: a full run's per-layer ranges tile
+// the trace exactly — contiguous, in order, covering every access — so
+// range-scoped consumers see each burst exactly once.
+func TestLayerAccessRangePartitionsTrace(t *testing.T) {
+	net := nn.SqueezeNet(10, 8)
+	net.InitWeights(5)
+	for _, cfg := range []Config{{}, {ZeroPrune: true}} {
+		sim, err := New(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(randInput(net, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0
+		for i, r := range res.LayerAccessRange {
+			if r[0] != prev || r[1] < r[0] {
+				t.Fatalf("layer %d range %v does not continue from %d", i, r, prev)
+			}
+			prev = r[1]
+		}
+		if prev != len(res.Trace.Accesses) {
+			t.Fatalf("ranges end at %d, trace has %d accesses", prev, len(res.Trace.Accesses))
+		}
+	}
+}
+
+func TestRunPrefixRejectsOutOfRange(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	sim, err := New(net, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sim.NewSession()
+	if _, err := ses.RunPrefix(randInput(net, 1), -1); err == nil {
+		t.Fatal("negative stop layer must error")
+	}
+	if _, err := ses.RunPrefix(randInput(net, 1), len(net.Specs)); err == nil {
+		t.Fatal("stop layer past the network must error")
+	}
+}

@@ -24,6 +24,10 @@ type session struct {
 	x     []float32  // current input (caller-owned, valid during one run)
 
 	acts [][]float32 // per-layer output activations
+	// accRange[i] brackets layer i's records in the recorder: its trace
+	// entries are Accesses[accRange[i][0]:accRange[i][1]]. Layers a prefix
+	// run skipped carry an empty range at the trace end.
+	accRange [][2]int
 	// chanBytes[i][c] is the stored byte size of channel c of layer i's
 	// output when pruned[i] (compressed); dense sizes live in the
 	// simulator's immutable tables.
@@ -47,6 +51,7 @@ func (s *Simulator) newSession() *session {
 	se := &session{
 		rec:        memtrace.NewRecorder(s.cfg.BlockBytes),
 		acts:       make([][]float32, len(n.Specs)),
+		accRange:   make([][2]int, len(n.Specs)),
 		chanBytes:  make([][]int, len(n.Specs)),
 		pruned:     make([]bool, len(n.Specs)),
 		nz:         make([][]int, len(n.Specs)),
@@ -167,11 +172,12 @@ func (s *Simulator) snapshotResult(se *session) *Result {
 	n := s.net
 	last := len(n.Specs) - 1
 	res := &Result{
-		Logits:          append([]float32(nil), se.acts[last]...),
-		Acts:            make([][]float32, len(n.Specs)),
-		LayerCycles:     append([]uint64(nil), se.layerCyc...),
-		LayerStartCycle: append([]uint64(nil), se.layerStart...),
-		NZCounts:        make([][]int, len(n.Specs)),
+		Logits:           append([]float32(nil), se.acts[last]...),
+		Acts:             make([][]float32, len(n.Specs)),
+		LayerCycles:      append([]uint64(nil), se.layerCyc...),
+		LayerStartCycle:  append([]uint64(nil), se.layerStart...),
+		NZCounts:         make([][]int, len(n.Specs)),
+		LayerAccessRange: append([][2]int(nil), se.accRange...),
 	}
 	for i := range n.Specs {
 		res.Acts[i] = append([]float32(nil), se.acts[i]...)
@@ -211,19 +217,34 @@ func (s *Simulator) NewSession() *Session {
 // Result (including its Trace) aliases session memory: copy anything that
 // must survive the next call.
 func (ss *Session) Run(x []float32) (*Result, error) {
+	return ss.RunPrefix(x, len(ss.sim.net.Specs)-1)
+}
+
+// RunPrefix performs one inference truncated after lastLayer: execution,
+// cycle accounting and trace recording all stop once layer lastLayer has
+// run, so the returned trace is a byte-exact prefix of what Run would have
+// recorded for the same input (equal-seed jitter included) at a cost
+// proportional to the prefix alone. The §4 weight attack targets one layer
+// per query and uses this to stop paying for the downstream network.
+//
+// The returned Result aliases session memory like Run's; Logits is the
+// stop layer's activation, and Acts/NZCounts/LayerCycles entries past
+// lastLayer are stale from the previous run (their LayerAccessRange entries
+// are empty).
+func (ss *Session) RunPrefix(x []float32, lastLayer int) (*Result, error) {
 	s, se := ss.sim, ss.se
 	se.rec.Reset()
 	se.reseedJitter(&s.cfg)
-	if _, err := s.runOne(se, x, 0); err != nil {
+	if _, err := s.runLayers(se, x, 0, lastLayer); err != nil {
 		return nil, err
 	}
 	res := &se.res
-	last := len(s.net.Specs) - 1
-	res.Logits = se.acts[last]
+	res.Logits = se.acts[lastLayer]
 	res.Acts = se.acts
 	res.LayerCycles = se.layerCyc
 	res.LayerStartCycle = se.layerStart
 	res.NZCounts = se.nz
+	res.LayerAccessRange = se.accRange
 	se.rec.TraceInto(&se.trace)
 	res.Trace = &se.trace
 	return res, nil
@@ -235,14 +256,29 @@ func (ss *Session) Run(x []float32) (*Result, error) {
 // runs; the per-run tests pin this by comparing reused-arena traces against
 // fresh-simulator traces byte for byte.
 func (s *Simulator) runOne(se *session, x []float32, startCycle uint64) (uint64, error) {
+	return s.runLayers(se, x, startCycle, len(s.net.Specs)-1)
+}
+
+// runLayers executes layers 0..last against the arena's recorder. Because
+// layers execute strictly in order — the cycle counter, the jitter stream
+// and the recorder all advance layer by layer — stopping after layer `last`
+// records exactly the same accesses a full run would have recorded up to
+// that point: a prefix run's trace is a byte-exact prefix of the full run's.
+// The per-layer record ranges in se.accRange are maintained as each layer
+// runs; layers past `last` get an empty range at the trace end.
+func (s *Simulator) runLayers(se *session, x []float32, startCycle uint64, last int) (uint64, error) {
 	if len(x) != s.net.Input.Len() {
 		return 0, fmt.Errorf("accel: input has %d elements, want %d", len(x), s.net.Input.Len())
 	}
 	n := s.net
+	if last < 0 || last >= len(n.Specs) {
+		return 0, fmt.Errorf("accel: prefix layer %d out of range [0,%d)", last, len(n.Specs))
+	}
 	s.resetRun(se, x, startCycle)
-	for i := range n.Specs {
+	for i := 0; i <= last; i++ {
 		start := se.cycle
 		se.layerStart[i] = start
+		se.accRange[i][0] = se.rec.Len()
 		switch n.Specs[i].Kind {
 		case nn.KindConv:
 			s.simConv(i, se)
@@ -253,7 +289,14 @@ func (s *Simulator) runOne(se *session, x []float32, startCycle uint64) (uint64,
 		case nn.KindEltwise:
 			s.simEltwise(i, se)
 		}
+		se.accRange[i][1] = se.rec.Len()
 		se.layerCyc[i] = se.cycle - start
+	}
+	for i := last + 1; i < len(n.Specs); i++ {
+		se.accRange[i][0] = se.rec.Len()
+		se.accRange[i][1] = se.rec.Len()
+		se.layerStart[i] = se.cycle
+		se.layerCyc[i] = 0
 	}
 	return se.cycle, nil
 }

@@ -445,6 +445,14 @@ type WeightReport struct {
 	Ratios [][][][]float64
 }
 
+// WeightAttackConfig tunes RunWeightAttackOpts. The zero value gives the
+// default behavior (parallel per-filter recovery).
+type WeightAttackConfig struct {
+	// Serial disables the per-filter fan-out and recovers filters one at a
+	// time — the reference mode (mirrors RankConfig.Serial).
+	Serial bool
+}
+
 // RunWeightAttack recovers w/b for every filter of the first layer of net
 // (which must be an unpooled, unpadded conv layer) through the zero-pruning
 // side channel, and scores the recovery against the true parameters.
@@ -453,10 +461,15 @@ func RunWeightAttack(net *nn.Network, cfg accel.Config) (*WeightReport, error) {
 }
 
 // RunWeightAttackCtx is RunWeightAttack with cooperative cancellation: each
-// parallel per-filter recovery checks ctx before starting and between
-// individual weight searches, so a cancelled attack releases the worker
-// pool within one binary-search (single-weight) boundary.
+// parallel per-filter recovery checks ctx between individual weight
+// searches, so a cancelled attack releases the worker pool within one
+// binary-search (single-weight) boundary.
 func RunWeightAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Config) (*WeightReport, error) {
+	return RunWeightAttackOpts(ctx, net, cfg, WeightAttackConfig{})
+}
+
+// RunWeightAttackOpts is RunWeightAttackCtx with attack tuning options.
+func RunWeightAttackOpts(ctx context.Context, net *nn.Network, cfg accel.Config, opts WeightAttackConfig) (*WeightReport, error) {
 	oracle, err := weightrev.NewFastOracle(net, cfg, 0)
 	if err != nil {
 		return nil, err
@@ -466,6 +479,7 @@ func RunWeightAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Config) 
 		In: net.Input, OutC: spec.OutC, F: spec.F, S: spec.S, P: spec.P,
 	}
 	at := weightrev.NewAttacker(oracle, g)
+	at.Serial = opts.Serial
 
 	rep := &WeightReport{Filters: spec.OutC}
 	rep.Ratios = make([][][][]float64, spec.OutC)
@@ -473,23 +487,16 @@ func RunWeightAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Config) 
 	b := net.Params[0].B.Data
 	inC, f := net.Input.C, spec.F
 
-	// Filters are independent: recover them in parallel on the shared tensor
-	// worker pool (the analytic oracle is read-only per query), one task per
-	// filter so uneven search depths balance dynamically. In hardware terms
-	// this corresponds to interleaving the per-filter query schedules.
-	results := make([]*weightrev.FilterRatios, spec.OutC)
-	errs := make([]error, spec.OutC)
-	tensor.Parallel(spec.OutC, func(d int) {
-		if err := ctx.Err(); err != nil {
-			errs[d] = err
-			return
-		}
-		results[d], errs[d] = at.RecoverFilterRatiosCtx(ctx, d)
-	})
+	// Filters are independent: RecoverAllFilters fans them out on the shared
+	// tensor worker pool (the analytic oracle is read-only per query), one
+	// task per filter so uneven search depths balance dynamically. In
+	// hardware terms this corresponds to interleaving the per-filter query
+	// schedules.
+	results, err := at.RecoverAllFilters(ctx)
+	if err != nil {
+		return nil, err
+	}
 	for d := 0; d < spec.OutC; d++ {
-		if errs[d] != nil {
-			return nil, errs[d]
-		}
 		res := results[d]
 		rep.Ratios[d] = res.Ratio
 		for c := 0; c < inC; c++ {

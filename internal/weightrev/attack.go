@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"cnnrev/internal/nn"
+	"cnnrev/internal/tensor"
 )
 
 // Geometry is the attacker's knowledge of the target layer's structure
@@ -29,6 +30,9 @@ type Attacker struct {
 	XMax float64
 	// Iters is the number of bisection refinements per crossing.
 	Iters int
+	// Serial forces RecoverAllFilters onto a plain sequential loop — the
+	// reference mode the parallel path must match bit for bit.
+	Serial bool
 }
 
 // NewAttacker returns an attacker with default search parameters.
@@ -230,6 +234,39 @@ func (a *Attacker) RecoverFilterRatiosCtx(ctx context.Context, d int) (*FilterRa
 		}
 	}
 	return res, nil
+}
+
+// RecoverAllFilters recovers every output channel of the layer. Filters
+// are independent — channel d's bisections read only channel d's
+// compressed write stream, and its query values depend only on its own
+// earlier crossings — so unless Serial is set they fan out across the
+// shared tensor worker pool. The oracle must be safe for concurrent
+// queries (TraceOracle and FastOracle are); results and Queries() totals
+// are then bit-identical to the serial reference regardless of schedule.
+// On failure the first error in channel order is returned.
+func (a *Attacker) RecoverAllFilters(ctx context.Context) ([]*FilterRatios, error) {
+	n := a.G.OutC
+	if n <= 0 {
+		return nil, fmt.Errorf("weightrev: geometry has %d output channels", n)
+	}
+	results := make([]*FilterRatios, n)
+	errs := make([]error, n)
+	run := func(d int) {
+		results[d], errs[d] = a.RecoverFilterRatiosCtx(ctx, d)
+	}
+	if a.Serial {
+		for d := 0; d < n; d++ {
+			run(d)
+		}
+	} else {
+		tensor.Parallel(n, run)
+	}
+	for d, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("weightrev: filter %d: %w", d, err)
+		}
+	}
+	return results, nil
 }
 
 func alloc2(f int) [][]float64 {

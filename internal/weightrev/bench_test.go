@@ -1,0 +1,35 @@
+package weightrev
+
+import (
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// benchOracleQuery measures one CountChannel device query against a
+// multi-layer victim (LeNet: conv-conv-fc-fc) with layer 0 as the target.
+// Full mode simulates all four layers and scans the whole trace (the
+// pre-prefix reference); prefix mode stops after the target layer and
+// reads only its region of the trace.
+func benchOracleQuery(b *testing.B, fullRun bool) {
+	net := nn.LeNet(10)
+	net.InitWeights(3)
+	o, err := NewTraceOracle(net, accel.Config{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.fullRun = fullRun
+	pixels := []Pixel{{C: 0, Y: 3, X: 4, V: 0.5}}
+	want := o.CountChannel(0, pixels) // warm the session pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := o.CountChannel(0, pixels); got != want {
+			b.Fatalf("count changed: %d vs %d", got, want)
+		}
+	}
+}
+
+func BenchmarkOracleQuery_Full(b *testing.B)   { benchOracleQuery(b, true) }
+func BenchmarkOracleQuery_Prefix(b *testing.B) { benchOracleQuery(b, false) }

@@ -45,10 +45,17 @@ type Oracle interface {
 	Queries() int
 }
 
-// TraceOracle drives the full accelerator simulator for every query and
-// derives counts from the observed compressed write bursts — the reference
-// (slow) oracle. The simulated network must consist of (at least) the
-// target conv layer, and the simulator must have zero pruning enabled.
+// TraceOracle drives the accelerator simulator for every query and derives
+// counts from the observed compressed write bursts — the trace-backed
+// oracle. The simulated network must consist of (at least) the target conv
+// layer, and the simulator must have zero pruning enabled.
+//
+// Each query simulates only layers 0..target (Session.RunPrefix) and scans
+// only the target layer's window of the trace, located via the precomputed
+// write-region index (regBase/regEnd/stride below) — an adversary watching
+// the bus needs no later layers to read this layer's write volume, and
+// neither do we. CountChannel goes further and touches a single channel
+// slot without allocating.
 //
 // All queries share one Simulator; each goroutine borrows a query context
 // (an accel.Session plus an input buffer) from an internal pool, so the
@@ -57,8 +64,22 @@ type Oracle interface {
 // shared device and must not race in-flight queries — the attack's
 // bias-recovery sweep (its only caller) is sequential by construction.
 type TraceOracle struct {
-	sim     *accel.Simulator
-	layer   int
+	sim   *accel.Simulator
+	layer int
+
+	// Precomputed region index for the target layer's pruned write stream:
+	// channel c's compressed slot is [regBase+c*stride, regBase+(c+1)*stride).
+	regBase uint64
+	regEnd  uint64
+	stride  uint64
+	chans   int
+	bpnz    int
+
+	// fullRun restores the pre-prefix reference behavior — simulate every
+	// layer and scan the whole trace per query. Kept (test-settable only)
+	// as the equivalence baseline and for BenchmarkOracleQuery_Full.
+	fullRun bool
+
 	queries atomic.Int64
 	ctxs    sync.Pool // *oracleCtx
 }
@@ -72,6 +93,9 @@ type oracleCtx struct {
 // NewTraceOracle builds a trace-backed oracle targeting the given layer.
 func NewTraceOracle(net *nn.Network, cfg accel.Config, layer int) (*TraceOracle, error) {
 	cfg.ZeroPrune = true
+	if layer < 0 || layer >= len(net.Specs) {
+		return nil, fmt.Errorf("weightrev: layer %d out of range [0,%d)", layer, len(net.Specs))
+	}
 	sim, err := accel.New(net, cfg)
 	if err != nil {
 		return nil, err
@@ -79,7 +103,18 @@ func NewTraceOracle(net *nn.Network, cfg accel.Config, layer int) (*TraceOracle,
 	if net.Specs[layer].Kind != nn.KindConv {
 		return nil, fmt.Errorf("weightrev: layer %d is not a conv layer", layer)
 	}
-	return &TraceOracle{sim: sim, layer: layer}, nil
+	shape := net.Shapes[layer]
+	reg := sim.Layout().Fmaps[layer]
+	devCfg := sim.Config()
+	return &TraceOracle{
+		sim:     sim,
+		layer:   layer,
+		regBase: reg.Base,
+		regEnd:  reg.End(),
+		stride:  uint64(shape.H * shape.W * devCfg.PruneBytesPerNZ),
+		chans:   shape.C,
+		bpnz:    devCfg.PruneBytesPerNZ,
+	}, nil
 }
 
 // SetThreshold adjusts the activation threshold used by subsequent queries.
@@ -88,57 +123,73 @@ func (o *TraceOracle) SetThreshold(t float32) { o.sim.SetThreshold(t) }
 // Queries returns the number of device inferences issued.
 func (o *TraceOracle) Queries() int { return int(o.queries.Load()) }
 
-// Counts runs one inference and parses the per-channel compressed write
-// volumes out of the memory trace.
-func (o *TraceOracle) Counts(pixels []Pixel) []int {
+// run issues one device query: it borrows a query context, assembles the
+// sparse input, simulates layers 0..target (or the whole network in fullRun
+// reference mode), and returns the context together with the trace window
+// holding the target layer's accesses. The caller must finish reading the
+// returned accesses before releasing ctx — the trace lives in the session
+// arena and is recycled on the next query.
+func (o *TraceOracle) run(pixels []Pixel) (ctx *oracleCtx, acc []memtrace.Access, blockBytes int) {
 	o.queries.Add(1)
-	ctx, _ := o.ctxs.Get().(*oracleCtx)
+	ctx, _ = o.ctxs.Get().(*oracleCtx)
 	if ctx == nil {
 		ctx = &oracleCtx{
 			ses: o.sim.NewSession(),
 			x:   make([]float32, o.sim.Net().Input.Len()),
 		}
 	}
-	defer o.ctxs.Put(ctx)
-	net := o.sim.Net()
-	in := net.Input
+	in := o.sim.Net().Input
 	for _, p := range pixels {
 		// Accumulate so repeated coordinates behave like the analytic
 		// oracle's additive contributions.
 		ctx.x[(p.C*in.H+p.Y)*in.W+p.X] += p.V
 	}
-	res, err := ctx.ses.Run(ctx.x)
+	var res *accel.Result
+	var err error
+	if o.fullRun {
+		res, err = ctx.ses.Run(ctx.x)
+	} else {
+		res, err = ctx.ses.RunPrefix(ctx.x, o.layer)
+	}
 	if err != nil {
 		panic(err)
 	}
 	for _, p := range pixels { // restore the all-zero base input
 		ctx.x[(p.C*in.H+p.Y)*in.W+p.X] = 0
 	}
-	lay := o.sim.Layout()
-	cfg := o.sim.Config()
-	shape := net.Shapes[o.layer]
-	stride := uint64(shape.H * shape.W * cfg.PruneBytesPerNZ)
-	counts := make([]int, shape.C)
-	reg := lay.Fmaps[o.layer]
-	for _, a := range res.Trace.Accesses {
+	acc = res.Trace.Accesses
+	if !o.fullRun {
+		r := res.LayerAccessRange[o.layer]
+		acc = acc[r[0]:r[1]]
+	}
+	return ctx, acc, res.Trace.BlockBytes
+}
+
+// Counts runs one inference and parses the per-channel compressed write
+// volumes out of the target layer's trace window.
+func (o *TraceOracle) Counts(pixels []Pixel) []int {
+	counts := make([]int, o.chans)
+	ctx, acc, blockBytes := o.run(pixels)
+	defer o.ctxs.Put(ctx)
+	for _, a := range acc {
 		if a.Kind != memtrace.Write {
 			continue
 		}
-		lo, hi := a.Addr, a.End(res.Trace.BlockBytes)
-		if hi <= reg.Base || lo >= reg.End() {
+		lo, hi := a.Addr, a.End(blockBytes)
+		if hi <= o.regBase || lo >= o.regEnd {
 			continue
 		}
 		// A burst may span several channel slots (the recorder merges
 		// contiguous full-slot streams); apportion it slot by slot.
 		for lo < hi {
-			c := int((lo - reg.Base) / stride)
-			slotEnd := reg.Base + uint64(c+1)*stride
+			c := int((lo - o.regBase) / o.stride)
+			slotEnd := o.regBase + uint64(c+1)*o.stride
 			seg := hi
 			if slotEnd < seg {
 				seg = slotEnd
 			}
-			if c >= 0 && c < shape.C {
-				counts[c] += int(seg-lo) / cfg.PruneBytesPerNZ
+			if c >= 0 && c < o.chans {
+				counts[c] += int(seg-lo) / o.bpnz
 			}
 			lo = seg
 		}
@@ -146,7 +197,33 @@ func (o *TraceOracle) Counts(pixels []Pixel) []int {
 	return counts
 }
 
-// CountChannel returns one channel's count (still a full inference).
+// CountChannel returns one channel's count. Unlike Counts it intersects the
+// trace window with just that channel's compressed slot and allocates
+// nothing — the inner loop of Algorithm 2's bisection pays for exactly one
+// slot, not the whole layer.
 func (o *TraceOracle) CountChannel(d int, pixels []Pixel) int {
-	return o.Counts(pixels)[d]
+	if d < 0 || d >= o.chans {
+		panic(fmt.Sprintf("weightrev: channel %d out of range [0,%d)", d, o.chans))
+	}
+	slotLo := o.regBase + uint64(d)*o.stride
+	slotHi := slotLo + o.stride
+	ctx, acc, blockBytes := o.run(pixels)
+	n := 0
+	for _, a := range acc {
+		if a.Kind != memtrace.Write {
+			continue
+		}
+		lo, hi := a.Addr, a.End(blockBytes)
+		if lo < slotLo {
+			lo = slotLo
+		}
+		if hi > slotHi {
+			hi = slotHi
+		}
+		if lo < hi {
+			n += int(hi-lo) / o.bpnz
+		}
+	}
+	o.ctxs.Put(ctx)
+	return n
 }

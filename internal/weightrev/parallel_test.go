@@ -1,0 +1,139 @@
+package weightrev
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// ratiosBitsEqual compares two recovered filters bit for bit — the
+// determinism contract is exact float identity, not tolerance.
+func ratiosBitsEqual(t *testing.T, d int, a, b *FilterRatios) {
+	t.Helper()
+	if a.Channel != b.Channel {
+		t.Fatalf("filter %d: channel %d vs %d", d, a.Channel, b.Channel)
+	}
+	for c := range a.Ratio {
+		for ky := range a.Ratio[c] {
+			for kx := range a.Ratio[c][ky] {
+				if math.Float64bits(a.Ratio[c][ky][kx]) != math.Float64bits(b.Ratio[c][ky][kx]) {
+					t.Fatalf("filter %d (%d,%d,%d): ratio %v vs %v (bit mismatch)",
+						d, c, ky, kx, a.Ratio[c][ky][kx], b.Ratio[c][ky][kx])
+				}
+				if a.Zero[c][ky][kx] != b.Zero[c][ky][kx] {
+					t.Fatalf("filter %d (%d,%d,%d): zero flag %v vs %v",
+						d, c, ky, kx, a.Zero[c][ky][kx], b.Zero[c][ky][kx])
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverAllFiltersParallelMatchesSerial: the parallel fan-out must be
+// bit-identical to the Serial reference — ratios, zero flags, and the
+// Queries() total — against the real trace-backed oracle (whose session
+// pool the parallel path exercises concurrently; run with -race to check
+// the schedule independence for real).
+func TestRecoverAllFiltersParallelMatchesSerial(t *testing.T) {
+	build := func() *nn.Network {
+		return convLayer(t, nn.Shape{C: 2, H: 8, W: 8}, 4, 3, 1, 0, nn.PoolNone, 0, 0, 0.07, 0.2, 7)
+	}
+	newAttacker := func(serial bool) *Attacker {
+		o, err := NewTraceOracle(build(), accel.Config{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Geometry{In: nn.Shape{C: 2, H: 8, W: 8}, OutC: 4, F: 3, S: 1, P: 0}
+		at := NewAttacker(o, g)
+		at.Serial = serial
+		return at
+	}
+
+	ser := newAttacker(true)
+	serRes, err := ser.RecoverAllFilters(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newAttacker(false)
+	parRes, err := par.RecoverAllFilters(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serRes) != len(parRes) {
+		t.Fatalf("result lengths %d vs %d", len(serRes), len(parRes))
+	}
+	for d := range serRes {
+		ratiosBitsEqual(t, d, serRes[d], parRes[d])
+	}
+	if sq, pq := ser.O.Queries(), par.O.Queries(); sq != pq {
+		t.Fatalf("query totals diverge: serial %d, parallel %d", sq, pq)
+	}
+}
+
+// TestRecoverAllFiltersCancellation: a pre-cancelled context must abort
+// every filter and surface context.Canceled through the wrap.
+func TestRecoverAllFiltersCancellation(t *testing.T) {
+	net := convLayer(t, nn.Shape{C: 1, H: 6, W: 6}, 2, 3, 1, 0, nn.PoolNone, 0, 0, 0.07, 0, 8)
+	o, err := NewTraceOracle(net, accel.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewAttacker(o, Geometry{In: nn.Shape{C: 1, H: 6, W: 6}, OutC: 2, F: 3, S: 1, P: 0})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := at.RecoverAllFilters(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestStackRecoverParallelMatchesSerial: the per-(filter, channel) task
+// fan-out inside recoverLayer must reproduce the Serial reference bit for
+// bit across the whole peel — ratios, zero flags, reachability, and the
+// device query total.
+func TestStackRecoverParallelMatchesSerial(t *testing.T) {
+	recover := func(serial bool) *StackRecovery {
+		net := stackVictim(t)
+		o, err := NewStackOracle(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := NewStackAttacker(o, net)
+		at.Serial = serial
+		rec, err := at.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	ser := recover(true)
+	par := recover(false)
+	if ser.Queries != par.Queries {
+		t.Fatalf("query totals diverge: serial %d, parallel %d", ser.Queries, par.Queries)
+	}
+	for k := range ser.Ratios {
+		for c := range ser.Unreachable[k] {
+			if ser.Unreachable[k][c] != par.Unreachable[k][c] {
+				t.Fatalf("layer %d channel %d: unreachable %v vs %v", k, c, ser.Unreachable[k][c], par.Unreachable[k][c])
+			}
+		}
+		for d := range ser.Ratios[k] {
+			for c := range ser.Ratios[k][d] {
+				for ky := range ser.Ratios[k][d][c] {
+					for kx := range ser.Ratios[k][d][c][ky] {
+						sv, pv := ser.Ratios[k][d][c][ky][kx], par.Ratios[k][d][c][ky][kx]
+						if math.Float64bits(sv) != math.Float64bits(pv) {
+							t.Fatalf("layer %d d%d c%d (%d,%d): ratio %v vs %v (bit mismatch)", k, d, c, ky, kx, sv, pv)
+						}
+						if ser.Zero[k][d][c][ky][kx] != par.Zero[k][d][c][ky][kx] {
+							t.Fatalf("layer %d d%d c%d (%d,%d): zero flag diverges", k, d, c, ky, kx)
+						}
+					}
+				}
+			}
+		}
+	}
+}

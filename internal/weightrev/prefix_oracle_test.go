@@ -1,0 +1,128 @@
+package weightrev
+
+import (
+	"math/rand"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// fullRunOracle builds a TraceOracle pinned to the pre-prefix reference
+// path: simulate every layer, scan the whole trace.
+func fullRunOracle(t *testing.T, net *nn.Network, cfg accel.Config, layer int) *TraceOracle {
+	t.Helper()
+	o, err := NewTraceOracle(net, cfg, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.fullRun = true
+	return o
+}
+
+// TestPrefixOracleMatchesFullRun: the region-scoped prefix oracle must
+// report exactly the counts the whole-trace full-run reference reports, on
+// a multi-layer victim (downstream conv/pool/FC layers present) for both
+// target-layer choices, single- and multi-pixel queries, jitter on and
+// off, and through SetThreshold retunes.
+func TestPrefixOracleMatchesFullRun(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(3)
+	cfgs := []accel.Config{
+		{},
+		{CycleJitter: 0.05, NoiseSeed: 11},
+	}
+	for ci, cfg := range cfgs {
+		for _, layer := range []int{0, 1} { // conv1, conv2
+			prefix, err := NewTraceOracle(net, cfg, layer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := fullRunOracle(t, net, cfg, layer)
+			rng := rand.New(rand.NewSource(int64(100*ci + layer)))
+			in := net.Input
+			for q := 0; q < 25; q++ {
+				npix := 1 + rng.Intn(3)
+				pixels := make([]Pixel, npix)
+				for i := range pixels {
+					pixels[i] = Pixel{
+						C: rng.Intn(in.C), Y: rng.Intn(in.H), X: rng.Intn(in.W),
+						V: float32(rng.Float64()*4 - 2),
+					}
+				}
+				pc := prefix.Counts(pixels)
+				fc := full.Counts(pixels)
+				if len(pc) != len(fc) {
+					t.Fatalf("cfg%d layer%d: count lengths %d vs %d", ci, layer, len(pc), len(fc))
+				}
+				for d := range pc {
+					if pc[d] != fc[d] {
+						t.Fatalf("cfg%d layer%d q%d: channel %d count %d (prefix) vs %d (full)", ci, layer, q, d, pc[d], fc[d])
+					}
+					if got := prefix.CountChannel(d, pixels); got != fc[d] {
+						t.Fatalf("cfg%d layer%d q%d: CountChannel(%d) = %d, want %d", ci, layer, q, d, got, fc[d])
+					}
+				}
+			}
+			// Threshold retune must flow through the prefix path too.
+			prefix.SetThreshold(0.05)
+			full.SetThreshold(0.05)
+			pix := []Pixel{{C: 0, Y: 2, X: 3, V: 1.5}}
+			for d := 0; d < net.Shapes[layer].C; d++ {
+				if got, want := prefix.CountChannel(d, pix), full.CountChannel(d, pix); got != want {
+					t.Fatalf("cfg%d layer%d post-threshold: CountChannel(%d) = %d, want %d", ci, layer, d, got, want)
+				}
+			}
+			// A single-channel read is still exactly one device inference.
+			before := prefix.Queries()
+			prefix.CountChannel(0, pix)
+			if got := prefix.Queries() - before; got != 1 {
+				t.Fatalf("cfg%d layer%d: CountChannel issued %d queries, want 1", ci, layer, got)
+			}
+			prefix.SetThreshold(0)
+			full.SetThreshold(0)
+		}
+	}
+}
+
+// TestCountChannelAllocs pins the single-channel oracle path allocation
+// free: one bisection step must not pay for count slices or trace copies.
+func TestCountChannelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pinned in the non-race job")
+	}
+	net := nn.LeNet(10)
+	net.InitWeights(3)
+	o, err := NewTraceOracle(net, accel.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pixels := []Pixel{{C: 0, Y: 1, X: 2, V: 0.8}}
+	o.CountChannel(0, pixels) // warm the session pool
+	allocs := testing.AllocsPerRun(200, func() {
+		o.CountChannel(0, pixels)
+	})
+	// Same tolerance as the accel Session.Run pin: the session arena is
+	// allocation-free in steady state; allow at most one stray allocation
+	// for rare sync.Pool internals.
+	if allocs > 1 {
+		t.Fatalf("CountChannel allocates %.1f times per query, want 0 (tolerance 1)", allocs)
+	}
+}
+
+// TestCountChannelRejectsBadChannel: out-of-range channels must fail loudly
+// (the old implementation panicked via slice indexing; keep that contract).
+func TestCountChannelRejectsBadChannel(t *testing.T) {
+	net := nn.LeNet(10)
+	net.InitWeights(3)
+	o, err := NewTraceOracle(net, accel.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range channel")
+		}
+	}()
+	o.CountChannel(6, nil) // LeNet conv1 has channels 0..5
+}

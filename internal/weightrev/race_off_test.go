@@ -1,0 +1,5 @@
+//go:build !race
+
+package weightrev
+
+const raceEnabled = false

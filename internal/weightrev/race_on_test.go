@@ -1,0 +1,8 @@
+//go:build race
+
+package weightrev
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates — the steady-state allocation pins skip
+// under it and run in the non-race CI job instead.
+const raceEnabled = true

@@ -3,8 +3,10 @@ package weightrev
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"cnnrev/internal/nn"
+	"cnnrev/internal/tensor"
 )
 
 // This file extends the paper's single-layer weight attack (§4) to whole
@@ -35,10 +37,12 @@ import (
 // StackOracle answers per-layer non-zero counts for a stack of conv layers
 // — what the per-layer compressed write streams leak. Queries run the full
 // (dense) forward pass, so it suits the small stacks the peeling extension
-// demonstrates.
+// demonstrates. Each query works on its own buffers against read-only
+// network parameters, with an atomic query counter, so the oracle is safe
+// for concurrent LayerCounts calls.
 type StackOracle struct {
 	net     *nn.Network
-	queries int
+	queries atomic.Int64
 }
 
 // NewStackOracle validates that every layer of net is an unpooled,
@@ -63,12 +67,12 @@ func NewStackOracle(net *nn.Network) (*StackOracle, error) {
 }
 
 // Queries returns the number of device inferences issued.
-func (o *StackOracle) Queries() int { return o.queries }
+func (o *StackOracle) Queries() int { return int(o.queries.Load()) }
 
 // LayerCounts runs one inference and returns the per-channel non-zero
 // counts of the given layer's output feature map.
 func (o *StackOracle) LayerCounts(layer int, pixels []Pixel) []int {
-	o.queries++
+	o.queries.Add(1)
 	in := o.net.Input
 	x := make([]float32, in.Len())
 	for _, p := range pixels {
@@ -169,6 +173,10 @@ type StackAttacker struct {
 	Net   *nn.Network // structure only (geometry is public via the §3 attack)
 	XMax  float64
 	Iters int
+	// Serial forces each layer's (filter, input channel) recovery tasks
+	// onto a plain sequential loop — the reference mode the parallel path
+	// must match bit for bit.
+	Serial bool
 
 	// injByLayer[k][c] is the injector driving channel c of layer k's input
 	// feature map (populated by Recover; consumed by RecoverNegativeDeep).
@@ -251,9 +259,18 @@ func (a *StackAttacker) recoverLayer(k int, in nn.Shape, spec *nn.LayerSpec, inj
 		}
 	}
 
+	// Unreachable input channels are filled serially (no queries needed);
+	// every reachable (input channel, filter) pair becomes an independent
+	// recovery task. Within one pair the kernel positions must run in
+	// raster order — position (ky,kx)'s predicted crossings come from
+	// earlier positions of the same cross[d][c] — but no task reads another
+	// task's slices and the oracle is a pure function of the query, so the
+	// tasks fan out across the shared tensor pool (unless Serial) with
+	// bit-identical results in any schedule.
+	type task struct{ c, d int }
+	var tasks []task
 	for c := 0; c < in.C; c++ {
-		ij := inj[c]
-		if ij == nil {
+		if inj[c] == nil {
 			rec.Unreachable[k][c] = true
 			for d := 0; d < spec.OutC; d++ {
 				for ky := 0; ky < f; ky++ {
@@ -265,38 +282,58 @@ func (a *StackAttacker) recoverLayer(k int, in nn.Shape, spec *nn.LayerSpec, inj
 			}
 			continue
 		}
+		for d := 0; d < spec.OutC; d++ {
+			tasks = append(tasks, task{c: c, d: d})
+		}
+	}
+
+	errs := make([]error, len(tasks))
+	run := func(ti int) {
+		c, d := tasks[ti].c, tasks[ti].d
+		ij := inj[c]
 		for ky := 0; ky < f; ky++ {
 			for kx := 0; kx < f; kx++ {
 				pix, ok := ij.pixelFor(ky, kx)
 				if !ok {
-					return nil, nil, fmt.Errorf("weightrev: probe position (%d,%d) unmappable at layer %d", ky, kx, k)
+					errs[ti] = fmt.Errorf("weightrev: probe position (%d,%d) unmappable at layer %d", ky, kx, k)
+					return
 				}
-				for d := 0; d < spec.OutC; d++ {
-					// Predicted crossings (in dial units) from already
-					// recovered weights reachable from this probe pixel.
-					var predicted []float64
-					for m := 0; m*spec.S <= ky; m++ {
-						for n := 0; n*spec.S <= kx; n++ {
-							if m == 0 && n == 0 {
-								continue
-							}
-							cr := cross[d][c][ky-m*spec.S][kx-n*spec.S]
-							if v, ok := a.dialForNu(ij, cr); ok {
-								predicted = append(predicted, v)
-							}
+				// Predicted crossings (in dial units) from already
+				// recovered weights reachable from this probe pixel.
+				var predicted []float64
+				for m := 0; m*spec.S <= ky; m++ {
+					for n := 0; n*spec.S <= kx; n++ {
+						if m == 0 && n == 0 {
+							continue
+						}
+						cr := cross[d][c][ky-m*spec.S][kx-n*spec.S]
+						if v, ok := a.dialForNu(ij, cr); ok {
+							predicted = append(predicted, v)
 						}
 					}
-					vStar, found := a.findStackCrossing(k, d, pix, ij, predicted)
-					if !found {
-						zeros[d][c][ky][kx] = true
-						cross[d][c][ky][kx] = math.NaN()
-						continue
-					}
-					nu := ij.nuOf(vStar)
-					cross[d][c][ky][kx] = nu
-					ratios[d][c][ky][kx] = -1 / nu
 				}
+				vStar, found := a.findStackCrossing(k, d, pix, ij, predicted)
+				if !found {
+					zeros[d][c][ky][kx] = true
+					cross[d][c][ky][kx] = math.NaN()
+					continue
+				}
+				nu := ij.nuOf(vStar)
+				cross[d][c][ky][kx] = nu
+				ratios[d][c][ky][kx] = -1 / nu
 			}
+		}
+	}
+	if a.Serial {
+		for ti := range tasks {
+			run(ti)
+		}
+	} else {
+		tensor.Parallel(len(tasks), run)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	return ratios, zeros, nil
