@@ -34,7 +34,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,ablations")
+	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,ablations")
 	outdir := flag.String("outdir", "results", "directory for CSV artifacts")
 	scale := flag.String("scale", "smoke", "training scale for figs 4/5: smoke|medium|full")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -127,6 +127,17 @@ func main() {
 			rep, err := experiments.Fig7(filters)
 			fatal(err)
 			fmt.Print(rep.String())
+		})
+	}
+	if all || want["noise"] {
+		timed("noise", func() {
+			points, err := experiments.NoiseSweep(nil)
+			fatal(err)
+			md := experiments.FormatNoiseSweep(points)
+			fmt.Print(md)
+			path := filepath.Join(*outdir, "noise_sweep.md")
+			fatal(os.WriteFile(path, []byte(md), 0o644))
+			fmt.Printf("markdown written to %s\n", path)
 		})
 	}
 	if all || want["ablations"] {

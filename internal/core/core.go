@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cnnrev/internal/accel"
+	"cnnrev/internal/corrupt"
 	"cnnrev/internal/dataset"
 	"cnnrev/internal/nn"
 	"cnnrev/internal/structrev"
@@ -65,6 +66,28 @@ type StructureReport struct {
 	// cancellation: Structures is a deterministic prefix of the complete
 	// candidate set.
 	Partial bool
+	// Corrupted marks a run whose captured trace was degraded by a
+	// corruption model before analysis; Tolerant marks the noise-tolerant
+	// analysis path, whose measured corruption level is in Noise.
+	Corrupted bool
+	Tolerant  bool
+	Noise     structrev.NoiseStats
+}
+
+// StructureAttackSpec selects the hostile-probe extensions of the §3
+// pipeline: a seeded corruption model applied to the captured trace (an
+// imperfect bus probe) and the noise-tolerant analysis that compensates.
+// The zero value reproduces the clean pipeline exactly.
+type StructureAttackSpec struct {
+	// Corrupt degrades the captured trace before analysis. Enabling any
+	// model forces the tolerant analysis path.
+	Corrupt corrupt.Config
+	// Tolerant selects structrev.AnalyzeTolerant even on a clean trace
+	// (byte-identical results there, per the golden conformance tests).
+	Tolerant bool
+	// TolerantOpt tunes the tolerant analysis; zero fields take the
+	// documented defaults.
+	TolerantOpt structrev.TolerantOptions
 }
 
 // StageFunc observes the completion of one named pipeline stage; the
@@ -87,6 +110,14 @@ func RunStructureAttack(net *nn.Network, cfg accel.Config, opt structrev.Options
 // Partial set, alongside ctx's error; cancellation before the solve stage
 // returns a nil report.
 func RunStructureAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Config, opt structrev.Options, seed int64, onStage StageFunc) (*StructureReport, error) {
+	return RunStructureAttackSpec(ctx, net, cfg, opt, seed, StructureAttackSpec{}, onStage)
+}
+
+// RunStructureAttackSpec is RunStructureAttackCtx with the hostile-probe
+// spec: the captured trace is degraded by spec.Corrupt (its own "corrupt"
+// stage) and analyzed tolerantly when corruption is enabled or spec.Tolerant
+// is set.
+func RunStructureAttackSpec(ctx context.Context, net *nn.Network, cfg accel.Config, opt structrev.Options, seed int64, spec StructureAttackSpec, onStage StageFunc) (*StructureReport, error) {
 	stage := func(name string, t0 time.Time) {
 		if onStage != nil {
 			onStage(name, time.Since(t0))
@@ -104,9 +135,22 @@ func RunStructureAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Confi
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	trace := cap.Result.Trace
+	corrupted := spec.Corrupt.Enabled()
+	if corrupted {
+		t0 = time.Now()
+		trace = corrupt.Apply(trace, spec.Corrupt)
+		stage("corrupt", t0)
+	}
+	tolerant := spec.Tolerant || corrupted
 	elem := cap.Sim.Config().ElemBytes
 	t0 = time.Now()
-	a, err := structrev.Analyze(cap.Result.Trace, net.Input.Len()*elem, elem)
+	var a *structrev.Analysis
+	if tolerant {
+		a, err = structrev.AnalyzeTolerant(trace, net.Input.Len()*elem, elem, spec.TolerantOpt)
+	} else {
+		a, err = structrev.Analyze(trace, net.Input.Len()*elem, elem)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -122,17 +166,27 @@ func RunStructureAttackCtx(ctx context.Context, net *nn.Network, cfg accel.Confi
 		Structures: structures,
 		PerLayer:   structrev.UniqueConfigs(a, structures),
 		TruthIndex: -1,
-		TraceBytes: cap.Result.Trace.Blocks() * uint64(cap.Result.Trace.BlockBytes),
+		TraceBytes: trace.Blocks() * uint64(trace.BlockBytes),
 		Partial:    serr != nil,
+		Corrupted:  corrupted,
+		Tolerant:   tolerant,
+		Noise:      a.Noise,
 	}
-	truth := GroundTruthConfigs(net)
+	rep.TruthIndex = FindTruth(structures, GroundTruthConfigs(net))
+	return rep, serr
+}
+
+// FindTruth returns the index of the first candidate matching the ground
+// truth (up to padding equivalence), or -1. Exported so experiments that
+// drive the analysis stages directly can score truth retention the same way
+// the pipeline does.
+func FindTruth(structures []structrev.Structure, truth []structrev.LayerConfig) int {
 	for i := range structures {
 		if structureMatches(&structures[i], truth) {
-			rep.TruthIndex = i
-			break
+			return i
 		}
 	}
-	return rep, serr
+	return -1
 }
 
 // GroundTruthConfigs converts a network's weighted layers to the

@@ -1,0 +1,327 @@
+// Package corrupt applies deterministic, seeded corruption models to memory
+// traces. The simulator in internal/accel emits a perfect transaction log;
+// a real DRAM bus probe does not see one. Following the noisy-bus threat
+// models of Hu et al. (arXiv:1903.03916) and Weerasena & Mishra
+// (arXiv:2311.00579), this package degrades a clean memtrace.Trace post-hoc
+// with four independent, composable models:
+//
+//   - transaction drop: probe undersampling misses individual bursts,
+//   - burst splitting / coalescing: the probe observes transactions at a
+//     granularity different from the accelerator's burst engine,
+//   - bounded-window reordering: memory-controller scheduling reorders
+//     nearby transactions while preserving coarse time order,
+//   - co-tenant interference: a neighbour workload injects accesses in
+//     address regions disjoint from the victim's footprint.
+//
+// All corruption is driven by a single seeded PRNG so equal (trace, Config)
+// pairs always produce byte-identical corrupted traces, and a zero-effect
+// Config returns a byte-identical copy — both properties are pinned by
+// regression tests and are what makes the noise sweeps in
+// internal/experiments reproducible.
+package corrupt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"cnnrev/internal/memtrace"
+)
+
+// Config selects corruption models and their rates. The zero value disables
+// every model: Apply becomes a deep copy.
+type Config struct {
+	// Seed drives the single PRNG behind all enabled models. Equal seeds on
+	// equal inputs corrupt identically.
+	Seed int64
+
+	// DropRate is the i.i.d. probability in [0,1] that any single burst
+	// record is missed by the probe (undersampling).
+	DropRate float64
+
+	// SplitRate is the probability in [0,1] that a multi-block burst is
+	// observed as two separate transactions, cut at a uniformly random
+	// block boundary.
+	SplitRate float64
+
+	// CoalesceRate is the probability in [0,1] that a pair of adjacent,
+	// contiguous, same-kind records is observed as one coarser transaction
+	// (the inverse of SplitRate: a probe that integrates over longer
+	// windows than the burst engine).
+	CoalesceRate float64
+
+	// ReorderWindow bounds memory-controller reordering: each record may
+	// move at most ReorderWindow positions from its true slot. The original
+	// monotonic cycle sequence is reassigned to the shuffled records in
+	// order, modelling a controller that reorders requests but issues them
+	// back-to-back. 0 disables reordering.
+	ReorderWindow int
+
+	// InterferenceRate injects co-tenant traffic: for each original record
+	// an independent coin with this probability adds one interfering access
+	// at a cycle drawn from the trace's span.
+	InterferenceRate float64
+
+	// InterferenceRegions is the number of disjoint co-tenant address
+	// regions the injected accesses are spread over. Defaults to 2 when
+	// InterferenceRate > 0.
+	InterferenceRegions int
+
+	// ProbeGranularityBlocks is the burst length, in blocks, at which the
+	// probe observes the bus. The simulator's recorder coalesces a layer's
+	// whole stream into a handful of giant burst records; a real probe sees
+	// individual transactions. Whenever any model is enabled, records longer
+	// than this are first chopped into consecutive chunks of at most this
+	// size, so DropRate drops ~that fraction of *traffic* (not of layers)
+	// and ReorderWindow permutes locally (not across layers). 0 defaults
+	// to 16.
+	ProbeGranularityBlocks int
+}
+
+// Enabled reports whether any corruption model is active.
+func (c Config) Enabled() bool {
+	return c.DropRate > 0 || c.SplitRate > 0 || c.CoalesceRate > 0 ||
+		c.ReorderWindow > 0 || c.InterferenceRate > 0
+}
+
+// Severity is a scalar summary of how aggressive the configuration is,
+// used by callers to scale analysis slack. It is a heuristic, not a
+// probability: drops dominate because they shrink observed sizes.
+func (c Config) Severity() float64 {
+	s := c.DropRate + 0.5*c.InterferenceRate + 0.25*(c.SplitRate+c.CoalesceRate)
+	if c.ReorderWindow > 0 {
+		s += 0.01
+	}
+	return math.Min(s, 1)
+}
+
+// interferenceRegionBytes is the span of each co-tenant region; regions are
+// separated by interferenceRegionGap so they can never be mistaken for the
+// victim's guard-page-separated buffers or for each other.
+const (
+	interferenceRegionBytes = 1 << 16
+	interferenceRegionGap   = 1 << 24
+)
+
+// maxRegranRecords bounds how many records regranulation may materialize.
+// A hostile (codec-valid) trace can claim petabyte extents in a few records;
+// chopping those at the configured granularity would allocate without bound.
+// Oversized traces are instead observed at a proportionally coarser
+// granularity, keeping Apply total and its output ~200 MB at worst. The
+// bound sits above every real victim's chunk count (full AlexNet is ~4.9M
+// chunks at the default granularity) so legitimate sweeps never coarsen.
+const maxRegranRecords = 8 << 20
+
+// Apply returns a corrupted copy of tr; tr itself is never modified. The
+// trace is first regranulated to the probe's observation granularity, then
+// the models run in a fixed order — interference injection, bounded
+// reordering, burst splitting, burst coalescing, transaction drop — so a
+// record can be split and then one half dropped, mirroring a probe that
+// first sees the merged bus and then undersamples it.
+func Apply(tr *memtrace.Trace, cfg Config) *memtrace.Trace {
+	out := &memtrace.Trace{
+		BlockBytes: tr.BlockBytes,
+		Accesses:   append([]memtrace.Access(nil), tr.Accesses...),
+	}
+	if !cfg.Enabled() || len(out.Accesses) == 0 {
+		return out
+	}
+	gran := uint64(16)
+	if cfg.ProbeGranularityBlocks > 0 {
+		gran = uint64(cfg.ProbeGranularityBlocks)
+	}
+	var totalBlocks uint64
+	for _, a := range out.Accesses {
+		totalBlocks += uint64(a.Count)
+	}
+	if totalBlocks/gran > maxRegranRecords {
+		gran = totalBlocks / maxRegranRecords
+	}
+	if gran > math.MaxUint32 {
+		gran = math.MaxUint32
+	}
+	out.Accesses = regranulate(out.Accesses, uint32(gran), uint64(out.BlockBytes))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.InterferenceRate > 0 {
+		out.Accesses = injectInterference(out, cfg, rng)
+	}
+	if cfg.ReorderWindow > 0 {
+		reorderBounded(out.Accesses, cfg.ReorderWindow, rng)
+	}
+	if cfg.SplitRate > 0 {
+		out.Accesses = splitBursts(out.Accesses, uint64(out.BlockBytes), cfg.SplitRate, rng)
+	}
+	if cfg.CoalesceRate > 0 {
+		out.Accesses = coalesceBursts(out.Accesses, uint64(out.BlockBytes), cfg.CoalesceRate, rng)
+	}
+	if cfg.DropRate > 0 {
+		out.Accesses = dropRecords(out.Accesses, cfg.DropRate, rng)
+	}
+	return out
+}
+
+// regranulate chops burst records down to the probe's observation
+// granularity: consecutive chunks of at most maxBlocks blocks, all carrying
+// the source record's cycle stamp.
+func regranulate(accs []memtrace.Access, maxBlocks uint32, block uint64) []memtrace.Access {
+	out := make([]memtrace.Access, 0, len(accs))
+	for _, a := range accs {
+		for a.Count > maxBlocks {
+			head := a
+			head.Count = maxBlocks
+			out = append(out, head)
+			a.Addr += uint64(maxBlocks) * block
+			a.Count -= maxBlocks
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// injectInterference adds co-tenant accesses in regions placed past the
+// victim's highest address, far enough that region clustering never merges
+// them with real buffers, and merges them into the trace in cycle order.
+func injectInterference(tr *memtrace.Trace, cfg Config, rng *rand.Rand) []memtrace.Access {
+	accs := tr.Accesses
+	regions := cfg.InterferenceRegions
+	if regions <= 0 {
+		regions = 2
+	}
+	if regions > 64 {
+		regions = 64
+	}
+	var maxEnd, loCycle, hiCycle uint64
+	loCycle = accs[0].Cycle
+	hiCycle = accs[len(accs)-1].Cycle
+	for _, a := range accs {
+		if e := a.End(tr.BlockBytes); e > maxEnd {
+			maxEnd = e
+		}
+	}
+	base := maxEnd + interferenceRegionGap
+	if base < maxEnd || base > ^uint64(0)-uint64(regions+1)*interferenceRegionGap {
+		// A hostile trace already occupies the top of the address space;
+		// there is nowhere disjoint to inject, so leave it untouched.
+		return accs
+	}
+	block := uint64(tr.BlockBytes)
+	var injected []memtrace.Access
+	for range accs {
+		if rng.Float64() >= cfg.InterferenceRate {
+			continue
+		}
+		region := base + uint64(rng.Intn(regions))*interferenceRegionGap
+		off := uint64(rng.Int63n(interferenceRegionBytes)) / block * block
+		cyc := loCycle
+		if hiCycle > loCycle {
+			cyc += uint64(rng.Int63n(int64(hiCycle - loCycle + 1)))
+		}
+		kind := memtrace.Read
+		if rng.Intn(2) == 1 {
+			kind = memtrace.Write
+		}
+		injected = append(injected, memtrace.Access{
+			Cycle: cyc,
+			Addr:  region + off,
+			Count: uint32(1 + rng.Intn(4)),
+			Kind:  kind,
+		})
+	}
+	if len(injected) == 0 {
+		return accs
+	}
+	// Stable merge by cycle: victim records keep their relative order, and
+	// an interfering access lands after victim records with the same stamp.
+	merged := make([]memtrace.Access, 0, len(accs)+len(injected))
+	i, j := 0, 0
+	// injected is generated with random cycles; sort it first. The sort must
+	// be stable so equal-cycle injections keep generation order (a high
+	// interference rate on a multi-million-record trace injects ~rate·n
+	// accesses, so this must also be O(n log n)).
+	sort.SliceStable(injected, func(x, y int) bool { return injected[x].Cycle < injected[y].Cycle })
+	for i < len(accs) && j < len(injected) {
+		if accs[i].Cycle <= injected[j].Cycle {
+			merged = append(merged, accs[i])
+			i++
+		} else {
+			merged = append(merged, injected[j])
+			j++
+		}
+	}
+	merged = append(merged, accs[i:]...)
+	merged = append(merged, injected[j:]...)
+	return merged
+}
+
+// reorderBounded shuffles records within a bounded window and reassigns the
+// original cycle sequence in order, so timestamps stay monotonic while the
+// address stream is locally permuted. It stable-sorts by the perturbed key
+// i + U[0,window]: with every key within `window` of its index, no element
+// can travel more than `window` positions in either direction.
+func reorderBounded(accs []memtrace.Access, window int, rng *rand.Rand) {
+	n := len(accs)
+	cycles := make([]uint64, n)
+	keys := make([]int, n)
+	order := make([]int, n)
+	for i, a := range accs {
+		cycles[i] = a.Cycle
+		keys[i] = i + rng.Intn(window+1)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return keys[order[x]] < keys[order[y]] })
+	shuffled := make([]memtrace.Access, n)
+	for i, o := range order {
+		shuffled[i] = accs[o]
+		shuffled[i].Cycle = cycles[i]
+	}
+	copy(accs, shuffled)
+}
+
+// splitBursts cuts multi-block bursts in two at a random block boundary.
+func splitBursts(accs []memtrace.Access, block uint64, rate float64, rng *rand.Rand) []memtrace.Access {
+	out := make([]memtrace.Access, 0, len(accs))
+	for _, a := range accs {
+		if a.Count < 2 || rng.Float64() >= rate {
+			out = append(out, a)
+			continue
+		}
+		k := uint32(1 + rng.Intn(int(a.Count-1)))
+		head, tail := a, a
+		head.Count = k
+		tail.Addr = a.Addr + uint64(k)*block
+		tail.Count = a.Count - k
+		out = append(out, head, tail)
+	}
+	return out
+}
+
+// coalesceBursts merges adjacent contiguous same-kind records, emulating a
+// probe that integrates over coarser windows than the burst engine.
+func coalesceBursts(accs []memtrace.Access, block uint64, rate float64, rng *rand.Rand) []memtrace.Access {
+	out := make([]memtrace.Access, 0, len(accs))
+	for _, a := range accs {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Kind == a.Kind && last.End(int(block)) == a.Addr &&
+				uint64(last.Count)+uint64(a.Count) <= math.MaxUint32 &&
+				rng.Float64() < rate {
+				last.Count += a.Count
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// dropRecords removes each record independently with probability rate.
+func dropRecords(accs []memtrace.Access, rate float64, rng *rand.Rand) []memtrace.Access {
+	out := accs[:0]
+	for _, a := range accs {
+		if rng.Float64() < rate {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}

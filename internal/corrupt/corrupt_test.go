@@ -1,0 +1,245 @@
+package corrupt
+
+import (
+	"bytes"
+	"testing"
+
+	"cnnrev/internal/memtrace"
+)
+
+// testTrace builds a deterministic victim-like trace: a few contiguous
+// regions of multi-block bursts with monotonic cycles.
+func testTrace() *memtrace.Trace {
+	tr := &memtrace.Trace{BlockBytes: 64}
+	cycle := uint64(100)
+	addr := uint64(1 << 20)
+	for region := 0; region < 4; region++ {
+		for i := 0; i < 50; i++ {
+			kind := memtrace.Read
+			if i%3 == 0 {
+				kind = memtrace.Write
+			}
+			count := uint32(1 + i%7)
+			tr.Accesses = append(tr.Accesses, memtrace.Access{
+				Cycle: cycle, Addr: addr, Count: count, Kind: kind,
+			})
+			addr += uint64(count) * 64
+			cycle += uint64(3 + i%5)
+		}
+		addr += 1 << 16 // guard gap between regions
+	}
+	return tr
+}
+
+func traceBytes(t *testing.T, tr *memtrace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestZeroConfigIsByteIdentical pins the acceptance criterion that rate-0
+// corruption leaves traces byte-for-byte unchanged.
+func TestZeroConfigIsByteIdentical(t *testing.T) {
+	tr := testTrace()
+	want := traceBytes(t, tr)
+	got := traceBytes(t, Apply(tr, Config{Seed: 42}))
+	if !bytes.Equal(want, got) {
+		t.Fatal("zero-effect Config changed the trace bytes")
+	}
+	if Config.Enabled(Config{Seed: 99}) {
+		t.Fatal("seed alone must not enable corruption")
+	}
+}
+
+// TestEqualSeedsCorruptIdentically pins determinism: equal (trace, Config)
+// pairs produce byte-identical corrupted traces; different seeds differ.
+func TestEqualSeedsCorruptIdentically(t *testing.T) {
+	cfg := Config{
+		Seed: 7, DropRate: 0.05, SplitRate: 0.2, CoalesceRate: 0.2,
+		ReorderWindow: 8, InterferenceRate: 0.1,
+	}
+	a := traceBytes(t, Apply(testTrace(), cfg))
+	b := traceBytes(t, Apply(testTrace(), cfg))
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal seeds produced different corruption")
+	}
+	cfg.Seed = 8
+	c := traceBytes(t, Apply(testTrace(), cfg))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+// TestApplyDoesNotMutateInput verifies the input trace is untouched even
+// with every model enabled (dropRecords reuses backing arrays of its own
+// copy, never the caller's).
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	tr := testTrace()
+	want := traceBytes(t, tr)
+	Apply(tr, Config{Seed: 1, DropRate: 0.5, SplitRate: 0.5, CoalesceRate: 0.5,
+		ReorderWindow: 16, InterferenceRate: 0.5})
+	if got := traceBytes(t, tr); !bytes.Equal(want, got) {
+		t.Fatal("Apply mutated its input trace")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	tr := testTrace()
+	out := Apply(tr, Config{Seed: 3, DropRate: 0.2})
+	n, m := len(tr.Accesses), len(out.Accesses)
+	if m >= n {
+		t.Fatalf("drop removed nothing: %d -> %d", n, m)
+	}
+	if lo, hi := n*6/10, n*95/100; m < lo || m > hi {
+		t.Fatalf("drop rate 0.2 kept %d of %d records, outside [%d,%d]", m, n, lo, hi)
+	}
+}
+
+// TestReorderBounded verifies cycles stay monotonic, displacement respects
+// the window, and the multiset of (Addr, Count, Kind) is preserved.
+func TestReorderBounded(t *testing.T) {
+	tr := testTrace()
+	const window = 6
+	out := Apply(tr, Config{Seed: 5, ReorderWindow: window})
+	if len(out.Accesses) != len(tr.Accesses) {
+		t.Fatalf("reorder changed record count: %d -> %d", len(tr.Accesses), len(out.Accesses))
+	}
+	type payload struct {
+		Addr  uint64
+		Count uint32
+		Kind  memtrace.Kind
+	}
+	pos := map[payload][]int{}
+	for i, a := range tr.Accesses {
+		if i > 0 && a.Cycle < tr.Accesses[i-1].Cycle {
+			t.Fatal("test trace cycles not monotonic")
+		}
+		pos[payload{a.Addr, a.Count, a.Kind}] = append(pos[payload{a.Addr, a.Count, a.Kind}], i)
+	}
+	moved := false
+	for i, a := range out.Accesses {
+		if a.Cycle != tr.Accesses[i].Cycle {
+			t.Fatalf("record %d: cycle %d, want original slot cycle %d", i, a.Cycle, tr.Accesses[i].Cycle)
+		}
+		p := payload{a.Addr, a.Count, a.Kind}
+		orig := pos[p]
+		if len(orig) == 0 {
+			t.Fatalf("record %d: payload %+v not in original trace", i, p)
+		}
+		// Displacement bound: some original slot of this payload must lie
+		// within the window. (Payloads are near-unique in testTrace.)
+		ok := false
+		for _, o := range orig {
+			if d := i - o; d >= -window && d <= window {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("record %d moved further than window %d (origins %v)", i, window, orig)
+		}
+		if orig[0] != i {
+			moved = true
+		}
+		pos[p] = orig[1:]
+	}
+	if !moved {
+		t.Fatal("reorder with window 6 moved nothing")
+	}
+}
+
+// TestSplitAndCoalescePreserveBlocks verifies regranulation never changes
+// the total block count or the set of touched addresses.
+func TestSplitAndCoalescePreserveBlocks(t *testing.T) {
+	tr := testTrace()
+	for _, cfg := range []Config{
+		{Seed: 11, SplitRate: 0.7},
+		{Seed: 11, CoalesceRate: 0.7},
+		{Seed: 11, SplitRate: 0.5, CoalesceRate: 0.5},
+	} {
+		out := Apply(tr, cfg)
+		if got, want := out.Blocks(), tr.Blocks(); got != want {
+			t.Fatalf("%+v: total blocks %d, want %d", cfg, got, want)
+		}
+		if cfg.SplitRate > 0 && cfg.CoalesceRate == 0 && len(out.Accesses) <= len(tr.Accesses) {
+			t.Fatalf("split rate %v did not increase record count", cfg.SplitRate)
+		}
+		if cfg.CoalesceRate > 0 && cfg.SplitRate == 0 && len(out.Accesses) >= len(tr.Accesses) {
+			t.Fatalf("coalesce rate %v did not decrease record count", cfg.CoalesceRate)
+		}
+	}
+}
+
+// TestInterferenceIsDisjoint verifies injected accesses land strictly above
+// the victim's footprint, in the configured number of regions, with cycles
+// inside the trace's span and the merged stream still cycle-monotonic.
+func TestInterferenceIsDisjoint(t *testing.T) {
+	tr := testTrace()
+	var victimMax uint64
+	for _, a := range tr.Accesses {
+		if e := a.End(tr.BlockBytes); e > victimMax {
+			victimMax = e
+		}
+	}
+	out := Apply(tr, Config{Seed: 13, InterferenceRate: 0.3, InterferenceRegions: 3})
+	if len(out.Accesses) <= len(tr.Accesses) {
+		t.Fatal("interference rate 0.3 injected nothing")
+	}
+	lo, hi := tr.Accesses[0].Cycle, tr.Accesses[len(tr.Accesses)-1].Cycle
+	regions := map[uint64]bool{}
+	injected := 0
+	for i, a := range out.Accesses {
+		if i > 0 && a.Cycle < out.Accesses[i-1].Cycle {
+			t.Fatalf("merged trace not cycle-monotonic at %d", i)
+		}
+		if a.Addr < victimMax {
+			continue // victim record
+		}
+		injected++
+		if a.Cycle < lo || a.Cycle > hi {
+			t.Fatalf("interference cycle %d outside victim span [%d,%d]", a.Cycle, lo, hi)
+		}
+		regions[a.Addr/interferenceRegionGap] = true
+	}
+	if injected == 0 {
+		t.Fatal("no injected record found above the victim footprint")
+	}
+	if len(regions) < 2 || len(regions) > 3 {
+		t.Fatalf("interference spread over %d regions, want 2..3", len(regions))
+	}
+	if got, want := len(out.Accesses)-len(tr.Accesses), injected; got != want {
+		t.Fatalf("victim records changed: %d new records but %d injected", got, want)
+	}
+}
+
+// TestSeverityMonotonic sanity-checks the slack heuristic.
+func TestSeverityMonotonic(t *testing.T) {
+	if (Config{}).Severity() != 0 {
+		t.Fatal("zero config must have zero severity")
+	}
+	a := Config{DropRate: 0.01}.Severity()
+	b := Config{DropRate: 0.05}.Severity()
+	if !(a > 0 && b > a && b <= 1) {
+		t.Fatalf("severity not monotonic: %v, %v", a, b)
+	}
+}
+
+// TestRegranulationBoundedOnHostileExtents pins the DoS guard: a tiny
+// codec-valid trace claiming enormous extents must not make Apply
+// materialize records proportional to the claimed traffic — granularity
+// coarsens instead, and block totals are preserved exactly.
+func TestRegranulationBoundedOnHostileExtents(t *testing.T) {
+	tr := &memtrace.Trace{BlockBytes: 1 << 20, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 1 << 31, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 1 << 60, Count: 1 << 31, Kind: memtrace.Write},
+	}}
+	out := Apply(tr, Config{Seed: 1, ReorderWindow: 4})
+	if got := len(out.Accesses); got > maxRegranRecords+len(tr.Accesses) {
+		t.Fatalf("hostile extents regranulated into %d records", got)
+	}
+	if got, want := out.Blocks(), tr.Blocks(); got != want {
+		t.Fatalf("reorder-only corruption changed block total: %d != %d", got, want)
+	}
+}

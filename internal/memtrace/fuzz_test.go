@@ -8,6 +8,9 @@ import (
 
 // fuzzAccesses deterministically builds an access list from raw fuzz bytes:
 // each full 21-byte chunk becomes one record with a valid direction byte.
+// The address top bit is cleared so the burst extent Addr + Count·block
+// (< 2^63 + 2^52) never wraps — the decoders now reject wrapping extents, and
+// this helper must only build traces Write→Decode round-trips.
 func fuzzAccesses(raw []byte) []Access {
 	n := len(raw) / accessRecordBytes
 	accs := make([]Access, 0, n)
@@ -15,7 +18,7 @@ func fuzzAccesses(raw []byte) []Access {
 		rec := raw[i*accessRecordBytes:][:accessRecordBytes]
 		accs = append(accs, Access{
 			Cycle: binary.LittleEndian.Uint64(rec[0:8]),
-			Addr:  binary.LittleEndian.Uint64(rec[8:16]),
+			Addr:  binary.LittleEndian.Uint64(rec[8:16]) &^ (1 << 63),
 			Count: binary.LittleEndian.Uint32(rec[16:20]),
 			Kind:  Kind(rec[20] & 1),
 		})
@@ -82,6 +85,8 @@ func FuzzTraceDecode(f *testing.F) {
 	forged := append([]byte(nil), empty.Bytes()...)
 	binary.LittleEndian.PutUint64(forged[16:24], 1<<40)
 	f.Add(forged)
+	f.Add(overflowExtentBytes())
+	f.Add(highMagicBytes())
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		tr, err := DecodeTrace(raw)
 		if err == nil {
@@ -107,7 +112,29 @@ func FuzzTraceDecode(f *testing.F) {
 			return
 		}
 		// Invalid input: the streaming reader may be more lenient (it ignores
-		// block-size bounds and trailing bytes) but must not panic.
+		// trailing bytes) but must not panic.
 		_, _ = ReadTrace(bytes.NewReader(raw))
 	})
+}
+
+// overflowExtentBytes serializes a trace whose single record has an address
+// near 2^64 and a count that wraps the extent — the crash-corpus case the
+// decoders must reject rather than hand downstream as Interval{Lo > Hi}.
+func overflowExtentBytes() []byte {
+	var buf bytes.Buffer
+	(&Trace{BlockBytes: 64, Accesses: []Access{
+		{Cycle: 1, Addr: ^uint64(0) - 128, Count: 1 << 20, Kind: Read},
+	}}).Write(&buf)
+	return buf.Bytes()
+}
+
+// highMagicBytes serializes a valid trace and corrupts the high half of the
+// 64-bit magic word — the streaming reader used to check only the low 32
+// bits and accept it.
+func highMagicBytes() []byte {
+	var buf bytes.Buffer
+	(&Trace{BlockBytes: 4, Accesses: []Access{{Cycle: 1, Addr: 0, Count: 1, Kind: Write}}}).Write(&buf)
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[4:8], 0xDEADBEEF)
+	return raw
 }

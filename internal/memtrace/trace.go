@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -73,6 +74,26 @@ func (t *Trace) LastCycle() uint64 {
 	return t.Accesses[len(t.Accesses)-1].Cycle
 }
 
+// Validate checks the structural invariants every decoder enforces — a block
+// size in (0, MaxBlockBytes] and no access whose byte extent wraps the
+// address space. Analysis entry points call it on traces that arrive
+// in-memory (bypassing DecodeTrace/ReadTrace), so a hand-built hostile trace
+// cannot feed inverted intervals into downstream interval arithmetic.
+func (t *Trace) Validate() error {
+	if t.BlockBytes <= 0 || t.BlockBytes > MaxBlockBytes {
+		return fmt.Errorf("memtrace: implausible block size %d", t.BlockBytes)
+	}
+	for i, a := range t.Accesses {
+		if span := uint64(a.Count) * uint64(t.BlockBytes); a.Addr > ^uint64(0)-span {
+			return fmt.Errorf("memtrace: access %d: extent %#x+%d blocks overflows the address space", i, a.Addr, a.Count)
+		}
+		if a.Kind > Write {
+			return fmt.Errorf("memtrace: access %d: invalid kind %d", i, a.Kind)
+		}
+	}
+	return nil
+}
+
 const traceMagic = uint32(0xC99A7E01)
 
 // On-disk layout (all little-endian): a 24-byte header of three uint64s
@@ -117,17 +138,26 @@ const MaxBlockBytes = 1 << 20
 // decodeAccess parses one 21-byte record, rejecting direction bytes that
 // are neither Read nor Write: silently coercing a corrupt byte into a Kind
 // would misclassify reads versus writes downstream, where the structure
-// attack's RAW segmentation depends on the distinction.
-func decodeAccess(rec []byte) (Access, error) {
+// attack's RAW segmentation depends on the distinction. It also rejects
+// records whose byte extent Addr + Count·blockBytes wraps past 2^64: such an
+// access yields an inverted Interval{Lo > Hi}, which corrupts the region
+// index and segmentation on hostile uploads.
+func decodeAccess(rec []byte, blockBytes uint64) (Access, error) {
 	if rec[20] > uint8(Write) {
 		return Access{}, fmt.Errorf("invalid kind %d", rec[20])
 	}
-	return Access{
+	a := Access{
 		Cycle: binary.LittleEndian.Uint64(rec[0:8]),
 		Addr:  binary.LittleEndian.Uint64(rec[8:16]),
 		Count: binary.LittleEndian.Uint32(rec[16:20]),
 		Kind:  Kind(rec[20]),
-	}, nil
+	}
+	// Count·blockBytes cannot itself overflow: Count < 2^32 and blockBytes
+	// ≤ MaxBlockBytes = 2^20, so the product stays below 2^52.
+	if span := uint64(a.Count) * blockBytes; a.Addr > ^uint64(0)-span {
+		return Access{}, fmt.Errorf("extent %#x+%d blocks overflows the address space", a.Addr, a.Count)
+	}
+	return a, nil
 }
 
 // DecodeTrace parses a serialized trace from an in-memory buffer — the
@@ -164,7 +194,7 @@ func DecodeTrace(data []byte) (*Trace, error) {
 	t := &Trace{BlockBytes: int(block), Accesses: make([]Access, 0, n)}
 	for i := uint64(0); i < n; i++ {
 		rec := data[traceHeaderBytes+i*accessRecordBytes:][:accessRecordBytes]
-		a, err := decodeAccess(rec)
+		a, err := decodeAccess(rec, block)
 		if err != nil {
 			return nil, fmt.Errorf("memtrace: decode: access %d: %w", i, err)
 		}
@@ -174,10 +204,11 @@ func DecodeTrace(data []byte) (*Trace, error) {
 }
 
 // ReadTrace deserializes a trace written by Write. It shares DecodeTrace's
-// invalid-kind rejection but, reading from a stream of unknown length, it
-// cannot pre-validate the declared record count; the preallocation is capped
-// and bogus counts simply hit EOF. Prefer DecodeTrace for untrusted
-// in-memory input.
+// full-magic, block-size and per-record validation but, reading from a
+// stream of unknown length, it cannot pre-validate the declared record count;
+// the preallocation is capped and bogus counts simply hit EOF. Prefer
+// DecodeTrace for untrusted in-memory input (it additionally rejects
+// trailing bytes, making the accepted encoding canonical).
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var hdr [traceHeaderBytes]byte
@@ -187,8 +218,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	magic := binary.LittleEndian.Uint64(hdr[0:8])
 	block := binary.LittleEndian.Uint64(hdr[8:16])
 	n := binary.LittleEndian.Uint64(hdr[16:24])
-	if uint32(magic) != traceMagic {
+	// The full 64-bit header word must match: a garbage high half means the
+	// stream was not produced by Write, however plausible the low half looks.
+	if magic != uint64(traceMagic) {
 		return nil, fmt.Errorf("memtrace: bad magic %#x", magic)
+	}
+	if block == 0 || block > MaxBlockBytes {
+		return nil, fmt.Errorf("memtrace: implausible block size %d", block)
 	}
 	// Cap the preallocation: n is untrusted input; bogus counts simply hit
 	// EOF below.
@@ -202,7 +238,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("memtrace: read access %d: %w", i, err)
 		}
-		a, err := decodeAccess(rec[:])
+		a, err := decodeAccess(rec[:], block)
 		if err != nil {
 			return nil, fmt.Errorf("memtrace: access %d: %w", i, err)
 		}
@@ -239,8 +275,13 @@ func (r *Recorder) Record(cycle uint64, addr uint64, count uint32, kind Kind) {
 	if n := len(r.accesses); n > 0 {
 		last := &r.accesses[n-1]
 		if last.Kind == kind && last.End(r.BlockBytes) == addr && last.Cycle == cycle {
-			last.Count += count
-			return
+			// Coalesce only while the merged count fits in uint32; a
+			// pathological layer size must start a fresh record rather than
+			// silently wrap the burst length.
+			if uint64(last.Count)+uint64(count) <= math.MaxUint32 {
+				last.Count += count
+				return
+			}
 		}
 	}
 	r.accesses = append(r.accesses, Access{Cycle: cycle, Addr: addr, Count: count, Kind: kind})

@@ -137,6 +137,123 @@ func TestReadTraceRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadTraceRejectsHighMagicGarbage pins the full-magic check: a header
+// whose low 32 bits match but whose high word is garbage used to slip past
+// the streaming reader (it validated only uint32(magic)).
+func TestReadTraceRejectsHighMagicGarbage(t *testing.T) {
+	tr := &Trace{BlockBytes: 4, Accesses: []Access{{Cycle: 1, Addr: 0, Count: 1, Kind: Write}}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[4:8], 0xDEADBEEF)
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected error for garbage high magic word")
+	}
+	if _, err := DecodeTrace(raw); err == nil {
+		t.Fatal("DecodeTrace must agree on the garbage high magic word")
+	}
+}
+
+// TestReadTraceRejectsAbsurdBlockSize pins the (0, MaxBlockBytes] bound: a
+// multi-gigabyte block size used to decode "successfully" and feed absurd
+// block arithmetic downstream.
+func TestReadTraceRejectsAbsurdBlockSize(t *testing.T) {
+	for _, block := range []uint64{0, MaxBlockBytes + 1, 1 << 33} {
+		tr := &Trace{BlockBytes: 4, Accesses: []Access{{Cycle: 1, Addr: 0, Count: 1, Kind: Write}}}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		binary.LittleEndian.PutUint64(raw[8:16], block)
+		if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("expected error for block size %d", block)
+		}
+	}
+}
+
+// TestDecodersRejectOverflowingExtent pins the Addr + Count·block wrap check
+// in both decode paths: a wrapped extent yields Interval{Lo > Hi}, which
+// corrupts the analyzer's region index.
+func TestDecodersRejectOverflowingExtent(t *testing.T) {
+	tr := &Trace{BlockBytes: 64, Accesses: []Access{
+		{Cycle: 1, Addr: ^uint64(0) - 128, Count: 1 << 20, Kind: Read},
+	}}
+	if got := tr.Accesses[0].End(tr.BlockBytes); got >= tr.Accesses[0].Addr {
+		t.Fatalf("test premise broken: extent %#x did not wrap", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTrace(buf.Bytes()); err == nil {
+		t.Fatal("DecodeTrace accepted a wrapping extent")
+	}
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadTrace accepted a wrapping extent")
+	}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted a wrapping extent")
+	}
+	// The exact boundary: End is exclusive, so the largest acceptable extent
+	// ends at 2^64 - 1 (Addr = 2^64 - 1 - Count·block).
+	edge := &Trace{BlockBytes: 64, Accesses: []Access{
+		{Cycle: 1, Addr: ^uint64(0) - 64*5, Count: 5, Kind: Read},
+	}}
+	var ebuf bytes.Buffer
+	if err := edge.Write(&ebuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTrace(ebuf.Bytes()); err != nil {
+		t.Fatalf("DecodeTrace rejected a non-wrapping edge extent: %v", err)
+	}
+}
+
+// TestRecorderSaturatesBurstCount pins the uint32 coalescing guard: merging
+// past MaxUint32 must split into a new record, not silently wrap.
+func TestRecorderSaturatesBurstCount(t *testing.T) {
+	r := NewRecorder(4)
+	const first = uint32(0xFFFF_FFF0)
+	r.Record(7, 0, first, Write)
+	r.Record(7, uint64(first)*4, 0x20, Write) // would wrap uint32
+	tr := r.Trace()
+	if len(tr.Accesses) != 2 {
+		t.Fatalf("got %d records, want 2 (split, not wrapped): %+v", len(tr.Accesses), tr.Accesses)
+	}
+	if tr.Accesses[0].Count != first || tr.Accesses[1].Count != 0x20 {
+		t.Fatalf("counts %d,%d want %d,%d", tr.Accesses[0].Count, tr.Accesses[1].Count, first, 0x20)
+	}
+	if got, want := tr.Blocks(), uint64(first)+0x20; got != want {
+		t.Fatalf("Blocks = %d, want %d", got, want)
+	}
+	// A merge that exactly reaches MaxUint32 still coalesces.
+	r2 := NewRecorder(4)
+	r2.Record(7, 0, first, Write)
+	r2.Record(7, uint64(first)*4, 0xF, Write)
+	if tr2 := r2.Trace(); len(tr2.Accesses) != 1 || tr2.Accesses[0].Count != 0xFFFF_FFFF {
+		t.Fatalf("exact-fit merge failed: %+v", tr2.Accesses)
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	if err := (&Trace{BlockBytes: 0}).Validate(); err == nil {
+		t.Fatal("block size 0 must fail validation")
+	}
+	if err := (&Trace{BlockBytes: MaxBlockBytes + 1}).Validate(); err == nil {
+		t.Fatal("oversized block must fail validation")
+	}
+	ok := &Trace{BlockBytes: 4, Accesses: []Access{{Addr: 16, Count: 3, Kind: Read}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := &Trace{BlockBytes: 4, Accesses: []Access{{Addr: 0, Count: 1, Kind: Kind(3)}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid kind must fail validation")
+	}
+}
+
 func TestCoalesceIntervals(t *testing.T) {
 	ivs := []Interval{{100, 200}, {200, 250}, {300, 400}, {50, 120}}
 	got := CoalesceIntervals(ivs, 0)

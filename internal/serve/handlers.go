@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"cnnrev/internal/corrupt"
 	"cnnrev/internal/memtrace"
 )
 
@@ -67,6 +68,53 @@ func queryBool(r *http.Request, name string) bool {
 	return false
 }
 
+// queryFloat parses an optional float query parameter.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, v)
+	}
+	return f, nil
+}
+
+// corruptFromQuery assembles the optional trace-corruption model from
+// corruption query params; the zero config (nothing requested) disables it.
+func corruptFromQuery(r *http.Request) (corrupt.Config, error) {
+	cp := &corruptParams{}
+	var err error
+	if cp.DropRate, err = queryFloat(r, "drop_rate", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	if cp.SplitRate, err = queryFloat(r, "split_rate", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	if cp.CoalesceRate, err = queryFloat(r, "coalesce_rate", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	if cp.InterferenceRate, err = queryFloat(r, "interference_rate", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	if cp.ReorderWindow, err = queryInt(r, "reorder_window", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	if cp.InterferenceRegions, err = queryInt(r, "interference_regions", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	if cp.ProbeGranularityBlocks, err = queryInt(r, "probe_granularity_blocks", 0); err != nil {
+		return corrupt.Config{}, err
+	}
+	seed, err := queryInt(r, "corrupt_seed", 0)
+	if err != nil {
+		return corrupt.Config{}, err
+	}
+	cp.Seed = int64(seed)
+	return cp.toConfig()
+}
+
 // rankFromQuery assembles optional ranking parameters from rank_* query
 // params; nil when ranking was not requested.
 func rankFromQuery(r *http.Request) (*rankParams, error) {
@@ -119,21 +167,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.ObserveStage("decode", time.Since(decodeStart))
-	if req.inW, err = queryInt(r, "inw", 0); err == nil && req.inW <= 0 {
-		err = errors.New("trace attack requires inw > 0 (input width)")
+	if req.inW, err = queryInt(r, "inw", 0); err == nil && (req.inW <= 0 || req.inW > 1<<14) {
+		err = fmt.Errorf("trace attack requires 0 < inw <= %d (input width)", 1<<14)
 	}
 	if err == nil {
-		if req.inD, err = queryInt(r, "ind", 0); err == nil && req.inD <= 0 {
-			err = errors.New("trace attack requires ind > 0 (input channels)")
+		if req.inD, err = queryInt(r, "ind", 0); err == nil && (req.inD <= 0 || req.inD > 1<<12) {
+			err = fmt.Errorf("trace attack requires 0 < ind <= %d (input channels)", 1<<12)
 		}
 	}
 	if err == nil {
-		if req.classes, err = queryInt(r, "classes", 0); err == nil && req.classes <= 0 {
-			err = errors.New("trace attack requires classes > 0")
+		if req.classes, err = queryInt(r, "classes", 0); err == nil && (req.classes <= 0 || req.classes > 1<<20) {
+			err = fmt.Errorf("trace attack requires 0 < classes <= %d", 1<<20)
 		}
 	}
 	if err == nil {
-		req.elemBytes, err = queryInt(r, "elem", 4)
+		if req.elemBytes, err = queryInt(r, "elem", 4); err == nil && (req.elemBytes <= 0 || req.elemBytes > 64) {
+			err = fmt.Errorf("elem must be in [1,64] bytes, got %d", req.elemBytes)
+		}
+	}
+	if err == nil {
+		req.corrupt, err = corruptFromQuery(r)
 	}
 	if err == nil {
 		req.maxStructures, err = queryInt(r, "max_structures", 0)
@@ -149,6 +202,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.modular = queryBool(r, "modular")
+	req.tolerant = queryBool(r, "tolerant")
 	if tol := r.URL.Query().Get("tol"); tol != "" {
 		if req.tol, err = strconv.ParseFloat(tol, 64); err != nil {
 			http.Error(w, fmt.Sprintf("bad tol=%q", tol), http.StatusBadRequest)
@@ -181,6 +235,12 @@ type simulateRequest struct {
 	Rank          *rankParams `json:"rank"`
 	Weights       bool        `json:"weights"`
 	TimeoutMS     int         `json:"timeout_ms"`
+
+	// Tolerant forces the noise-tolerant analysis path even on a clean
+	// capture; Corrupt degrades the captured trace before analysis and
+	// implies Tolerant.
+	Tolerant bool           `json:"tolerant"`
+	Corrupt  *corruptParams `json:"corrupt"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -206,6 +266,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		maxStructures: sr.MaxStructures, maxReturn: sr.MaxReturn,
 		rank: sr.Rank, weights: sr.Weights,
 		timeout: time.Duration(sr.TimeoutMS) * time.Millisecond,
+		tolerant: sr.Tolerant,
+	}
+	if sr.Corrupt != nil {
+		cfg, err := sr.Corrupt.toConfig()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req.corrupt = cfg
 	}
 	s.submit(w, r, req)
 }

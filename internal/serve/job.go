@@ -11,6 +11,7 @@ import (
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/core"
+	"cnnrev/internal/corrupt"
 	"cnnrev/internal/experiments"
 	"cnnrev/internal/memtrace"
 	"cnnrev/internal/nn"
@@ -55,6 +56,60 @@ type attackRequest struct {
 	rank          *rankParams
 	weights       bool
 	timeout       time.Duration
+
+	// hostile-probe extensions: corrupt degrades the trace before analysis
+	// (uploaded or captured), tolerant selects the noise-tolerant analysis
+	// path (forced on whenever corruption is enabled).
+	tolerant bool
+	corrupt  corrupt.Config
+}
+
+// corruptParams mirrors corrupt.Config for the request surface.
+type corruptParams struct {
+	Seed                   int64   `json:"seed"`
+	DropRate               float64 `json:"drop_rate"`
+	SplitRate              float64 `json:"split_rate"`
+	CoalesceRate           float64 `json:"coalesce_rate"`
+	ReorderWindow          int     `json:"reorder_window"`
+	InterferenceRate       float64 `json:"interference_rate"`
+	InterferenceRegions    int     `json:"interference_regions"`
+	ProbeGranularityBlocks int     `json:"probe_granularity_blocks"`
+}
+
+// toConfig validates the parameters and converts them to a corrupt.Config.
+func (p *corruptParams) toConfig() (corrupt.Config, error) {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop_rate", p.DropRate},
+		{"split_rate", p.SplitRate},
+		{"coalesce_rate", p.CoalesceRate},
+		{"interference_rate", p.InterferenceRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return corrupt.Config{}, fmt.Errorf("%s must be in [0,1], got %g", r.name, r.v)
+		}
+	}
+	if p.ReorderWindow < 0 || p.ReorderWindow > 1<<20 {
+		return corrupt.Config{}, fmt.Errorf("reorder_window must be in [0,%d], got %d", 1<<20, p.ReorderWindow)
+	}
+	if p.InterferenceRegions < 0 || p.InterferenceRegions > 64 {
+		return corrupt.Config{}, fmt.Errorf("interference_regions must be in [0,64], got %d", p.InterferenceRegions)
+	}
+	if p.ProbeGranularityBlocks < 0 || p.ProbeGranularityBlocks > 1<<20 {
+		return corrupt.Config{}, fmt.Errorf("probe_granularity_blocks must be in [0,%d], got %d", 1<<20, p.ProbeGranularityBlocks)
+	}
+	return corrupt.Config{
+		Seed:                   p.Seed,
+		DropRate:               p.DropRate,
+		SplitRate:              p.SplitRate,
+		CoalesceRate:           p.CoalesceRate,
+		ReorderWindow:          p.ReorderWindow,
+		InterferenceRate:       p.InterferenceRate,
+		InterferenceRegions:    p.InterferenceRegions,
+		ProbeGranularityBlocks: p.ProbeGranularityBlocks,
+	}, nil
 }
 
 type segInputJSON struct {
@@ -91,11 +146,23 @@ type weightsJSON struct {
 // attackResponse is the JSON result of one job. Partial marks a response
 // cut short by the job deadline: the populated fields are a deterministic
 // prefix of the full result.
+// noiseJSON mirrors structrev.NoiseStats in the response.
+type noiseJSON struct {
+	InterferenceRegions  int     `json:"interference_regions"`
+	InterferenceAccesses int     `json:"interference_accesses"`
+	WriteHoleFrac        float64 `json:"write_hole_frac"`
+	ROHoleFrac           float64 `json:"ro_hole_frac"`
+	DroppedDeps          int     `json:"dropped_deps"`
+}
+
 type attackResponse struct {
 	JobID         uint64           `json:"job_id"`
 	Mode          string           `json:"mode"`
 	Model         string           `json:"model,omitempty"`
 	Partial       bool             `json:"partial,omitempty"`
+	Tolerant      bool             `json:"tolerant,omitempty"`
+	Corrupted     bool             `json:"corrupted,omitempty"`
+	Noise         *noiseJSON       `json:"noise,omitempty"`
 	Segments      []segmentJSON    `json:"segments,omitempty"`
 	NumStructures int              `json:"num_structures"`
 	Structures    []string         `json:"structures,omitempty"`
@@ -210,8 +277,22 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 	switch req.mode {
 	case "trace":
 		input = nn.Shape{C: req.inD, H: req.inW, W: req.inW}
+		trace := req.trace
+		corrupted := req.corrupt.Enabled()
+		if corrupted {
+			t0 := time.Now()
+			trace = corrupt.Apply(trace, req.corrupt)
+			observe("corrupt", time.Since(t0))
+		}
+		tolerant := req.tolerant || corrupted
 		t0 := time.Now()
-		a, err := structrev.Analyze(req.trace, input.Len()*req.elemBytes, req.elemBytes)
+		var a *structrev.Analysis
+		var err error
+		if tolerant {
+			a, err = structrev.AnalyzeTolerant(trace, input.Len()*req.elemBytes, req.elemBytes, structrev.TolerantOptions{})
+		} else {
+			a, err = structrev.Analyze(trace, input.Len()*req.elemBytes, req.elemBytes)
+		}
 		if err != nil {
 			return fail(http.StatusUnprocessableEntity, err)
 		}
@@ -227,8 +308,11 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			Structures: structures,
 			PerLayer:   structrev.UniqueConfigs(a, structures),
 			TruthIndex: -1,
-			TraceBytes: req.trace.Blocks() * uint64(req.trace.BlockBytes),
+			TraceBytes: trace.Blocks() * uint64(trace.BlockBytes),
 			Partial:    serr != nil,
+			Corrupted:  corrupted,
+			Tolerant:   tolerant,
+			Noise:      a.Noise,
 		}
 		if serr != nil {
 			s.met.MarkStageCancelled("solve")
@@ -244,7 +328,8 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			net.InitWeights(req.seed)
 		}
 		input = net.Input
-		rep, err = core.RunStructureAttackCtx(ctx, net, accel.Config{}, opt, req.seed, observe)
+		spec := core.StructureAttackSpec{Corrupt: req.corrupt, Tolerant: req.tolerant}
+		rep, err = core.RunStructureAttackSpec(ctx, net, accel.Config{}, opt, req.seed, spec, observe)
 		if err != nil && rep == nil {
 			return fail(http.StatusUnprocessableEntity, err)
 		}
@@ -350,6 +435,17 @@ func fillStructureResult(resp *attackResponse, rep *core.StructureReport, maxRet
 	}
 	resp.NumStructures = len(rep.Structures)
 	resp.TraceBytes = rep.TraceBytes
+	resp.Tolerant = rep.Tolerant
+	resp.Corrupted = rep.Corrupted
+	if rep.Tolerant {
+		resp.Noise = &noiseJSON{
+			InterferenceRegions:  rep.Noise.InterferenceRegions,
+			InterferenceAccesses: rep.Noise.InterferenceAccesses,
+			WriteHoleFrac:        rep.Noise.WriteHoleFrac,
+			ROHoleFrac:           rep.Noise.ROHoleFrac,
+			DroppedDeps:          rep.Noise.DroppedDeps,
+		}
+	}
 	n := len(rep.Structures)
 	if n > maxReturn {
 		n = maxReturn

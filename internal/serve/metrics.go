@@ -12,7 +12,7 @@ import (
 
 // stageNames is the fixed pipeline-stage vocabulary, in execution order.
 // Fixing the set up front lets every stage own lock-free atomics.
-var stageNames = []string{"decode", "capture", "analyze", "solve", "rank", "weights"}
+var stageNames = []string{"decode", "capture", "corrupt", "analyze", "solve", "rank", "weights"}
 
 // latBounds are the per-stage latency histogram bucket upper bounds in
 // seconds; stage work spans sub-millisecond trace decodes to multi-minute

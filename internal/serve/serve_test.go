@@ -465,6 +465,112 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestCorruptTolerantEndToEnd pins the hostile-probe surface: trace mode
+// with corruption query params degrades the upload and takes the tolerant
+// path, simulate mode accepts the JSON corrupt spec, and invalid corruption
+// parameters are 400s that never consume a job slot.
+func TestCorruptTolerantEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	raw, net := lenetTraceBytes(t)
+
+	// Clean reference count from the direct library pipeline.
+	want, err := coreReferenceSolve(t, raw, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupted upload: drop + bounded reorder at the levels the tolerant
+	// analyzer is tested to survive.
+	url := ts.URL + "/v1/attack/trace?inw=28&ind=1&classes=10&drop_rate=0.02&reorder_window=16&corrupt_seed=1"
+	resp, err := ts.Client().Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar attackResponse
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("corrupted upload: status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ar.Corrupted || !ar.Tolerant || ar.Noise == nil {
+		t.Fatalf("corrupted upload not flagged: corrupted=%v tolerant=%v noise=%v", ar.Corrupted, ar.Tolerant, ar.Noise)
+	}
+	if _, ok := ar.StageMS["corrupt"]; !ok {
+		t.Fatal("missing corrupt stage timing")
+	}
+	if len(ar.Segments) != 4 || ar.NumStructures == 0 {
+		t.Fatalf("corrupted upload: %d segments, %d structures", len(ar.Segments), ar.NumStructures)
+	}
+
+	// Tolerant-on-clean simulate reproduces the strict candidate set and
+	// reports zero-noise stats.
+	tr, code := postSimulate(t, ts, `{"model":"lenet","seed":1,"tolerant":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("tolerant simulate: status %d", code)
+	}
+	if !tr.Tolerant || tr.Corrupted || tr.Noise == nil {
+		t.Fatalf("tolerant simulate flags: tolerant=%v corrupted=%v noise=%v", tr.Tolerant, tr.Corrupted, tr.Noise)
+	}
+	if tr.NumStructures != want {
+		t.Fatalf("tolerant clean simulate found %d structures, strict library %d", tr.NumStructures, want)
+	}
+	if tr.Noise.WriteHoleFrac != 0 || tr.Noise.InterferenceRegions != 0 {
+		t.Fatalf("clean capture reported noise: %+v", tr.Noise)
+	}
+
+	// Corrupted simulate runs the corrupt stage inside the service pipeline.
+	cr, code := postSimulate(t, ts, `{"model":"lenet","seed":1,"corrupt":{"seed":1,"drop_rate":0.02,"reorder_window":16}}`)
+	if code != http.StatusOK {
+		t.Fatalf("corrupt simulate: status %d", code)
+	}
+	if !cr.Corrupted || !cr.Tolerant || cr.NumStructures == 0 {
+		t.Fatalf("corrupt simulate: corrupted=%v tolerant=%v structures=%d", cr.Corrupted, cr.Tolerant, cr.NumStructures)
+	}
+
+	started := s.Metrics().Counter("started")
+
+	// Out-of-range corruption parameters are rejected before enqueue.
+	for _, bad := range []string{
+		"drop_rate=2",
+		"interference_rate=-0.5",
+		"reorder_window=-1",
+		"interference_regions=1000",
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/attack/trace?inw=28&ind=1&classes=10&"+bad, "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if _, code := postSimulate(t, ts, `{"model":"lenet","corrupt":{"drop_rate":1.5}}`); code != http.StatusBadRequest {
+		t.Fatalf("bad simulate corrupt spec: status %d, want 400", code)
+	}
+
+	// Oversized geometry claims are rejected at the same boundary.
+	for _, bad := range []string{"inw=99999&ind=1&classes=10", "inw=28&ind=1&classes=10&elem=0"} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/attack/trace?"+bad, "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if got := s.Metrics().Counter("started"); got != started {
+		t.Fatalf("rejected requests consumed job slots: started %d -> %d", started, got)
+	}
+}
+
 // TestSimulateWeightAttack runs the §4-compatible victim through the
 // service with weight recovery enabled.
 func TestSimulateWeightAttack(t *testing.T) {

@@ -95,6 +95,105 @@ type Analysis struct {
 	// BlockBytes is the observed transaction granularity: region extents are
 	// only known up to this rounding, which the solver accounts for.
 	BlockBytes int
+	// AddrSlack is the adjacency tolerance in bytes used when deciding
+	// whether two producer regions are DRAM-contiguous (a concatenation
+	// read). 0 demands exact adjacency; the tolerant path sets it so that
+	// dropped boundary blocks cannot hide a concatenation.
+	AddrSlack int
+	// Tolerant records whether the noise-tolerant path produced this
+	// analysis; Noise is populated only when it did.
+	Tolerant bool
+	Noise    NoiseStats
+}
+
+// NoiseStats summarizes the corruption the tolerant analysis measured and
+// compensated for. SolveCtx derives its upward size slack from these.
+type NoiseStats struct {
+	// InterferenceRegions/Accesses count the low-density address clusters
+	// (and the accesses within them) discarded as co-tenant traffic.
+	InterferenceRegions  int
+	InterferenceAccesses int
+	// WriteHoleFrac is the fraction of the dominant output regions' extent
+	// not covered by observed writes — the measured write-drop level.
+	WriteHoleFrac float64
+	// ROHoleFrac is the same measure over read-only (filter/input) regions.
+	ROHoleFrac float64
+	// DroppedDeps counts dependency edges discarded for carrying less than
+	// MinDepFrac of a segment's input bytes.
+	DroppedDeps int
+}
+
+// TolerantOptions tunes AnalyzeTolerant. The zero value of each field
+// selects the documented default.
+type TolerantOptions struct {
+	// MinRegionDensity is the minimum covered-bytes/extent ratio an address
+	// cluster needs to be treated as victim data; sparser clusters are
+	// discarded as co-tenant interference. Default 0.35 — victim buffers
+	// are streamed near-completely (density ≥ 0.9 even at 10% drop), while
+	// interference scatters a few transactions over a wide region.
+	MinRegionDensity float64
+	// MinDepFrac discards dependency edges carrying less than this fraction
+	// of a segment's total input bytes (residual interference reads that
+	// alias an earlier interference write). Default 0.02.
+	MinDepFrac float64
+	// AddrSlack is the region-adjacency tolerance in bytes (see
+	// Analysis.AddrSlack). Default 1024 — generous against boundary-block
+	// drops yet far below the allocator's 4096-byte guard separation.
+	AddrSlack int
+	// RegionGap is the coalescing gap in bytes used when clustering written
+	// and read-only address space, bridging holes left by dropped
+	// transactions. Default 4095: one byte under the guard-page separation
+	// of distinct victim regions, so real regions never merge.
+	RegionGap uint64
+	// FarFieldBytes groups address clusters into connected components
+	// (consecutive gap within this bound) and keeps only the heaviest one:
+	// the victim's buffers are guard-page-packed — never megabytes apart —
+	// while co-tenant traffic lives in disjoint, distant regions. Default
+	// 1 MiB.
+	FarFieldBytes uint64
+	// MinSegmentBytes folds segments that moved less than this much traffic
+	// into a neighboring segment after the boundary scan. Reordering at a
+	// layer boundary interleaves the two layers' filter streams, making
+	// boundary rules fire twice and shedding a tiny spurious segment; real
+	// layers stream at least their filter region. Default 2048 — half the
+	// smallest victim layer's traffic, far above a reorder straggler's.
+	MinSegmentBytes uint64
+}
+
+// DefaultTolerantOptions returns the tolerant-analysis thresholds used in
+// the noise sweeps.
+func DefaultTolerantOptions() TolerantOptions {
+	return TolerantOptions{
+		MinRegionDensity: 0.35,
+		MinDepFrac:       0.02,
+		AddrSlack:        1024,
+		RegionGap:        4095,
+		FarFieldBytes:    1 << 20,
+		MinSegmentBytes:  2048,
+	}
+}
+
+func (t TolerantOptions) withDefaults() TolerantOptions {
+	def := DefaultTolerantOptions()
+	if t.MinRegionDensity == 0 {
+		t.MinRegionDensity = def.MinRegionDensity
+	}
+	if t.MinDepFrac == 0 {
+		t.MinDepFrac = def.MinDepFrac
+	}
+	if t.AddrSlack == 0 {
+		t.AddrSlack = def.AddrSlack
+	}
+	if t.RegionGap == 0 {
+		t.RegionGap = def.RegionGap
+	}
+	if t.FarFieldBytes == 0 {
+		t.FarFieldBytes = def.FarFieldBytes
+	}
+	if t.MinSegmentBytes == 0 {
+		t.MinSegmentBytes = def.MinSegmentBytes
+	}
+	return t
 }
 
 // intervalOf converts an access to its byte interval.
@@ -116,31 +215,177 @@ func regionIndex(regions []memtrace.Interval, addr uint64) int {
 // network input (known to the adversary, who controls it); elemBytes is the
 // element storage size (known from the data type).
 func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, error) {
+	return analyzeWith(tr, inputBytes, elemBytes, false, TolerantOptions{})
+}
+
+// AnalyzeTolerant is Analyze with the noise-tolerant path enabled: it
+// discards low-density interference clusters, clusters regions with a gap
+// that bridges dropped transactions, selects each segment's dominant output
+// region, prunes negligible dependency edges, and records the measured
+// corruption level in Analysis.Noise so the solver can widen its size
+// constraints. On an uncorrupted trace it is equivalent to Analyze — the
+// golden conformance tests pin byte-identical reports.
+func AnalyzeTolerant(tr *memtrace.Trace, inputBytes int, elemBytes int, topt TolerantOptions) (*Analysis, error) {
+	return analyzeWith(tr, inputBytes, elemBytes, true, topt.withDefaults())
+}
+
+// filterInterference discards accesses in address clusters that look like
+// co-tenant traffic under either of two tests: coverage density below the
+// threshold (victim buffers are streamed near-completely, while
+// interference scatters a few transactions over a wide region), or a sparse
+// burst isolated far from every substantial cluster (locally dense, but the
+// victim's buffers are guard-page-packed, never megabytes apart).
+func filterInterference(accs []memtrace.Access, bb int, topt TolerantOptions) ([]memtrace.Access, NoiseStats) {
+	var st NoiseStats
+	ivs := make([]memtrace.Interval, len(accs))
+	for i, a := range accs {
+		ivs[i] = intervalOf(a, bb)
+	}
+	clusters := memtrace.CoalesceIntervals(ivs, topt.RegionGap)
+	covered := make([]uint64, len(clusters))
+	for _, iv := range memtrace.CoalesceIntervals(ivs, 0) {
+		// A zero-gap interval lies inside exactly one gap-coalesced cluster.
+		if ci := regionIndex(clusters, iv.Lo); ci >= 0 {
+			covered[ci] += iv.Bytes()
+		}
+	}
+	drop := make([]bool, len(clusters))
+	for i, c := range clusters {
+		if c.Bytes() > 0 && float64(covered[i])/float64(c.Bytes()) < topt.MinRegionDensity {
+			drop[i] = true
+			st.InterferenceRegions++
+		}
+	}
+	// Far-field pass: victim buffers are guard-page-packed — never megabytes
+	// apart — while co-tenant traffic lives in disjoint, distant regions.
+	// Group clusters into connected components (consecutive gap within
+	// FarFieldBytes) and keep only the component carrying the most covered
+	// bytes; everything else is interference, dense or not.
+	if topt.FarFieldBytes > 0 && len(clusters) > 1 {
+		compOf := make([]int, len(clusters))
+		compWeight := []uint64{covered[0]}
+		for i := 1; i < len(clusters); i++ {
+			if clusters[i].Lo-clusters[i-1].Hi > topt.FarFieldBytes {
+				compWeight = append(compWeight, 0)
+			}
+			compOf[i] = len(compWeight) - 1
+			compWeight[compOf[i]] += covered[i]
+		}
+		best := 0
+		for c, w := range compWeight {
+			if w > compWeight[best] {
+				best = c
+			}
+		}
+		for i := range clusters {
+			if compOf[i] != best && !drop[i] {
+				drop[i] = true
+				st.InterferenceRegions++
+			}
+		}
+	}
+	if st.InterferenceRegions == 0 {
+		return accs, st
+	}
+	kept := make([]memtrace.Access, 0, len(accs))
+	for i, a := range accs {
+		if ci := regionIndex(clusters, ivs[i].Lo); ci >= 0 && drop[ci] {
+			st.InterferenceAccesses++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	return kept, st
+}
+
+func analyzeWith(tr *memtrace.Trace, inputBytes int, elemBytes int, tolerant bool, topt TolerantOptions) (*Analysis, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("structrev: %w", err)
+	}
 	if len(tr.Accesses) == 0 {
 		return nil, fmt.Errorf("structrev: empty trace")
 	}
 	bb := tr.BlockBytes
 
+	accs := tr.Accesses
+	var noise NoiseStats
+	if tolerant {
+		accs, noise = filterInterference(accs, bb, topt)
+		if len(accs) == 0 {
+			return nil, fmt.Errorf("structrev: every access cluster fell below the interference density threshold")
+		}
+	}
+
 	// Pass 1: global write space and read-only (filter + input) regions.
 	var writeIvs, readIvs []memtrace.Interval
-	for _, a := range tr.Accesses {
+	for _, a := range accs {
 		if a.Kind == memtrace.Write {
 			writeIvs = append(writeIvs, intervalOf(a, bb))
 		} else {
 			readIvs = append(readIvs, intervalOf(a, bb))
 		}
 	}
-	writeSpace := memtrace.CoalesceIntervals(writeIvs, 0)
+	// Feature-map regions: clusters of the written address space. The
+	// allocator separates distinct data structures by guard pages, so a
+	// zero-gap coalesce recovers them (a zero-copy concatenated output forms
+	// one region, which is exactly how the adversary perceives it). The
+	// tolerant path coalesces across RegionGap instead, bridging the holes
+	// dropped write transactions leave inside a region.
+	var fmapGap uint64
+	if tolerant {
+		fmapGap = topt.RegionGap
+	}
+	fmapRegions := memtrace.CoalesceIntervals(writeIvs, fmapGap)
+	// A dropped write at the very edge of an output region shrinks the
+	// write-derived region, orphaning the reads of that edge chunk; left
+	// alone they would form a phantom read-only region and fire boundary
+	// rule (b) on every pass over it. The tolerant path therefore counts
+	// reads within edgeSlack of a feature-map region as feature-map reads.
+	// Half the region gap can never reach a real read-only region: the
+	// allocator separates distinct regions by at least RegionGap+1 bytes.
+	var edgeSlack uint64
+	if tolerant {
+		edgeSlack = topt.RegionGap / 2
+	}
 	var roIvs []memtrace.Interval
 	for _, iv := range readIvs {
-		if !overlapsAny(writeSpace, iv) {
+		test := iv
+		if tolerant {
+			if test.Lo >= edgeSlack {
+				test.Lo -= edgeSlack
+			} else {
+				test.Lo = 0
+			}
+			if test.Hi+edgeSlack >= test.Hi {
+				test.Hi += edgeSlack
+			} else {
+				test.Hi = ^uint64(0)
+			}
+		}
+		if !overlapsAny(fmapRegions, test) {
 			roIvs = append(roIvs, iv)
 		}
 	}
 	// A small gap tolerance bridges rows a strided convolution never samples
 	// (e.g. AlexNet conv1 leaves the last input row unread); it stays well
 	// under the allocator's page-granular separation of distinct regions.
-	roRegions := memtrace.CoalesceIntervals(roIvs, 2048)
+	roGap := uint64(2048)
+	if tolerant && topt.RegionGap > roGap {
+		roGap = topt.RegionGap
+	}
+	roRegions := memtrace.CoalesceIntervals(roIvs, roGap)
+	if tolerant {
+		var roExtent, roCov uint64
+		for _, r := range roRegions {
+			roExtent += r.Bytes()
+		}
+		for _, iv := range memtrace.CoalesceIntervals(roIvs, 0) {
+			roCov += iv.Bytes()
+		}
+		if roExtent > 0 {
+			noise.ROHoleFrac = 1 - float64(roCov)/float64(roExtent)
+		}
+	}
 
 	// The input region is the earliest-touched read-only region whose extent
 	// matches the known input size. (A strided first layer may leave
@@ -150,7 +395,7 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 	// weight-stationary accelerator streams filters before its first IFM
 	// tile.)
 	hasRead := false
-	for _, a := range tr.Accesses {
+	for _, a := range accs {
 		if a.Kind == memtrace.Read {
 			hasRead = true
 			break
@@ -161,7 +406,7 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 	}
 	inputIdx := -1
 	bestDiff := 1 << 62
-	for _, a := range tr.Accesses {
+	for _, a := range accs {
 		if a.Kind != memtrace.Read {
 			continue
 		}
@@ -189,12 +434,6 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 	}
 	inputRegion := roRegions[inputIdx]
 
-	// Feature-map regions: clusters of the written address space. The
-	// allocator separates distinct data structures by guard pages, so a
-	// zero-gap coalesce recovers them (a zero-copy concatenated output forms
-	// one region, which is exactly how the adversary perceives it).
-	fmapRegions := memtrace.CoalesceIntervals(writeIvs, 0)
-
 	// Pass 2: scan for boundaries. A new segment begins when
 	//  (a) a read hits a *fresh* feature-map region — one written since it
 	//      was last read. This is the paper's "first read access on a
@@ -215,6 +454,14 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 		// write; on a filter-region boundary they are re-attributed to the
 		// new layer (they are its stale-IFM prefetch).
 		trailing int
+		// readRegions tracks the fmap regions this segment has read, so the
+		// tolerant path can recognize a reordered producer write straggling
+		// in after its consumer already started (layers never write a region
+		// they read).
+		readRegions map[int]bool
+		// bytes is the total traffic attributed to this segment; the
+		// tolerant path folds negligible segments into a neighbor.
+		bytes uint64
 	}
 	var segs []*segAcc
 	// writtenBy records which segment wrote each interval, in trace order.
@@ -229,7 +476,7 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 	// start of a new inference.
 	inputConsumerRo := -1
 
-	cur := &segAcc{start: tr.Accesses[0].Cycle, roIdx: -1, firstIdx: 0}
+	cur := &segAcc{start: accs[0].Cycle, roIdx: -1, firstIdx: 0}
 	closeSeg := func(nextStart int, moveTrailing bool) {
 		var carry []memtrace.Interval
 		if moveTrailing && cur.trailing > 0 {
@@ -238,16 +485,29 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 			cur.fmapReads = cur.fmapReads[:n]
 		}
 		segs = append(segs, cur)
-		cur = &segAcc{start: tr.Accesses[nextStart].Cycle, roIdx: -1, firstIdx: nextStart,
+		cur = &segAcc{start: accs[nextStart].Cycle, roIdx: -1, firstIdx: nextStart,
 			fmapReads: carry, trailing: len(carry)}
 	}
-	for ai, a := range tr.Accesses {
+	for ai, a := range accs {
 		iv := intervalOf(a, bb)
 		if a.Kind == memtrace.Write {
-			if fr := regionIndex(fmapRegions, a.Addr); fr >= 0 {
+			fr := regionIndex(fmapRegions, a.Addr)
+			if tolerant && fr >= 0 && cur.readRegions[fr] && len(segs) > 0 {
+				// A reordered producer write straggling in after its consumer
+				// already started reading the region: attribute it to the
+				// previous segment. Re-marking the region fresh here would
+				// re-trigger boundary rule (a) and shatter the segmentation.
+				prev := segs[len(segs)-1]
+				prev.writeSpans = append(prev.writeSpans, iv)
+				prev.bytes += iv.Bytes()
+				allWrites = append(allWrites, writeRec{iv, len(segs) - 1})
+				continue
+			}
+			if fr >= 0 {
 				fresh[fr] = true
 			}
 			cur.writeSpans = append(cur.writeSpans, iv)
+			cur.bytes += iv.Bytes()
 			cur.trailing = 0
 			allWrites = append(allWrites, writeRec{iv, len(segs)})
 			continue
@@ -258,6 +518,9 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 		// gathers several fresh operands — neither marks a new layer.
 		boundary := false
 		fr := regionIndex(fmapRegions, a.Addr)
+		if fr < 0 && tolerant {
+			fr = regionIndexNear(fmapRegions, a.Addr, edgeSlack)
+		}
 		if fr >= 0 && fresh[fr] {
 			if len(cur.writeSpans) > 0 {
 				boundary = true
@@ -296,6 +559,7 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 			// post-write fmap reads to the new layer.
 			closeSeg(ai, ro >= 0)
 		}
+		cur.bytes += iv.Bytes()
 		if ro >= 0 && ro != inputIdx {
 			if cur.roIdx < 0 {
 				cur.roIdx = ro
@@ -306,6 +570,12 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 		} else if fr >= 0 || ro == inputIdx {
 			cur.fmapReads = append(cur.fmapReads, iv)
 			cur.trailing++
+			if tolerant && fr >= 0 {
+				if cur.readRegions == nil {
+					cur.readRegions = make(map[int]bool)
+				}
+				cur.readRegions[fr] = true
+			}
 			if ro == inputIdx {
 				cur.readsInput = true
 				if cur.roIdx >= 0 {
@@ -316,14 +586,109 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 	}
 	segs = append(segs, cur)
 
+	if tolerant && topt.MinSegmentBytes > 0 && len(segs) > 1 {
+		// Fold negligible segments into a neighbor. Reordering at a layer
+		// boundary interleaves the two layers' filter streams, so rules
+		// (a)/(b) fire more than once and shed a tiny spurious segment
+		// carrying a straggler's worth of traffic; a real layer streams at
+		// least its whole filter region. Prefer the neighbor reading the
+		// same filter region (the straggler's origin).
+		var kept []*segAcc
+		remap := make([]int, len(segs))
+		// A segment is spurious if it moved negligible traffic, or if it is a
+		// weighted segment that wrote nothing and streams the same filter
+		// region as a neighbor: every real layer produces output, and adjacent
+		// layers never share a filter region — such a husk is the remainder of
+		// a reorder-split segment whose reads were carried forward and whose
+		// writes were reattributed backward.
+		spurious := func(i int, sa *segAcc) bool {
+			if sa.bytes < topt.MinSegmentBytes {
+				return true
+			}
+			if sa.roIdx >= 0 && len(sa.writeSpans) == 0 {
+				if len(kept) > 0 && kept[len(kept)-1].roIdx == sa.roIdx {
+					return true
+				}
+				if i+1 < len(segs) && segs[i+1].roIdx == sa.roIdx {
+					return true
+				}
+			}
+			return false
+		}
+		mergeInto := func(dst, src *segAcc, forward bool) {
+			if forward {
+				dst.start = src.start
+				dst.firstIdx = src.firstIdx
+				dst.fmapReads = append(append([]memtrace.Interval(nil), src.fmapReads...), dst.fmapReads...)
+				dst.writeSpans = append(append([]memtrace.Interval(nil), src.writeSpans...), dst.writeSpans...)
+			} else {
+				dst.fmapReads = append(dst.fmapReads, src.fmapReads...)
+				dst.writeSpans = append(dst.writeSpans, src.writeSpans...)
+			}
+			if dst.roIdx < 0 {
+				dst.roIdx = src.roIdx
+			}
+			dst.readsInput = dst.readsInput || src.readsInput
+			dst.bytes += src.bytes
+		}
+		for i, sa := range segs {
+			if !spurious(i, sa) {
+				remap[i] = len(kept)
+				kept = append(kept, sa)
+				continue
+			}
+			prevOK := len(kept) > 0
+			nextOK := i+1 < len(segs)
+			switch {
+			case prevOK && (kept[len(kept)-1].roIdx == sa.roIdx || !nextOK ||
+				segs[i+1].roIdx != sa.roIdx):
+				mergeInto(kept[len(kept)-1], sa, false)
+				remap[i] = len(kept) - 1
+			case nextOK:
+				mergeInto(segs[i+1], sa, true)
+				remap[i] = -1 // resolves to the successor's kept index
+			default:
+				// Every segment is negligible; keep it rather than lose it.
+				remap[i] = len(kept)
+				kept = append(kept, sa)
+			}
+		}
+		if len(kept) > 0 && len(kept) < len(segs) {
+			for i := len(segs) - 2; i >= 0; i-- {
+				if remap[i] < 0 {
+					remap[i] = remap[i+1]
+				}
+			}
+			for wi := range allWrites {
+				allWrites[wi].seg = remap[allWrites[wi].seg]
+			}
+			segs = kept
+		}
+	}
+
 	// Assemble Segment records.
-	res := &Analysis{InputRegion: inputRegion, ElemBytes: elemBytes, BlockBytes: bb}
+	res := &Analysis{InputRegion: inputRegion, ElemBytes: elemBytes, BlockBytes: bb, Tolerant: tolerant}
+	if tolerant {
+		res.AddrSlack = topt.AddrSlack
+	}
+	lastCycle := accs[0].Cycle
+	for _, a := range accs {
+		if a.Cycle > lastCycle {
+			lastCycle = a.Cycle
+		}
+	}
+	var ofmExtent, ofmCovered uint64
 	for si, sa := range segs {
 		seg := Segment{Index: si, StartCycle: sa.start}
 		if si+1 < len(segs) {
 			seg.EndCycle = segs[si+1].start
 		} else {
-			seg.EndCycle = tr.LastCycle() + 1
+			seg.EndCycle = lastCycle + 1
+		}
+		if seg.EndCycle < seg.StartCycle {
+			// A hostile trace with non-monotonic cycles must not underflow
+			// the segment duration.
+			seg.EndCycle = seg.StartCycle
 		}
 		if sa.roIdx >= 0 {
 			seg.Kind = SegWeighted
@@ -332,17 +697,59 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 		} else {
 			seg.Kind = SegEltwise
 		}
-		if w := memtrace.CoalesceIntervals(sa.writeSpans, 0); len(w) > 0 {
-			// The OFM is the single contiguous range this segment wrote
-			// (write-once). Multiple ranges would indicate an unmodelled
-			// layer type; take the full span.
-			seg.OFMRegion = memtrace.Interval{Lo: w[0].Lo, Hi: w[len(w)-1].Hi}
-			for _, iv := range w {
-				seg.OFMBytes += iv.Bytes()
+		if w := memtrace.CoalesceIntervals(sa.writeSpans, fmapGap); len(w) > 0 {
+			if tolerant {
+				// Take the dominant written cluster as the OFM: residual
+				// interference writes form small satellite clusters that must
+				// not stretch the region, and the gap-coalesced extent bridges
+				// dropped-write holes (on a clean contiguous trace it equals
+				// the strict byte sum). Clusters overlapping the segment's own
+				// feature-map reads are skipped — a layer never writes its
+				// input, so such a cluster is a reordered producer write that
+				// straggled in before this segment first read the region.
+				readCover := memtrace.CoalesceIntervals(sa.fmapReads, topt.RegionGap)
+				best := -1
+				for i := range w {
+					if overlapsAny(readCover, w[i]) {
+						continue
+					}
+					if best < 0 || w[i].Bytes() > w[best].Bytes() {
+						best = i
+					}
+				}
+				if best < 0 {
+					// Every cluster overlaps the reads (an in-place layer the
+					// model does not cover); fall back to the plain dominant.
+					for i := range w {
+						if best < 0 || w[i].Bytes() > w[best].Bytes() {
+							best = i
+						}
+					}
+				}
+				seg.OFMRegion = w[best]
+				seg.OFMBytes = w[best].Bytes()
+				for _, iv := range memtrace.CoalesceIntervals(sa.writeSpans, 0) {
+					if iv.Lo >= w[best].Lo && iv.Hi <= w[best].Hi {
+						ofmCovered += iv.Bytes()
+					}
+				}
+				ofmExtent += seg.OFMBytes
+			} else {
+				// The OFM is the single contiguous range this segment wrote
+				// (write-once). Multiple ranges would indicate an unmodelled
+				// layer type; take the full span.
+				seg.OFMRegion = memtrace.Interval{Lo: w[0].Lo, Hi: w[len(w)-1].Hi}
+				for _, iv := range w {
+					seg.OFMBytes += iv.Bytes()
+				}
 			}
 		}
 		res.Segments = append(res.Segments, seg)
 	}
+	if tolerant && ofmExtent > 0 {
+		noise.WriteHoleFrac = 1 - float64(ofmCovered)/float64(ofmExtent)
+	}
+	res.Noise = noise
 
 	// Dependencies: attribute each segment's feature-map reads to their
 	// most recent earlier writers (a region may be rewritten across repeated
@@ -374,6 +781,21 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 				}
 			}
 		}
+		if tolerant && len(depBytes) > 1 {
+			// Prune negligible edges: residual interference reads that alias
+			// an earlier interference write masquerade as tiny dependencies
+			// and would wreck inputDims.
+			var tot uint64
+			for _, b := range depBytes {
+				tot += b
+			}
+			for p, b := range depBytes {
+				if float64(b) < topt.MinDepFrac*float64(tot) {
+					delete(depBytes, p)
+					res.Noise.DroppedDeps++
+				}
+			}
+		}
 		regionLo := func(p int) uint64 {
 			if p < 0 {
 				return inputRegion.Lo
@@ -393,7 +815,7 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 			if prev >= 0 && this >= 0 {
 				a := res.Segments[prev].OFMRegion
 				b := res.Segments[this].OFMRegion
-				if a.Hi == b.Lo {
+				if adjacentAddrs(a.Hi, b.Lo, res.AddrSlack) {
 					inputs[k].Adjacent = true
 				}
 			}
@@ -401,6 +823,41 @@ func Analyze(tr *memtrace.Trace, inputBytes int, elemBytes int) (*Analysis, erro
 		res.Segments[si].Inputs = inputs
 	}
 	return res, nil
+}
+
+// regionIndexNear is regionIndex with an edge tolerance: it also matches an
+// address within slack bytes of a region's boundary (see edgeSlack in
+// analyzeWith).
+func regionIndexNear(regions []memtrace.Interval, addr uint64, slack uint64) int {
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].Hi > addr })
+	if i < len(regions) {
+		if regions[i].Contains(addr) {
+			return i
+		}
+		if regions[i].Lo >= addr && regions[i].Lo-addr <= slack {
+			return i
+		}
+	}
+	if i > 0 && addr-regions[i-1].Hi < slack {
+		return i - 1
+	}
+	return -1
+}
+
+// adjacentAddrs reports whether two region endpoints are contiguous within
+// the given byte tolerance (0 demands exact adjacency).
+func adjacentAddrs(hi, lo uint64, slack int) bool {
+	if hi == lo {
+		return true
+	}
+	if slack <= 0 {
+		return false
+	}
+	d := hi - lo
+	if lo > hi {
+		d = lo - hi
+	}
+	return d <= uint64(slack)
 }
 
 // clip returns the intersection of two overlapping intervals.

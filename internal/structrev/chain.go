@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -71,11 +72,11 @@ func detectModules(a *Analysis) []moduleRole {
 			continue
 		}
 		r1, r2 := a.Segments[w[0]].OFMRegion, a.Segments[w[1]].OFMRegion
-		if r1.Hi == r2.Lo {
+		if adjacentAddrs(r1.Hi, r2.Lo, a.AddrSlack) {
 			roles[i] = roleSqueeze
 			roles[w[0]] = roleExpandLo
 			roles[w[1]] = roleExpandHi
-		} else if r2.Hi == r1.Lo {
+		} else if adjacentAddrs(r2.Hi, r1.Lo, a.AddrSlack) {
 			roles[i] = roleSqueeze
 			roles[w[1]] = roleExpandLo
 			roles[w[0]] = roleExpandHi
@@ -95,6 +96,11 @@ func geomOf(c *LayerConfig) geometry { return geometry{FC: c.FC, F: c.F, S: c.S,
 
 // dims is a feature-map shape hypothesis.
 type dims struct{ W, D int }
+
+// ErrTooManyStructures marks an enumeration aborted by Options.
+// MaxStructures. Like a deadline, the abort returns the deterministic
+// prefix enumerated so far alongside the (wrapped) sentinel.
+var ErrTooManyStructures = errors.New("too many candidate structures")
 
 // Solve enumerates every complete network structure consistent with the
 // analysis, the known input (inW×inW×inD) and output (classes), the
@@ -128,6 +134,13 @@ func SolveCtx(ctx context.Context, a *Analysis, inW, inD, classes int, opt Optio
 		opt.SizeSlackElems = a.BlockBytes/elem - 1
 	}
 	slackB := opt.SizeSlackElems * elem
+	if opt.SizeSlackUpFrac == 0 && a.Noise.WriteHoleFrac > 0 {
+		// Dropped write transactions make observed sizes undershoot the true
+		// ones; widen upward in proportion to the measured hole fraction
+		// (×3 head-room for per-region variance around the mean). A clean
+		// trace measures zero holes and keeps the exact constraints.
+		opt.SizeSlackUpFrac = math.Min(0.5, 3*a.Noise.WriteHoleFrac)
+	}
 	if want := inW * inW * inD * elem; int(a.InputRegion.Bytes()) > want+slackB || int(a.InputRegion.Bytes()) < want*3/4 {
 		return nil, fmt.Errorf("structrev: input region %d bytes does not match declared input %dx%dx%d", a.InputRegion.Bytes(), inW, inW, inD)
 	}
@@ -181,7 +194,7 @@ func SolveCtx(ctx context.Context, a *Analysis, inW, inD, classes int, opt Optio
 			}
 			results = append(results, st)
 			if len(results) > opt.MaxStructures {
-				return fmt.Errorf("structrev: more than %d candidate structures; aborting", opt.MaxStructures)
+				return fmt.Errorf("structrev: more than %d candidate structures; aborting: %w", opt.MaxStructures, ErrTooManyStructures)
 			}
 			return nil
 		}
@@ -195,9 +208,10 @@ func SolveCtx(ctx context.Context, a *Analysis, inW, inD, classes int, opt Optio
 
 		if seg.Kind == SegEltwise {
 			// Element-wise addition: all inputs must agree and the output
-			// must have the same size (up to block rounding).
+			// must have the same size (up to block rounding upward, and up
+			// to the drop-induced undershoot downward).
 			want := in.W * in.W * in.D * elem
-			if int(seg.OFMBytes) < want || int(seg.OFMBytes) > want+slackB {
+			if int(seg.OFMBytes) < want-sizeUp(want, opt.SizeSlackUpFrac) || int(seg.OFMBytes) > want+slackB {
 				return nil
 			}
 			out[si] = in
@@ -247,7 +261,8 @@ func SolveCtx(ctx context.Context, a *Analysis, inW, inD, classes int, opt Optio
 		return nil
 	}
 	if err := rec(0, timingWindow{}); err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, ErrTooManyStructures) {
 			return results, err // partial prefix
 		}
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"cnnrev/internal/corrupt"
 	"cnnrev/internal/memtrace"
 )
 
@@ -66,6 +67,101 @@ func FuzzAnalyze(f *testing.F) {
 		}
 		// Solving may fail but must not panic.
 		_, _ = Solve(a, 8, 1, 10, DefaultOptions())
+	})
+}
+
+// FuzzAnalyzeHostile is the untrusted-boundary contract: ANY buffer the
+// trace codec accepts — no structural normalization, however adversarial the
+// access pattern — must flow through the tolerant analyzer without a panic,
+// producing either an error or well-formed segments. This is the property
+// the revcnnd trace endpoint relies on.
+func FuzzAnalyzeHostile(f *testing.F) {
+	addSeed := func(tr *memtrace.Trace) {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), 64, int64(0))
+	}
+	// A minimal plausible two-layer trace.
+	addSeed(&memtrace.Trace{BlockBytes: 4, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 16, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 8192, Count: 8, Kind: memtrace.Read},
+		{Cycle: 10, Addr: 16384, Count: 12, Kind: memtrace.Write},
+		{Cycle: 20, Addr: 16384, Count: 12, Kind: memtrace.Read},
+		{Cycle: 30, Addr: 32768, Count: 2, Kind: memtrace.Write},
+	}})
+	// Crash-corpus seeds: extents hugging the top of the address space (the
+	// decode overflow guard's boundary), zero-ish geometry, duplicate and
+	// interleaved regions, and a write-only trace.
+	top := ^uint64(0)
+	addSeed(&memtrace.Trace{BlockBytes: 64, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: top - 64*16 + 1, Count: 16, Kind: memtrace.Read},
+		{Cycle: 1, Addr: top - 64, Count: 1, Kind: memtrace.Write},
+	}})
+	addSeed(&memtrace.Trace{BlockBytes: 1, Accesses: []memtrace.Access{
+		{Cycle: top, Addr: top - 1, Count: 1, Kind: memtrace.Read},
+		{Cycle: top, Addr: 0, Count: 1, Kind: memtrace.Write},
+		{Cycle: 0, Addr: top - 1, Count: 1, Kind: memtrace.Write},
+	}})
+	addSeed(&memtrace.Trace{BlockBytes: 8, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 4096, Count: 512, Kind: memtrace.Write},
+		{Cycle: 1, Addr: 4096, Count: 512, Kind: memtrace.Write},
+		{Cycle: 2, Addr: 4096, Count: 512, Kind: memtrace.Read},
+		{Cycle: 2, Addr: 4100, Count: 512, Kind: memtrace.Read},
+	}})
+	f.Add([]byte{}, 1, int64(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, inputBytes int, corruptSeed int64) {
+		tr, err := memtrace.DecodeTrace(raw)
+		if err != nil {
+			return
+		}
+		if len(tr.Accesses) > 4096 {
+			return // bound fuzz iteration cost, not the property
+		}
+		if inputBytes <= 0 {
+			inputBytes = 1
+		}
+		inputBytes %= 1 << 20
+
+		// Optionally push the hostile trace through the corruption models
+		// too: Apply must also be total on codec-accepted traces. The block
+		// bound keeps per-exec regranulation cost in fuzzing budget; Apply's
+		// own maxRegranRecords guard covers the unbounded case.
+		if corruptSeed != 0 && tr.Blocks() <= 1<<20 {
+			tr = corrupt.Apply(tr, corrupt.Config{
+				Seed: corruptSeed, DropRate: 0.05, SplitRate: 0.1,
+				CoalesceRate: 0.1, ReorderWindow: 32,
+			})
+		}
+
+		opt := DefaultOptions()
+		opt.MaxStructures = 200
+		for _, tolerant := range []bool{false, true} {
+			var a *Analysis
+			var err error
+			if tolerant {
+				a, err = AnalyzeTolerant(tr, inputBytes, 4, TolerantOptions{})
+			} else {
+				a, err = Analyze(tr, inputBytes, 4)
+			}
+			if err != nil {
+				continue
+			}
+			for i, seg := range a.Segments {
+				if seg.Index != i {
+					t.Fatalf("tolerant=%v: segment %d has index %d", tolerant, i, seg.Index)
+				}
+				for _, in := range seg.Inputs {
+					if in.Producer >= i {
+						t.Fatalf("tolerant=%v: segment %d depends on later segment %d", tolerant, i, in.Producer)
+					}
+				}
+			}
+			// Solving may reject the geometry but must not panic.
+			_, _ = Solve(a, 8, 1, 10, opt)
+		}
 	})
 }
 

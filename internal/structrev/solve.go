@@ -110,6 +110,22 @@ type Options struct {
 	// DRAM transactions round extents up to whole blocks. Solve sets this
 	// automatically from the trace granularity; zero means exact sizes.
 	SizeSlackElems int
+	// SizeSlackUpFrac widens the size equations in the opposite direction:
+	// the true element count may exceed the observed one by this fraction,
+	// because a lossy probe (dropped transactions, see internal/corrupt)
+	// undershoots region extents. Solve derives it automatically from the
+	// measured Analysis.Noise.WriteHoleFrac when unset; zero on a clean
+	// trace, preserving the exact constraint system.
+	SizeSlackUpFrac float64
+}
+
+// sizeUp returns the upward widening in elements (or bytes) for an observed
+// size under the given fractional slack.
+func sizeUp(size int, frac float64) int {
+	if frac <= 0 || size <= 0 {
+		return 0
+	}
+	return int(frac * float64(size))
 }
 
 // DefaultOptions returns the options used in the paper reproduction runs.
@@ -173,14 +189,17 @@ func EnumerateLayer(wIFM, dIFM, sizeOFM, sizeFltr int, isLast bool, classes int,
 	}
 
 	// With coarse DRAM blocks the observed sizes are rounded up: the true
-	// element counts lie in (observed − slack, observed].
+	// element counts lie in (observed − slack, observed]. A lossy probe
+	// additionally undershoots, extending the interval upward to
+	// observed·(1 + SizeSlackUpFrac).
 	slack := opt.SizeSlackElems
 	if slack < 0 {
 		slack = 0
 	}
-	for wofm := 1; wofm*wofm <= sizeOFM; wofm++ {
+	upOFM := sizeUp(sizeOFM, opt.SizeSlackUpFrac)
+	for wofm := 1; wofm*wofm <= sizeOFM+upOFM; wofm++ {
 		w2 := wofm * wofm
-		for dofm := sizeOFM / w2; dofm >= 1 && dofm*w2 >= sizeOFM-slack; dofm-- {
+		for dofm := (sizeOFM + upOFM) / w2; dofm >= 1 && dofm*w2 >= sizeOFM-slack; dofm-- {
 			enumerateDepth(wIFM, dIFM, wofm, dofm, sizeFltr, slack, isLast, classes, opt, add)
 		}
 	}
@@ -204,11 +223,12 @@ func enumerateDepth(wIFM, dIFM, wofm, dofm, sizeFltr, slack int, isLast bool, cl
 	if opt.BiasInFilters {
 		hi -= dofm
 	}
+	up := sizeUp(sizeFltr, opt.SizeSlackUpFrac)
 	unit := dIFM * dofm
-	if hi < unit {
+	if hi+up < unit {
 		return
 	}
-	for f := isqrtFloor(hi / unit); f >= 1 && f*f*unit >= hi-slack; f-- {
+	for f := isqrtFloor((hi + up) / unit); f >= 1 && f*f*unit >= hi-slack; f-- {
 		// Fully-connected interpretation: the filter covers the whole IFM.
 		if f == wIFM && wofm == 1 {
 			add(LayerConfig{WIFM: wIFM, DIFM: dIFM, WOFM: 1, DOFM: dofm, FC: true, F: f, S: 1})

@@ -1,0 +1,177 @@
+package structrev
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cnnrev/internal/corrupt"
+	"cnnrev/internal/memtrace"
+)
+
+func goldenTrace(t *testing.T, model string) *memtrace.Trace {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden", model+".trace"))
+	if err != nil {
+		t.Fatalf("missing golden trace (run `go generate ./...`): %v", err)
+	}
+	tr, err := memtrace.DecodeTrace(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTolerantMatchesStrictOnCleanTraces is the acceptance gate for the
+// tolerant path: with corruption disabled, AnalyzeTolerant + Solve must
+// reproduce the strict pipeline's golden output byte for byte — the same
+// dataflow report and the same candidate structures.
+func TestTolerantMatchesStrictOnCleanTraces(t *testing.T) {
+	for _, gc := range goldenCases {
+		gc := gc
+		t.Run(gc.model, func(t *testing.T) {
+			if testing.Short() && !gc.short {
+				t.Skip("large golden trace in -short mode")
+			}
+			tr := goldenTrace(t, gc.model)
+			inputBytes := gc.inW * gc.inW * gc.inD * 4
+
+			strict, err := Analyze(tr, inputBytes, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol, err := AnalyzeTolerant(tr, inputBytes, 4, TolerantOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := tol.Noise; n.InterferenceRegions != 0 || n.InterferenceAccesses != 0 ||
+				n.WriteHoleFrac != 0 || n.DroppedDeps != 0 {
+				t.Fatalf("clean trace measured nonzero noise: %+v", n)
+			}
+			var sRep, tRep bytes.Buffer
+			strict.WriteReport(&sRep)
+			tol.WriteReport(&tRep)
+			if !bytes.Equal(sRep.Bytes(), tRep.Bytes()) {
+				t.Fatalf("tolerant report differs from strict on a clean trace:\n--- strict ---\n%s--- tolerant ---\n%s",
+					sRep.String(), tRep.String())
+			}
+
+			opt := DefaultOptions()
+			opt.IdenticalModules = gc.modular
+			sStructs, err := Solve(strict, gc.inW, gc.inD, gc.classes, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tStructs, err := Solve(tol, gc.inW, gc.inD, gc.classes, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tStructs) != len(sStructs) || len(tStructs) != gc.structures {
+				t.Fatalf("tolerant solve found %d structures, strict %d, golden %d",
+					len(tStructs), len(sStructs), gc.structures)
+			}
+			for i := range sStructs {
+				for j, l := range sStructs[i].Layers {
+					tl := tStructs[i].Layers[j]
+					if (l.Config == nil) != (tl.Config == nil) ||
+						(l.Config != nil && *l.Config != *tl.Config) {
+						t.Fatalf("structure %d layer %d differs between strict and tolerant", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTolerantSurvivesDropAndReorder is the ISSUE's robustness criterion:
+// at ≤ 2% transaction drop plus bounded reordering, the tolerant pipeline
+// must keep the true LeNet and ConvNet structures in the candidate set.
+func TestTolerantSurvivesDropAndReorder(t *testing.T) {
+	for _, gc := range goldenCases[:2] { // lenet, convnet
+		gc := gc
+		t.Run(gc.model, func(t *testing.T) {
+			tr := goldenTrace(t, gc.model)
+			for _, seed := range []int64{1, 2, 3} {
+				noisy := corrupt.Apply(tr, corrupt.Config{
+					Seed:          seed,
+					DropRate:      0.02,
+					ReorderWindow: 16,
+				})
+				a, err := AnalyzeTolerant(noisy, gc.inW*gc.inW*gc.inD*4, 4, TolerantOptions{})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if len(a.Segments) != gc.segments {
+					t.Fatalf("seed %d: recovered %d segments, want %d", seed, len(a.Segments), gc.segments)
+				}
+				opt := DefaultOptions()
+				opt.IdenticalModules = gc.modular
+				structures, err := Solve(a, gc.inW, gc.inD, gc.classes, opt)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !containsTruth(structures, groundTruth(gc.victim())) {
+					t.Fatalf("seed %d: true structure lost from %d candidates at 2%% drop",
+						seed, len(structures))
+				}
+			}
+		})
+	}
+}
+
+// TestTolerantFiltersInterference injects co-tenant traffic and checks the
+// tolerant path discards the scattered clusters, keeps the segmentation
+// intact, and reports what it removed.
+func TestTolerantFiltersInterference(t *testing.T) {
+	gc := goldenCases[0] // lenet
+	tr := goldenTrace(t, gc.model)
+	noisy := corrupt.Apply(tr, corrupt.Config{Seed: 9, InterferenceRate: 0.05, InterferenceRegions: 2})
+	a, err := AnalyzeTolerant(noisy, gc.inW*gc.inW*gc.inD*4, 4, TolerantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Noise.InterferenceAccesses == 0 {
+		t.Fatal("tolerant analysis filtered no interference from an interfered trace")
+	}
+	if len(a.Segments) != gc.segments {
+		t.Fatalf("interference changed the segmentation: %d segments, want %d", len(a.Segments), gc.segments)
+	}
+	structures, err := Solve(a, gc.inW, gc.inD, gc.classes, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsTruth(structures, groundTruth(gc.victim())) {
+		t.Fatal("true structure lost under interference")
+	}
+}
+
+// TestSizeSlackUpFracWidensEnumeration pins the new solver knob directly:
+// with an observed size 5% under the truth, the exact solver misses the
+// true factorization and the widened solver recovers it.
+func TestSizeSlackUpFracWidensEnumeration(t *testing.T) {
+	// Truth: 24×24×8 OFM (4608 elems), 5×5×1×8 filters (200 elems).
+	obsOFM := 4608 * 95 / 100
+	obsFltr := 200*95/100 + 1
+	opt := DefaultOptions()
+	exact := EnumerateLayer(28, 1, obsOFM, obsFltr, false, 10, opt)
+	for _, c := range exact {
+		if c.WOFM == 24 && c.DOFM == 8 && c.F == 5 {
+			t.Fatal("exact enumeration should not recover the undershot truth")
+		}
+	}
+	opt.SizeSlackUpFrac = 0.10
+	wide := EnumerateLayer(28, 1, obsOFM, obsFltr, false, 10, opt)
+	found := false
+	for _, c := range wide {
+		if c.WOFM == 24 && c.DOFM == 8 && c.F == 5 && c.S == 1 && c.P == 0 && !c.HasPool {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("widened enumeration (%d candidates) missed the true configuration", len(wide))
+	}
+	if len(wide) < len(exact) {
+		t.Fatalf("widening shrank the candidate set: %d -> %d", len(exact), len(wide))
+	}
+}
