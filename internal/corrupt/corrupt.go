@@ -190,12 +190,19 @@ func injectInterference(tr *memtrace.Trace, cfg Config, rng *rand.Rand) []memtra
 	if regions > 64 {
 		regions = 64
 	}
-	var maxEnd, loCycle, hiCycle uint64
-	loCycle = accs[0].Cycle
-	hiCycle = accs[len(accs)-1].Cycle
+	// Cycles in a hostile (codec-valid) trace are untrusted and need not be
+	// monotonic, so the span is the min/max over all records, not first/last.
+	var maxEnd uint64
+	loCycle, hiCycle := accs[0].Cycle, accs[0].Cycle
 	for _, a := range accs {
 		if e := a.End(tr.BlockBytes); e > maxEnd {
 			maxEnd = e
+		}
+		if a.Cycle < loCycle {
+			loCycle = a.Cycle
+		}
+		if a.Cycle > hiCycle {
+			hiCycle = a.Cycle
 		}
 	}
 	base := maxEnd + interferenceRegionGap
@@ -214,7 +221,13 @@ func injectInterference(tr *memtrace.Trace, cfg Config, rng *rand.Rand) []memtra
 		off := uint64(rng.Int63n(interferenceRegionBytes)) / block * block
 		cyc := loCycle
 		if hiCycle > loCycle {
-			cyc += uint64(rng.Int63n(int64(hiCycle - loCycle + 1)))
+			// A hostile span can exceed int64; clamp so Int63n never sees a
+			// non-positive bound.
+			span := hiCycle - loCycle
+			if span >= math.MaxInt64 {
+				span = math.MaxInt64 - 1
+			}
+			cyc += uint64(rng.Int63n(int64(span) + 1))
 		}
 		kind := memtrace.Read
 		if rng.Intn(2) == 1 {

@@ -214,6 +214,35 @@ func TestInterferenceIsDisjoint(t *testing.T) {
 	}
 }
 
+// TestInterferenceHostileCycleSpan pins the Int63n guard: a codec-valid
+// trace whose cycle span reaches or exceeds 2^63 — including spans only
+// visible as min/max over non-monotonic records — must not panic, and the
+// injected cycles must stay inside the observed span.
+func TestInterferenceHostileCycleSpan(t *testing.T) {
+	top := ^uint64(0)
+	for name, accs := range map[string][]memtrace.Access{
+		"monotonic-2^63": {
+			{Cycle: 0, Addr: 0, Count: 1, Kind: memtrace.Read},
+			{Cycle: 1 << 63, Addr: 64, Count: 1, Kind: memtrace.Write},
+		},
+		"full-span": {
+			{Cycle: 0, Addr: 0, Count: 1, Kind: memtrace.Read},
+			{Cycle: top, Addr: 64, Count: 1, Kind: memtrace.Write},
+		},
+		"non-monotonic": {
+			{Cycle: top, Addr: 0, Count: 1, Kind: memtrace.Read},
+			{Cycle: 0, Addr: 64, Count: 1, Kind: memtrace.Write},
+			{Cycle: 5, Addr: 128, Count: 1, Kind: memtrace.Read},
+		},
+	} {
+		tr := &memtrace.Trace{BlockBytes: 64, Accesses: accs}
+		out := Apply(tr, Config{Seed: 17, InterferenceRate: 1})
+		if len(out.Accesses) <= len(tr.Accesses) {
+			t.Fatalf("%s: interference rate 1 injected nothing", name)
+		}
+	}
+}
+
 // TestSeverityMonotonic sanity-checks the slack heuristic.
 func TestSeverityMonotonic(t *testing.T) {
 	if (Config{}).Severity() != 0 {

@@ -107,11 +107,15 @@ func corruptFromQuery(r *http.Request) (corrupt.Config, error) {
 	if cp.ProbeGranularityBlocks, err = queryInt(r, "probe_granularity_blocks", 0); err != nil {
 		return corrupt.Config{}, err
 	}
-	seed, err := queryInt(r, "corrupt_seed", 0)
-	if err != nil {
-		return corrupt.Config{}, err
+	// Seeds are full int64 on the JSON surface; parse at 64 bits here too so
+	// both request surfaces accept the same range regardless of platform int.
+	if v := r.URL.Query().Get("corrupt_seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return corrupt.Config{}, fmt.Errorf("bad corrupt_seed=%q", v)
+		}
+		cp.Seed = seed
 	}
-	cp.Seed = int64(seed)
 	return cp.toConfig()
 }
 
@@ -138,11 +142,13 @@ func rankFromQuery(r *http.Request) (*rankParams, error) {
 	if rp.MaxCandidates, err = queryInt(r, "rank_max_candidates", 0); err != nil {
 		return nil, err
 	}
-	seed, err := queryInt(r, "rank_seed", 0)
-	if err != nil {
-		return nil, err
+	if v := r.URL.Query().Get("rank_seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rank_seed=%q", v)
+		}
+		rp.Seed = seed
 	}
-	rp.Seed = int64(seed)
 	return rp, nil
 }
 

@@ -838,7 +838,7 @@ func regionIndexNear(regions []memtrace.Interval, addr uint64, slack uint64) int
 			return i
 		}
 	}
-	if i > 0 && addr-regions[i-1].Hi < slack {
+	if i > 0 && addr-regions[i-1].Hi <= slack {
 		return i - 1
 	}
 	return -1

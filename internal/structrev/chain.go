@@ -192,10 +192,10 @@ func SolveCtx(ctx context.Context, a *Analysis, inW, inD, classes int, opt Optio
 				}
 				st.Layers = append(st.Layers, sl)
 			}
-			results = append(results, st)
-			if len(results) > opt.MaxStructures {
+			if len(results) == opt.MaxStructures {
 				return fmt.Errorf("structrev: more than %d candidate structures; aborting: %w", opt.MaxStructures, ErrTooManyStructures)
 			}
+			results = append(results, st)
 			return nil
 		}
 		seg := &a.Segments[si]

@@ -110,6 +110,20 @@ func FuzzAnalyzeHostile(f *testing.F) {
 		{Cycle: 2, Addr: 4096, Count: 512, Kind: memtrace.Read},
 		{Cycle: 2, Addr: 4100, Count: 512, Kind: memtrace.Read},
 	}})
+	// Regression seed: a >= 2^63 cycle span with corruption enabled used to
+	// panic interference injection's Int63n (span cast to a non-positive
+	// int64). Needs a nonzero corrupt seed — the other seeds skip Apply.
+	{
+		tr := &memtrace.Trace{BlockBytes: 64, Accesses: []memtrace.Access{
+			{Cycle: 0, Addr: 0, Count: 1, Kind: memtrace.Read},
+			{Cycle: 1 << 63, Addr: 4096, Count: 1, Kind: memtrace.Write},
+		}}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), 64, int64(1))
+	}
 	f.Add([]byte{}, 1, int64(0))
 
 	f.Fuzz(func(t *testing.T, raw []byte, inputBytes int, corruptSeed int64) {
@@ -132,7 +146,7 @@ func FuzzAnalyzeHostile(f *testing.F) {
 		if corruptSeed != 0 && tr.Blocks() <= 1<<20 {
 			tr = corrupt.Apply(tr, corrupt.Config{
 				Seed: corruptSeed, DropRate: 0.05, SplitRate: 0.1,
-				CoalesceRate: 0.1, ReorderWindow: 32,
+				CoalesceRate: 0.1, ReorderWindow: 32, InterferenceRate: 0.1,
 			})
 		}
 
