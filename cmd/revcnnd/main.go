@@ -37,6 +37,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-job deadline cap (requests may ask for less)")
 	maxUpload := flag.Int64("max-upload", 64<<20, "max trace upload size in bytes")
 	maxStructures := flag.Int("max-structures", 0, "cap candidate enumeration per job (0 = solver default)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = 256 MiB default, negative disables)")
 	drain := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		JobTimeout:     *timeout,
 		MaxUploadBytes: *maxUpload,
 		MaxStructures:  *maxStructures,
+		CacheBytes:     *cacheBytes,
 		Logger:         log,
 	})
 	httpSrv := &http.Server{

@@ -3,6 +3,7 @@ package memtrace
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"testing"
 )
 
@@ -114,6 +115,62 @@ func FuzzTraceDecode(f *testing.F) {
 		// Invalid input: the streaming reader may be more lenient (it ignores
 		// trailing bytes) but must not panic.
 		_, _ = ReadTrace(bytes.NewReader(raw))
+	})
+}
+
+// FuzzTraceDecodeStream cross-checks the streaming Decoder against
+// DecodeTrace on arbitrary bytes: the two must accept exactly the same
+// inputs (DecodeTrace is built on the decoder, but with a size hint that
+// takes different validation paths — this pins their agreement) and decode
+// accepted inputs to identical traces. The committed FuzzTraceDecode crash
+// corpus is mirrored into this target's seed corpus.
+func FuzzTraceDecodeStream(f *testing.F) {
+	f.Add([]byte{})
+	var empty bytes.Buffer
+	(&Trace{BlockBytes: 64}).Write(&empty)
+	f.Add(empty.Bytes())
+	forged := append([]byte(nil), empty.Bytes()...)
+	binary.LittleEndian.PutUint64(forged[16:24], 1<<40)
+	f.Add(forged)
+	f.Add(overflowExtentBytes())
+	f.Add(highMagicBytes())
+	// A multi-record trace, plus the same trace with a trailing byte (the
+	// case the streaming path must catch with its EOF probe rather than a
+	// length check).
+	var multi bytes.Buffer
+	(&Trace{BlockBytes: 4, Accesses: []Access{
+		{Cycle: 1, Addr: 0, Count: 2, Kind: Read},
+		{Cycle: 2, Addr: 8, Count: 1, Kind: Write},
+		{Cycle: 3, Addr: 0, Count: 1, Kind: Read},
+	}}).Write(&multi)
+	f.Add(multi.Bytes())
+	f.Add(append(append([]byte(nil), multi.Bytes()...), 0x5A))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		want, werr := DecodeTrace(raw)
+		d := NewDecoder(bytes.NewReader(raw))
+		var accs []Access
+		var gerr error
+		for {
+			batch, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				gerr = err
+				break
+			}
+			accs = append(accs, batch...)
+		}
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("decoders disagree on acceptance: stream=%v decode=%v", gerr, werr)
+		}
+		if werr != nil {
+			return
+		}
+		if d.BlockBytes() != want.BlockBytes || !sameAccesses(accs, want.Accesses) {
+			t.Fatalf("streaming decode of an accepted buffer diverges: %d accesses block %d, want %d accesses block %d",
+				len(accs), d.BlockBytes(), len(want.Accesses), want.BlockBytes)
+		}
 	})
 }
 

@@ -1,0 +1,164 @@
+package memtrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DecodeBatch is the number of access records a Decoder yields per Next
+// call. At 21 serialized / 24 in-memory bytes per record one batch costs
+// ~180 KiB of working memory, independent of how large the trace is — a
+// multi-gigabyte probe capture decodes through the same two fixed buffers.
+const DecodeBatch = 4096
+
+// Decoder incrementally decodes a serialized trace from an io.Reader. It
+// applies the same strict validation as DecodeTrace — full 64-bit magic and
+// block-size bounds up front (on the first Next call), per-record direction
+// and address-extent checks, and rejection of data past the declared record
+// count — but holds only one bounded batch in memory at a time, so decoding
+// never allocates proportionally to the trace size. DecodeTrace is
+// implemented on top of it, which keeps the two entry points' accepted
+// input sets identical by construction (pinned by FuzzTraceDecodeStream).
+//
+// A Decoder is not safe for concurrent use.
+type Decoder struct {
+	r io.Reader
+
+	// sizeHint is the total input length in bytes when the caller knows it
+	// (DecodeTrace does), enabling the header's declared record count to be
+	// validated against the bytes actually present before any allocation.
+	// -1 means unknown: a forged count then simply hits EOF mid-batch, and
+	// trailing bytes are caught by a one-byte probe after the last record.
+	sizeHint int64
+
+	block    uint64
+	declared uint64
+	decoded  uint64
+	headerOK bool
+	err      error // sticky; io.EOF after a clean end
+
+	batchCap int
+	raw      []byte
+	batch    []Access
+}
+
+// NewDecoder returns a decoder reading a serialized trace from r. The
+// header is read and validated on the first Next call.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, sizeHint: -1, batchCap: DecodeBatch}
+}
+
+// BlockBytes returns the trace's block granularity, or 0 before the header
+// has been decoded.
+func (d *Decoder) BlockBytes() int { return int(d.block) }
+
+// Declared returns the header's declared record count, or 0 before the
+// header has been decoded. The count is untrusted until the stream has been
+// fully consumed: a forged header fails with an error from Next, never by
+// over-allocating.
+func (d *Decoder) Declared() uint64 { return d.declared }
+
+// Decoded returns the number of records yielded so far.
+func (d *Decoder) Decoded() uint64 { return d.decoded }
+
+// readHeader parses and validates the 24-byte header. With a size hint the
+// declared record count is additionally checked against the bytes present,
+// which both rejects forged counts before any allocation and makes the
+// accepted encoding canonical (no trailing bytes).
+func (d *Decoder) readHeader() error {
+	if d.sizeHint >= 0 && d.sizeHint < traceHeaderBytes {
+		return fmt.Errorf("memtrace: decode: %d bytes is shorter than the %d-byte header", d.sizeHint, traceHeaderBytes)
+	}
+	var hdr [traceHeaderBytes]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return fmt.Errorf("memtrace: decode: header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint64(hdr[0:8])
+	block := binary.LittleEndian.Uint64(hdr[8:16])
+	n := binary.LittleEndian.Uint64(hdr[16:24])
+	if magic != uint64(traceMagic) {
+		return fmt.Errorf("memtrace: decode: bad magic %#x", magic)
+	}
+	if block == 0 || block > MaxBlockBytes {
+		return fmt.Errorf("memtrace: decode: implausible block size %d", block)
+	}
+	if d.sizeHint >= 0 {
+		body := uint64(d.sizeHint - traceHeaderBytes)
+		if n > body/accessRecordBytes {
+			return fmt.Errorf("memtrace: decode: header declares %d records but only %d bytes follow", n, body)
+		}
+		if n*accessRecordBytes != body {
+			return fmt.Errorf("memtrace: decode: %d trailing bytes past %d declared records", body-n*accessRecordBytes, n)
+		}
+	}
+	d.block, d.declared, d.headerOK = block, n, true
+	return nil
+}
+
+// Next returns the next batch of decoded records, at most DecodeBatch of
+// them. The returned slice is reused by the following Next call — callers
+// that retain records across calls must copy them. After the final record
+// the decoder verifies the stream holds no trailing data and returns
+// io.EOF. Any other error is sticky and terminal; errors from the
+// underlying reader are wrapped and recoverable with errors.As (the serve
+// layer relies on this to map *http.MaxBytesError to 413).
+func (d *Decoder) Next() ([]Access, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if !d.headerOK {
+		if err := d.readHeader(); err != nil {
+			d.err = err
+			return nil, err
+		}
+	}
+	if d.decoded == d.declared {
+		if err := d.expectEOF(); err != nil {
+			d.err = err
+			return nil, err
+		}
+		d.err = io.EOF
+		return nil, io.EOF
+	}
+	if d.raw == nil {
+		d.raw = make([]byte, d.batchCap*accessRecordBytes)
+		d.batch = make([]Access, d.batchCap)
+	}
+	want := d.declared - d.decoded
+	if want > uint64(d.batchCap) {
+		want = uint64(d.batchCap)
+	}
+	buf := d.raw[:want*accessRecordBytes]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = fmt.Errorf("memtrace: decode: access %d: %w (header declared %d records)", d.decoded, err, d.declared)
+		return nil, d.err
+	}
+	for i := uint64(0); i < want; i++ {
+		a, err := decodeAccess(buf[i*accessRecordBytes:][:accessRecordBytes], d.block)
+		if err != nil {
+			d.err = fmt.Errorf("memtrace: decode: access %d: %w", d.decoded+i, err)
+			return nil, d.err
+		}
+		d.batch[i] = a
+	}
+	d.decoded += want
+	return d.batch[:want], nil
+}
+
+// expectEOF probes the stream for data past the declared records. With a
+// size hint the header check already proved there is none.
+func (d *Decoder) expectEOF() error {
+	if d.sizeHint >= 0 {
+		return nil
+	}
+	var one [1]byte
+	n, err := io.ReadFull(d.r, one[:])
+	if n > 0 {
+		return fmt.Errorf("memtrace: decode: trailing data past %d declared records", d.declared)
+	}
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("memtrace: decode: trailing probe: %w", err)
+	}
+	return nil
+}

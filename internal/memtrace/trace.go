@@ -7,6 +7,7 @@ package memtrace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -168,37 +169,30 @@ func decodeAccess(rec []byte, blockBytes uint64) (Access, error) {
 // allocate more than the input itself could hold. Block sizes outside
 // (0, MaxBlockBytes] and trailing bytes past the declared records are
 // rejected, which makes the accepted encoding canonical — any buffer
-// DecodeTrace accepts re-encodes via Write to the identical bytes.
+// DecodeTrace accepts re-encodes via Write to the identical bytes. It is
+// a thin wrapper over the streaming Decoder with a size hint; callers that
+// can avoid materializing the serialized bytes should use NewDecoder
+// directly.
 func DecodeTrace(data []byte) (*Trace, error) {
-	if len(data) < traceHeaderBytes {
-		return nil, fmt.Errorf("memtrace: decode: %d bytes is shorter than the %d-byte header", len(data), traceHeaderBytes)
+	d := NewDecoder(bytes.NewReader(data))
+	// Knowing the total length up front lets the decoder validate the
+	// declared record count before any allocation and reject trailing
+	// bytes from the header alone, which keeps the accepted encoding
+	// canonical and makes the preallocation below safe.
+	d.sizeHint = int64(len(data))
+	if err := d.readHeader(); err != nil {
+		return nil, err
 	}
-	magic := binary.LittleEndian.Uint64(data[0:8])
-	block := binary.LittleEndian.Uint64(data[8:16])
-	n := binary.LittleEndian.Uint64(data[16:24])
-	// Canonicality demands the full 64-bit header word, not just the low
-	// half the streaming reader checks.
-	if magic != uint64(traceMagic) {
-		return nil, fmt.Errorf("memtrace: decode: bad magic %#x", magic)
-	}
-	if block == 0 || block > MaxBlockBytes {
-		return nil, fmt.Errorf("memtrace: decode: implausible block size %d", block)
-	}
-	body := uint64(len(data) - traceHeaderBytes)
-	if n > body/accessRecordBytes {
-		return nil, fmt.Errorf("memtrace: decode: header declares %d records but only %d bytes follow", n, body)
-	}
-	if n*accessRecordBytes != body {
-		return nil, fmt.Errorf("memtrace: decode: %d trailing bytes past %d declared records", body-n*accessRecordBytes, n)
-	}
-	t := &Trace{BlockBytes: int(block), Accesses: make([]Access, 0, n)}
-	for i := uint64(0); i < n; i++ {
-		rec := data[traceHeaderBytes+i*accessRecordBytes:][:accessRecordBytes]
-		a, err := decodeAccess(rec, block)
-		if err != nil {
-			return nil, fmt.Errorf("memtrace: decode: access %d: %w", i, err)
+	t := &Trace{BlockBytes: int(d.block), Accesses: make([]Access, 0, d.declared)}
+	for {
+		batch, err := d.Next()
+		if err == io.EOF {
+			break
 		}
-		t.Accesses = append(t.Accesses, a)
+		if err != nil {
+			return nil, err
+		}
+		t.Accesses = append(t.Accesses, batch...)
 	}
 	return t, nil
 }

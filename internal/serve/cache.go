@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: completed, non-partial
+// attack responses keyed by the canonicalized request (trace mode keys on
+// the upload's SHA-256 plus every result-affecting parameter; simulate mode
+// on the canonical victim spec). Every pipeline stage is deterministic for
+// a fixed key — the simulator schedule depends only on shapes, corruption
+// and ranking are seeded — so a hit can replay the stored response bytes
+// verbatim instead of recomputing analyze/solve/rank.
+//
+// Eviction is LRU over a total byte budget (keys + bodies), so one giant
+// AlexNet enumeration cannot pin the cache while a stream of small results
+// starves; a single entry larger than the budget is simply not stored.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+func entrySize(e *cacheEntry) int64 { return int64(len(e.key) + len(e.body)) }
+
+// get returns the stored response body for key and marks it most recently
+// used. The returned slice is shared — callers must not mutate it.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key (replacing any previous entry) and returns how
+// many entries were evicted to fit it under the byte budget.
+func (c *resultCache) put(key string, body []byte) (evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes -= entrySize(e)
+		e.body = body
+		c.bytes += entrySize(e)
+		c.ll.MoveToFront(el)
+	} else {
+		e := &cacheEntry{key: key, body: body}
+		if entrySize(e) > c.maxBytes {
+			return 0
+		}
+		c.entries[key] = c.ll.PushFront(e)
+		c.bytes += entrySize(e)
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= entrySize(e)
+		evicted++
+	}
+	return evicted
+}
+
+// stats reports the cache's current occupancy for the metrics endpoint.
+func (c *resultCache) stats() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.ll.Len()
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestResultCacheLRUEviction pins the byte-budget LRU contract: least
+// recently used entries fall out first, a get refreshes recency, and the
+// byte accounting tracks keys plus bodies.
+func TestResultCacheLRUEviction(t *testing.T) {
+	entry := func(i int) (string, []byte) {
+		return fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte(i)}, 97) // 3 + 97 = 100 bytes
+	}
+	c := newResultCache(300) // exactly three entries
+	for i := 0; i < 3; i++ {
+		k, b := entry(i)
+		if ev := c.put(k, b); ev != 0 {
+			t.Fatalf("put %d evicted %d entries under budget", i, ev)
+		}
+	}
+	if n, e := c.stats(); n != 300 || e != 3 {
+		t.Fatalf("stats = %d bytes %d entries, want 300/3", n, e)
+	}
+	// Touch k00 so k01 becomes the LRU victim.
+	if _, ok := c.get("k00"); !ok {
+		t.Fatal("k00 missing before eviction")
+	}
+	k3, b3 := entry(3)
+	if ev := c.put(k3, b3); ev != 1 {
+		t.Fatalf("put over budget evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("k01"); ok {
+		t.Fatal("LRU entry k01 survived eviction")
+	}
+	for _, k := range []string{"k00", "k02", "k03"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+}
+
+// TestResultCacheReplaceAndOversize: replacing a key updates bytes in
+// place, and an entry larger than the whole budget is refused rather than
+// flushing the cache to make room for something that cannot fit.
+func TestResultCacheReplaceAndOversize(t *testing.T) {
+	c := newResultCache(100)
+	c.put("a", make([]byte, 10))
+	c.put("a", make([]byte, 50))
+	if n, e := c.stats(); n != 51 || e != 1 {
+		t.Fatalf("after replace: %d bytes %d entries, want 51/1", n, e)
+	}
+	got, ok := c.get("a")
+	if !ok || len(got) != 50 {
+		t.Fatalf("replaced body len %d, want 50", len(got))
+	}
+	if ev := c.put("huge", make([]byte, 200)); ev != 0 {
+		t.Fatalf("oversized put evicted %d entries", ev)
+	}
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("entry over the whole budget was stored")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("oversized put flushed an existing entry")
+	}
+}
+
+// TestCacheKeyDistinguishesParams pins the canonicalization: any
+// result-affecting field must change the key, and the same logical request
+// must reproduce it.
+func TestCacheKeyDistinguishesParams(t *testing.T) {
+	base := func() *attackRequest {
+		return &attackRequest{
+			mode: "trace", traceHash: "abc", inW: 28, inD: 1, elemBytes: 4,
+			classes: 10, tol: 0.1,
+		}
+	}
+	k0 := base().cacheKey()
+	if k0 != base().cacheKey() {
+		t.Fatal("identical requests produced different keys")
+	}
+	mutations := map[string]func(*attackRequest){
+		"trace hash":    func(r *attackRequest) { r.traceHash = "abd" },
+		"inw":           func(r *attackRequest) { r.inW = 32 },
+		"classes":       func(r *attackRequest) { r.classes = 100 },
+		"elem":          func(r *attackRequest) { r.elemBytes = 8 },
+		"modular":       func(r *attackRequest) { r.modular = true },
+		"tolerant":      func(r *attackRequest) { r.tolerant = true },
+		"tol":           func(r *attackRequest) { r.tol = 0.2 },
+		"stride":        func(r *attackRequest) { r.allowStrideOK = true },
+		"max return":    func(r *attackRequest) { r.maxReturn = 5 },
+		"weights":       func(r *attackRequest) { r.weights = true },
+		"corrupt seed":  func(r *attackRequest) { r.corrupt.Seed = 9 },
+		"drop rate":     func(r *attackRequest) { r.corrupt.DropRate = 0.01 },
+		"rank present":  func(r *attackRequest) { r.rank = &rankParams{} },
+		"rank seed":     func(r *attackRequest) { r.rank = &rankParams{Seed: 3} },
+		"mode":          func(r *attackRequest) { r.mode = "simulate" },
+	}
+	seen := map[string]string{k0: "base"}
+	for name, mutate := range mutations {
+		r := base()
+		mutate(r)
+		k := r.cacheKey()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("mutation %q collides with %q on key %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+	// Simulate mode keys on the resolved seed: 0 and 2 are distinct.
+	s0 := &attackRequest{mode: "simulate", model: "lenet", seed: 0}
+	s2 := &attackRequest{mode: "simulate", model: "lenet", seed: 2}
+	if s0.cacheKey() == s2.cacheKey() {
+		t.Fatal("seed 0 and seed 2 collide on one cache key")
+	}
+	// The timeout is deliberately not part of the key.
+	tA := base()
+	tA.timeout = 1
+	if tA.cacheKey() != k0 {
+		t.Fatal("timeout leaked into the cache key")
+	}
+}

@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,7 +47,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.writePrometheus(w, s.queueDepth(), s.cfg.Workers)
+	cacheBytes, cacheEntries := s.cacheStats()
+	s.met.writePrometheus(w, s.queueDepth(), s.cfg.Workers, cacheBytes, cacheEntries)
 }
 
 // queryInt parses an optional integer query parameter.
@@ -60,12 +64,19 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
-func queryBool(r *http.Request, name string) bool {
-	switch r.URL.Query().Get(name) {
+// queryBool parses an optional boolean query parameter. Values outside the
+// recognized vocabulary are an error, not false: silently coercing
+// tolerant=ture or rank=yess to false would run the wrong attack under a
+// 200 response.
+func queryBool(r *http.Request, name string) (bool, error) {
+	switch v := r.URL.Query().Get(name); v {
+	case "", "0", "false", "no":
+		return false, nil
 	case "1", "true", "yes":
-		return true
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad %s=%q (want one of 0/1/true/false/yes/no)", name, v)
 	}
-	return false
 }
 
 // queryFloat parses an optional float query parameter.
@@ -122,11 +133,14 @@ func corruptFromQuery(r *http.Request) (corrupt.Config, error) {
 // rankFromQuery assembles optional ranking parameters from rank_* query
 // params; nil when ranking was not requested.
 func rankFromQuery(r *http.Request) (*rankParams, error) {
-	if !queryBool(r, "rank") {
+	ranked, err := queryBool(r, "rank")
+	if err != nil {
+		return nil, err
+	}
+	if !ranked {
 		return nil, nil
 	}
 	rp := &rankParams{}
-	var err error
 	if rp.Classes, err = queryInt(r, "rank_classes", 0); err != nil {
 		return nil, err
 	}
@@ -154,25 +168,18 @@ func rankFromQuery(r *http.Request) (*rankParams, error) {
 
 // handleTrace accepts a raw serialized memtrace body plus query parameters
 // describing what the adversary knows (input geometry and class count).
+// The body is never buffered: records stream from the wire through the
+// incremental decoder in bounded batches, with the raw bytes SHA-256-hashed
+// in flight to form the result-cache key. Query parameters are validated
+// before the body is touched, so a bad request costs a header read rather
+// than a multi-gigabyte upload.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("trace exceeds %d byte upload limit", tooBig.Limit), http.StatusRequestEntityTooLarge)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if r.ContentLength > s.cfg.MaxUploadBytes {
+		http.Error(w, fmt.Sprintf("trace exceeds %d byte upload limit", s.cfg.MaxUploadBytes), http.StatusRequestEntityTooLarge)
 		return
 	}
 	req := &attackRequest{mode: "trace"}
-	decodeStart := time.Now()
-	req.trace, err = memtrace.DecodeTrace(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.met.ObserveStage("decode", time.Since(decodeStart))
+	var err error
 	if req.inW, err = queryInt(r, "inw", 0); err == nil && (req.inW <= 0 || req.inW > 1<<14) {
 		err = fmt.Errorf("trace attack requires 0 < inw <= %d (input width)", 1<<14)
 	}
@@ -203,36 +210,86 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		req.rank, err = rankFromQuery(r)
 	}
+	if err == nil {
+		req.modular, err = queryBool(r, "modular")
+	}
+	if err == nil {
+		req.tolerant, err = queryBool(r, "tolerant")
+	}
+	if err == nil {
+		req.allowStrideOK, err = queryBool(r, "allow_stride_over_kernel")
+	}
+	if err == nil {
+		req.cacheBypass, err = queryBool(r, "cache_bypass")
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	req.modular = queryBool(r, "modular")
-	req.tolerant = queryBool(r, "tolerant")
 	if tol := r.URL.Query().Get("tol"); tol != "" {
 		if req.tol, err = strconv.ParseFloat(tol, 64); err != nil {
 			http.Error(w, fmt.Sprintf("bad tol=%q", tol), http.StatusBadRequest)
 			return
 		}
 	}
-	req.allowStrideOK = queryBool(r, "allow_stride_over_kernel")
 	timeoutMS, err := queryInt(r, "timeout_ms", 0)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	req.timeout = time.Duration(timeoutMS) * time.Millisecond
+
+	// Stream the body through hash and decoder in one pass. MaxBytesReader
+	// still guards chunked uploads that carry no Content-Length; its error
+	// surfaces through the decoder wrapped, so errors.As recovers it here.
+	decodeStart := time.Now()
+	hash := sha256.New()
+	dec := memtrace.NewDecoder(io.TeeReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes), hash))
+	var accs []memtrace.Access
+	if n := r.ContentLength; n > 0 {
+		// Records are 21 bytes on the wire. Content-Length is a client
+		// claim, so cap the pre-allocation: beyond the cap, append growth
+		// amortizes and the claim can no longer buy memory it didn't send.
+		hint := n / 21
+		if hint > 1<<20 {
+			hint = 1 << 20
+		}
+		accs = make([]memtrace.Access, 0, hint)
+	}
+	for {
+		batch, derr := dec.Next()
+		if derr == io.EOF {
+			break
+		}
+		if derr != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(derr, &tooBig) {
+				http.Error(w, fmt.Sprintf("trace exceeds %d byte upload limit", tooBig.Limit), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, derr.Error(), http.StatusBadRequest)
+			return
+		}
+		accs = append(accs, batch...)
+	}
+	req.trace = &memtrace.Trace{BlockBytes: dec.BlockBytes(), Accesses: accs}
+	req.traceHash = hex.EncodeToString(hash.Sum(nil))
+	s.met.ObserveStage("decode", time.Since(decodeStart))
 	s.submit(w, r, req)
 }
 
 // simulateRequest is the JSON body of /v1/attack/simulate.
 type simulateRequest struct {
-	Model         string      `json:"model"`
-	Classes       int         `json:"classes"`
-	DepthDiv      int         `json:"depth_div"`
-	Filters       int         `json:"filters"`
-	ZeroFrac      float64     `json:"zero_frac"`
-	Seed          int64       `json:"seed"`
+	Model    string  `json:"model"`
+	Classes  int     `json:"classes"`
+	DepthDiv int     `json:"depth_div"`
+	Filters  int     `json:"filters"`
+	ZeroFrac float64 `json:"zero_frac"`
+	// Seed is a pointer so "absent" and an explicit 0 stay distinguishable:
+	// an omitted seed defaults to 2 (the seed the examples and golden corpus
+	// use), while seed 0 is a legitimate victim in its own right — and the
+	// two must never collide on one result-cache key.
+	Seed          *int64      `json:"seed"`
 	Modular       bool        `json:"modular"`
 	Tol           float64     `json:"tol"`
 	AllowStrideOK bool        `json:"allow_stride_over_kernel"`
@@ -261,9 +318,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing model", http.StatusBadRequest)
 		return
 	}
-	seed := sr.Seed
-	if seed == 0 {
-		seed = 2
+	bypass, err := queryBool(r, "cache_bypass")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seed := int64(2) // documented default for an omitted seed
+	if sr.Seed != nil {
+		seed = *sr.Seed
 	}
 	req := &attackRequest{
 		mode: "simulate", model: sr.Model, classes: sr.Classes, depthDiv: sr.DepthDiv,
@@ -272,7 +334,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		maxStructures: sr.MaxStructures, maxReturn: sr.MaxReturn,
 		rank: sr.Rank, weights: sr.Weights,
 		timeout: time.Duration(sr.TimeoutMS) * time.Millisecond,
-		tolerant: sr.Tolerant,
+		tolerant: sr.Tolerant, cacheBypass: bypass,
 	}
 	if sr.Corrupt != nil {
 		cfg, err := sr.Corrupt.toConfig()
@@ -285,11 +347,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.submit(w, r, req)
 }
 
-// submit enqueues the job and blocks until a worker (or shutdown) finishes
-// it, then writes the job's outcome. The job context is the request context
-// bounded by the requested (capped) deadline, so a disconnecting client
-// cancels its own job and a queue wait counts against the deadline.
+// submit resolves the request against the content-addressed result cache,
+// then — on a miss — enqueues the job and blocks until a worker (or
+// shutdown) finishes it, writing the job's outcome and caching complete
+// results. The job context is the request context bounded by the requested
+// (capped) deadline, so a disconnecting client cancels its own job and a
+// queue wait counts against the deadline.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, req *attackRequest) {
+	var key string
+	if s.cache != nil {
+		key = req.cacheKey()
+		if req.cacheBypass {
+			s.met.cacheBypassed.Add(1)
+		} else if body, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Revcnnd-Cache", "hit")
+			w.Write(body)
+			return
+		} else {
+			s.met.cacheMisses.Add(1)
+		}
+	}
 	if req.timeout <= 0 || req.timeout > s.cfg.JobTimeout {
 		req.timeout = s.cfg.JobTimeout
 	}
@@ -308,16 +387,32 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, req *attackReque
 	}
 	<-j.done
 	if j.resp == nil {
-		status := j.status
+		if j.status == 0 {
+			// The client disconnected: the peer is gone, so writing a body
+			// (the old 408) only polluted access logs with a timeout the
+			// server never hit. Record the distinct outcome and hand the
+			// aborted connection back to net/http.
+			s.met.abandoned.Add(1)
+			s.log.Info("job canceled by client disconnect; no response written", "job", j.id)
+			return
+		}
 		msg := "job failed"
 		if j.err != nil {
 			msg = j.err.Error()
 		}
-		if status == 0 { // client is gone; status is moot
-			status = http.StatusRequestTimeout
-		}
-		http.Error(w, msg, status)
+		http.Error(w, msg, j.status)
 		return
+	}
+	// Cache only complete results: partials depend on where the deadline
+	// struck, which is not a function of the key.
+	if s.cache != nil && j.status == http.StatusOK && !j.resp.Partial {
+		cached := *j.resp
+		cached.Cached = true
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(&cached); err == nil {
+			s.met.cacheStores.Add(1)
+			s.met.cacheEvictions.Add(s.cache.put(key, buf.Bytes()))
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(j.status)

@@ -36,6 +36,7 @@ type attackRequest struct {
 
 	// trace mode
 	trace     *memtrace.Trace
+	traceHash string // SHA-256 of the serialized upload, hex
 	inW, inD  int
 	elemBytes int
 
@@ -62,6 +63,40 @@ type attackRequest struct {
 	// path (forced on whenever corruption is enabled).
 	tolerant bool
 	corrupt  corrupt.Config
+
+	// cacheBypass skips the result-cache lookup (the fresh result still
+	// refreshes the stored entry).
+	cacheBypass bool
+}
+
+// cacheKey canonicalizes everything that determines a job's result into
+// the content-addressed cache key. Trace mode is keyed on the upload's
+// SHA-256 plus the analysis parameters; simulate mode on the canonical
+// victim spec (with the seed already resolved, so an absent seed and an
+// explicit seed 2 share an entry). The job timeout is deliberately
+// excluded: only complete results are cached, and a complete result is
+// valid under any deadline.
+func (req *attackRequest) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|mode=%s|", req.mode)
+	if req.mode == "trace" {
+		fmt.Fprintf(&b, "sha256=%s|inw=%d|ind=%d|elem=%d|", req.traceHash, req.inW, req.inD, req.elemBytes)
+	} else {
+		fmt.Fprintf(&b, "model=%s|depthdiv=%d|filters=%d|zerofrac=%g|seed=%d|",
+			req.model, req.depthDiv, req.filters, req.zeroFrac, req.seed)
+	}
+	fmt.Fprintf(&b, "classes=%d|modular=%t|tol=%g|strideok=%t|maxstructures=%d|maxreturn=%d|tolerant=%t|weights=%t|",
+		req.classes, req.modular, req.tol, req.allowStrideOK, req.maxStructures, req.maxReturn, req.tolerant, req.weights)
+	c := req.corrupt
+	fmt.Fprintf(&b, "corrupt=%d,%g,%g,%g,%d,%g,%d,%d|",
+		c.Seed, c.DropRate, c.SplitRate, c.CoalesceRate, c.ReorderWindow,
+		c.InterferenceRate, c.InterferenceRegions, c.ProbeGranularityBlocks)
+	if r := req.rank; r != nil {
+		fmt.Fprintf(&b, "rank=%d,%d,%d,%d,%d,%d,%d", r.Classes, r.PerClass, r.Epochs, r.DepthDiv, r.TopK, r.Seed, r.MaxCandidates)
+	} else {
+		b.WriteString("rank=-")
+	}
+	return b.String()
 }
 
 // corruptParams mirrors corrupt.Config for the request surface.
@@ -160,6 +195,7 @@ type attackResponse struct {
 	Mode          string           `json:"mode"`
 	Model         string           `json:"model,omitempty"`
 	Partial       bool             `json:"partial,omitempty"`
+	Cached        bool             `json:"cached,omitempty"` // served from the result cache; job_id/stage_ms describe the job that computed it
 	Tolerant      bool             `json:"tolerant,omitempty"`
 	Corrupted     bool             `json:"corrupted,omitempty"`
 	Noise         *noiseJSON       `json:"noise,omitempty"`

@@ -49,6 +49,16 @@ type Metrics struct {
 	failed    atomic.Int64
 	aborted   atomic.Int64
 	running   atomic.Int64
+	// abandoned counts jobs whose client disconnected before the response
+	// could be written — a distinct outcome from server-side deadline
+	// expiry, which still writes a 504/partial body.
+	abandoned atomic.Int64
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheBypassed  atomic.Int64
+	cacheStores    atomic.Int64
+	cacheEvictions atomic.Int64
 
 	stageLat    map[string]*histogram
 	stageCancel map[string]*atomic.Int64
@@ -100,6 +110,18 @@ func (m *Metrics) Counter(name string) int64 {
 		return m.aborted.Load()
 	case "running":
 		return m.running.Load()
+	case "abandoned":
+		return m.abandoned.Load()
+	case "cache_hits":
+		return m.cacheHits.Load()
+	case "cache_misses":
+		return m.cacheMisses.Load()
+	case "cache_bypassed":
+		return m.cacheBypassed.Load()
+	case "cache_stores":
+		return m.cacheStores.Load()
+	case "cache_evictions":
+		return m.cacheEvictions.Load()
 	}
 	return 0
 }
@@ -121,9 +143,9 @@ func (m *Metrics) StageCount(stage string) int64 {
 }
 
 // writePrometheus renders the metrics in Prometheus text exposition format.
-// queueDepth and workers are owned by the server (the queue is mutex-backed)
-// and passed in at scrape time.
-func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int) {
+// queueDepth, workers, and the cache occupancy are owned by the server (the
+// queue and cache are mutex-backed) and passed in at scrape time.
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheBytes int64, cacheEntries int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP revcnnd_%s %s\n# TYPE revcnnd_%s counter\nrevcnnd_%s %d\n", name, help, name, name, v)
 	}
@@ -137,6 +159,14 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int) {
 	counter("jobs_cancelled_total", "Jobs abandoned because the client disconnected.", m.cancelled.Load())
 	counter("jobs_failed_total", "Jobs that ended in an error.", m.failed.Load())
 	counter("jobs_aborted_total", "Queued jobs aborted by shutdown.", m.aborted.Load())
+	counter("jobs_abandoned_total", "Jobs whose client disconnected before the response was written.", m.abandoned.Load())
+	counter("cache_hits_total", "Requests served from the content-addressed result cache.", m.cacheHits.Load())
+	counter("cache_misses_total", "Cache lookups that fell through to the job queue.", m.cacheMisses.Load())
+	counter("cache_bypassed_total", "Requests that skipped the cache lookup via cache_bypass.", m.cacheBypassed.Load())
+	counter("cache_stores_total", "Completed results stored in the cache.", m.cacheStores.Load())
+	counter("cache_evictions_total", "Entries evicted to stay under the cache byte budget.", m.cacheEvictions.Load())
+	gauge("cache_bytes", "Bytes held by the result cache (keys + bodies).", cacheBytes)
+	gauge("cache_entries", "Entries held by the result cache.", int64(cacheEntries))
 	gauge("jobs_running", "Jobs currently executing on workers.", m.running.Load())
 	gauge("queue_depth", "Jobs waiting for a worker.", int64(queueDepth))
 	gauge("workers", "Configured worker count.", int64(workers))

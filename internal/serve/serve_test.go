@@ -571,6 +571,242 @@ func TestCorruptTolerantEndToEnd(t *testing.T) {
 	}
 }
 
+// TestQueryBoolRejectsUnrecognized pins the boolean-parameter regression:
+// a typo like tolerant=ture must be a 400 naming the parameter, not a
+// silent false that runs the wrong attack under a 200.
+func TestQueryBoolRejectsUnrecognized(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	raw, _ := lenetTraceBytes(t)
+
+	for _, param := range []string{"rank", "modular", "tolerant", "allow_stride_over_kernel", "cache_bypass"} {
+		url := fmt.Sprintf("%s/v1/attack/trace?inw=28&ind=1&classes=10&%s=ture", ts.URL, param)
+		resp, err := ts.Client().Post(url, "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s=ture: status %d, want 400", param, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), param) {
+			t.Fatalf("%s=ture: error %q does not name the parameter", param, body)
+		}
+	}
+
+	// The full accepted vocabulary still parses on both sides of the coin.
+	for _, v := range []string{"0", "1", "true", "false", "yes", "no"} {
+		url := fmt.Sprintf("%s/v1/attack/trace?inw=28&ind=1&classes=10&tolerant=%s", ts.URL, v)
+		resp, err := ts.Client().Post(url, "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tolerant=%s: status %d, want 200", v, resp.StatusCode)
+		}
+	}
+
+	// Same vocabulary guard on the simulate endpoint's cache_bypass.
+	resp, err := ts.Client().Post(ts.URL+"/v1/attack/simulate?cache_bypass=ture", "application/json", strings.NewReader(`{"model":"lenet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "cache_bypass") {
+		t.Fatalf("simulate cache_bypass=ture: status %d body %q, want 400 naming the parameter", resp.StatusCode, body)
+	}
+
+	// None of the rejected requests reached the queue. (The six accepted
+	// vocabulary uploads enqueue at most six jobs: tolerant=0/false/no and
+	// tolerant=1/true/yes each share a cache key, so later ones may hit.)
+	if got := s.Metrics().Counter("started"); got > 6 {
+		t.Fatalf("rejected requests consumed job slots: started %d", got)
+	}
+}
+
+// postTrace uploads a trace and returns the status, raw response bytes, and
+// the cache-marker header.
+func postTrace(t *testing.T, ts *httptest.Server, query string, raw []byte) (int, []byte, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/attack/trace?"+query, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Revcnnd-Cache")
+}
+
+// TestTraceCacheHitByteIdentity pins the result cache's contract: a repeat
+// of an identical upload is served from the cache byte-for-byte, without
+// running any pipeline stage past decode, and cache_bypass forces a fresh
+// computation.
+func TestTraceCacheHitByteIdentity(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	raw, _ := lenetTraceBytes(t)
+	const q = "inw=28&ind=1&classes=10"
+
+	code, first, marker := postTrace(t, ts, q, raw)
+	if code != http.StatusOK || marker != "" {
+		t.Fatalf("first upload: status %d marker %q", code, marker)
+	}
+	m := s.Metrics()
+	if m.Counter("cache_misses") != 1 || m.Counter("cache_stores") != 1 {
+		t.Fatalf("first upload: misses %d stores %d, want 1/1", m.Counter("cache_misses"), m.Counter("cache_stores"))
+	}
+	started, analyzed, solved := m.Counter("started"), m.StageCount("analyze"), m.StageCount("solve")
+
+	code, second, marker := postTrace(t, ts, q, raw)
+	if code != http.StatusOK || marker != "hit" {
+		t.Fatalf("second upload: status %d marker %q, want 200 hit", code, marker)
+	}
+	var ar attackResponse
+	if err := json.Unmarshal(second, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Cached {
+		t.Fatal("cached response not marked cached")
+	}
+	if ar.NumStructures == 0 || len(ar.Segments) == 0 {
+		t.Fatalf("cached response lost its payload: %+v", ar)
+	}
+	// The cached body is the stored computation verbatim, so apart from the
+	// cached marker it matches the first response byte for byte.
+	want := bytes.Replace(first, []byte(`"mode":"trace"`), []byte(`"mode":"trace","cached":true`), 1)
+	if !bytes.Equal(second, want) {
+		t.Fatalf("cached body diverges from the original beyond the cached flag:\n first: %s\nsecond: %s", first, second)
+	}
+	// No pipeline stage past decode ran for the hit.
+	if m.Counter("started") != started || m.StageCount("analyze") != analyzed || m.StageCount("solve") != solved {
+		t.Fatalf("cache hit ran the pipeline: started %d->%d analyze %d->%d solve %d->%d",
+			started, m.Counter("started"), analyzed, m.StageCount("analyze"), solved, m.StageCount("solve"))
+	}
+	if m.Counter("cache_hits") != 1 {
+		t.Fatalf("cache_hits %d, want 1", m.Counter("cache_hits"))
+	}
+
+	// Hits are stable: a third identical request returns identical bytes.
+	code, third, _ := postTrace(t, ts, q, raw)
+	if code != http.StatusOK || !bytes.Equal(second, third) {
+		t.Fatalf("repeat hit not byte-identical (status %d)", code)
+	}
+
+	// Different analysis parameters are a different key, not a stale hit.
+	code, _, marker = postTrace(t, ts, q+"&tol=0.5", raw)
+	if code != http.StatusOK || marker == "hit" {
+		t.Fatalf("changed params: status %d marker %q, want a miss", code, marker)
+	}
+
+	// cache_bypass recomputes even though the entry exists.
+	code, bypassed, marker := postTrace(t, ts, q+"&cache_bypass=1", raw)
+	if code != http.StatusOK || marker == "hit" {
+		t.Fatalf("bypass: status %d marker %q", code, marker)
+	}
+	var br attackResponse
+	if err := json.Unmarshal(bypassed, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Cached {
+		t.Fatal("bypassed response claims to be cached")
+	}
+	if m.Counter("cache_bypassed") != 1 || m.Counter("started") != started+2 {
+		t.Fatalf("bypass accounting: bypassed %d started %d, want 1 and %d", m.Counter("cache_bypassed"), m.Counter("started"), started+2)
+	}
+
+	// The cache surface is visible on /metrics.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"revcnnd_cache_hits_total 2", "revcnnd_cache_bypassed_total 1", "revcnnd_cache_entries 2"} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCacheDisabled pins the negative-budget escape hatch: with caching off
+// every identical request recomputes and no cache metrics move.
+func TestCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheBytes: -1})
+	for i := 0; i < 2; i++ {
+		if ar, code := postSimulate(t, ts, `{"model":"lenet"}`); code != http.StatusOK || ar.Cached {
+			t.Fatalf("request %d: code %d cached %v", i, code, ar.Cached)
+		}
+	}
+	m := s.Metrics()
+	if m.Counter("started") != 2 {
+		t.Fatalf("started %d, want 2 recomputations", m.Counter("started"))
+	}
+	if m.Counter("cache_hits")+m.Counter("cache_misses")+m.Counter("cache_stores") != 0 {
+		t.Fatal("disabled cache recorded lookups")
+	}
+}
+
+// TestSimulateSeedZeroDistinct pins the seed-zero regression: seed 0 is a
+// real victim, not an alias for the default, while an omitted seed and an
+// explicit seed 2 share one result.
+func TestSimulateSeedZeroDistinct(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	if ar, code := postSimulate(t, ts, `{"model":"lenet","seed":0}`); code != http.StatusOK || ar.NumStructures == 0 {
+		t.Fatalf("seed 0: code %d resp %+v", code, ar)
+	}
+	if ar, code := postSimulate(t, ts, `{"model":"lenet"}`); code != http.StatusOK || ar.Cached {
+		t.Fatalf("omitted seed: code %d cached %v — seed 0 and the default collided", code, ar.Cached)
+	}
+	m := s.Metrics()
+	if m.Counter("cache_misses") != 2 || m.Counter("cache_hits") != 0 {
+		t.Fatalf("seed 0 vs default: misses %d hits %d, want 2/0", m.Counter("cache_misses"), m.Counter("cache_hits"))
+	}
+
+	// The documented default: an omitted seed is exactly seed 2.
+	if ar, code := postSimulate(t, ts, `{"model":"lenet","seed":2}`); code != http.StatusOK || !ar.Cached {
+		t.Fatalf("seed 2: code %d cached %v — omitted seed did not resolve to 2", code, ar.Cached)
+	}
+	if m.Counter("started") != 2 {
+		t.Fatalf("started %d, want 2 (seed 2 served from the omitted-seed entry)", m.Counter("started"))
+	}
+}
+
+// TestClientDisconnectWritesNothing pins the disconnect regression: when
+// the client is gone before the job finishes, the server writes no status
+// and no body (previously a 408 nobody could receive) and records the
+// abandoned outcome.
+func TestClientDisconnectWritesNothing(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the job even starts
+	req := httptest.NewRequest(http.MethodPost, "/v1/attack/simulate", strings.NewReader(`{"model":"lenet"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	// Nothing was written: the recorder still holds its zero-value 200 with
+	// an empty body, meaning net/http would just drop the dead connection.
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnected client was sent a body: %q", rec.Body.String())
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d written to a disconnected client", rec.Code)
+	}
+	m := s.Metrics()
+	if m.Counter("abandoned") != 1 || m.Counter("cancelled") != 1 {
+		t.Fatalf("abandoned %d cancelled %d, want 1/1", m.Counter("abandoned"), m.Counter("cancelled"))
+	}
+	if m.Counter("cache_stores") != 0 {
+		t.Fatal("abandoned job stored a cache entry")
+	}
+}
+
 // TestSimulateWeightAttack runs the §4-compatible victim through the
 // service with weight recovery enabled.
 func TestSimulateWeightAttack(t *testing.T) {

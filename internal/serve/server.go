@@ -37,6 +37,10 @@ type Config struct {
 	// default). It protects the service from pathological traces whose
 	// candidate count explodes.
 	MaxStructures int
+	// CacheBytes bounds the content-addressed result cache (keys plus
+	// stored response bodies). 0 selects the 256 MiB default; negative
+	// disables caching entirely.
+	CacheBytes int64
 	// Logger receives structured per-job logs; defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -53,6 +57,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 64 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -85,10 +92,11 @@ func (j *job) finish(resp *attackResponse, status int, err error) {
 
 // Server runs the bounded job queue and its HTTP surface.
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	met *Metrics
-	mux *http.ServeMux
+	cfg   Config
+	log   *slog.Logger
+	met   *Metrics
+	mux   *http.ServeMux
+	cache *resultCache // nil when caching is disabled
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -103,6 +111,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{cfg: cfg, log: cfg.Logger, met: newMetrics()}
+	if cfg.CacheBytes > 0 {
+		s.cache = newResultCache(cfg.CacheBytes)
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -124,6 +135,14 @@ func (s *Server) queueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.pending)
+}
+
+// cacheStats reports the result cache's occupancy; zeros when disabled.
+func (s *Server) cacheStats() (bytes int64, entries int) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.stats()
 }
 
 // enqueue admits a job to the bounded queue, or reports why it cannot.
