@@ -1,8 +1,11 @@
 package cnnrev
 
 import (
+	"context"
 	"io"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"cnnrev/internal/accel"
@@ -538,4 +541,98 @@ func BenchmarkPipeline_LeNet(b *testing.B) {
 		ranked = len(scores)
 	}
 	b.ReportMetric(float64(ranked), "candidates_ranked")
+}
+
+// ---------------------------------------------------------------------------
+// Candidate-ranking schedules: flat full-budget training vs the
+// successive-halving tournament on a wide report (LeNet at timing tolerance
+// 4.0 yields ~93 candidates). Both benchmarks rank the identical report
+// with the identical seed; the Halving variant asserts it selects the same
+// top-1 as the flat reference — a winner whose full-budget validation
+// accuracy is bit-equal to the flat winner's (under an exact accuracy tie
+// the selection criterion cannot distinguish the tied candidates, so that
+// is what "same top-1" means) — while spending at least 3x fewer training
+// epochs. Committed numbers live in results/perf_rank.md and
+// results/bench_rank.json.
+// ---------------------------------------------------------------------------
+
+var rankBench struct {
+	once  sync.Once
+	rep   *core.StructureReport
+	input nn.Shape
+	rc    core.RankConfig
+	flat  *core.RankResult // untimed reference for the top-1 assertion
+	err   error
+}
+
+func rankBenchSetup(b *testing.B) {
+	b.Helper()
+	rankBench.once.Do(func() {
+		net := nn.LeNet(10)
+		net.InitWeights(1)
+		opt := structrev.DefaultOptions()
+		opt.TimingSpreadMax = 4.0
+		rep, err := core.RunStructureAttack(net, accel.Config{}, opt, 2)
+		if err != nil {
+			rankBench.err = err
+			return
+		}
+		rankBench.rep = rep
+		rankBench.input = net.Input
+		rankBench.rc = core.RankConfig{Classes: 4, PerClass: 24, Epochs: 12, DepthDiv: 1, Seed: 9}
+		rankBench.flat = core.RankCandidatesResult(context.Background(), rep, net.Input, rankBench.rc)
+	})
+	if rankBench.err != nil {
+		b.Fatal(rankBench.err)
+	}
+	if n := len(rankBench.flat.Scores); n < 64 {
+		b.Fatalf("want a >= 64-candidate report, got %d", n)
+	}
+}
+
+func BenchmarkRank_Flat(b *testing.B) {
+	rankBenchSetup(b)
+	b.ReportAllocs()
+	var res *core.RankResult
+	for i := 0; i < b.N; i++ {
+		res = core.RankCandidatesResult(context.Background(), rankBench.rep, rankBench.input, rankBench.rc)
+	}
+	if res.Scores[0].Index != rankBench.flat.Scores[0].Index {
+		b.Fatalf("flat ranking nondeterministic: top-1 %d vs %d", res.Scores[0].Index, rankBench.flat.Scores[0].Index)
+	}
+	b.ReportMetric(float64(res.TotalEpochs), "total_epochs")
+	b.ReportMetric(float64(len(res.Scores)), "candidates")
+}
+
+func BenchmarkRank_Halving(b *testing.B) {
+	rankBenchSetup(b)
+	b.ReportAllocs()
+	rc := rankBench.rc
+	rc.Halving, rc.Eta, rc.MinEpochs = true, 2, 1
+	var res *core.RankResult
+	for i := 0; i < b.N; i++ {
+		res = core.RankCandidatesResult(context.Background(), rankBench.rep, rankBench.input, rc)
+	}
+	ref := rankBench.flat
+	best := math.Float64bits(ref.Scores[0].Accuracy)
+	sameTop1 := false
+	for _, sc := range ref.Scores {
+		if sc.Index == res.Scores[0].Index {
+			sameTop1 = math.Float64bits(sc.Accuracy) == best && sc.Epochs == ref.Scores[0].Epochs
+			break
+		}
+	}
+	if !sameTop1 {
+		b.Fatalf("tournament top-1 %d (acc %.4f) is not flat's top-1 selection (candidate %d, acc %.4f)",
+			res.Scores[0].Index, res.Scores[0].Accuracy, ref.Scores[0].Index, ref.Scores[0].Accuracy)
+	}
+	if math.Float64bits(res.Scores[0].Accuracy) != best {
+		b.Fatalf("winner accuracy differs: %v vs %v", res.Scores[0].Accuracy, ref.Scores[0].Accuracy)
+	}
+	if res.TotalEpochs*3 > ref.TotalEpochs {
+		b.Fatalf("epoch reduction below 3x: tournament %d vs flat %d", res.TotalEpochs, ref.TotalEpochs)
+	}
+	b.ReportMetric(float64(res.TotalEpochs), "total_epochs")
+	b.ReportMetric(float64(ref.TotalEpochs)/float64(res.TotalEpochs), "epoch_reduction_x")
+	b.ReportMetric(float64(len(res.Scores)), "candidates")
 }

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,ablations")
+	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,rank,ablations")
 	outdir := flag.String("outdir", "results", "directory for CSV artifacts")
 	scale := flag.String("scale", "smoke", "training scale for figs 4/5: smoke|medium|full")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -138,6 +138,19 @@ func main() {
 			path := filepath.Join(*outdir, "noise_sweep.md")
 			fatal(os.WriteFile(path, []byte(md), 0o644))
 			fmt.Printf("markdown written to %s\n", path)
+		})
+	}
+	if all || want["rank"] {
+		timed("rank", func() {
+			rows, err := experiments.RankPerf(*scale)
+			fatal(err)
+			md := experiments.FormatRankPerf(*scale, rows)
+			fmt.Print(md)
+			mdPath := filepath.Join(*outdir, "perf_rank.md")
+			fatal(os.WriteFile(mdPath, []byte(md), 0o644))
+			jsonPath := filepath.Join(*outdir, "bench_rank.json")
+			fatal(experiments.WriteBenchRankJSON(jsonPath, *scale, rows))
+			fmt.Printf("markdown written to %s, JSON to %s\n", mdPath, jsonPath)
 		})
 	}
 	if all || want["ablations"] {

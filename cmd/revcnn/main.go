@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,10 @@ func main() {
 	tol := flag.Float64("tol", 1.35, "execution-time filter tolerance (max cycles-per-MAC spread)")
 	rank := flag.Bool("rank", false, "short-train candidates on synthetic data and rank them (Figs 4-5)")
 	depthDiv := flag.Int("depthdiv", 16, "depth scaling for candidate training")
+	epochs := flag.Int("epochs", 0, "with -rank: per-candidate epoch budget (0 = default)")
+	halving := flag.Bool("halving", false, "with -rank: successive-halving tournament instead of full-budget training")
+	eta := flag.Int("eta", 0, "with -halving: elimination factor (0 = default 2)")
+	minEpochs := flag.Int("minepochs", 0, "with -halving: first-rung epoch budget (0 = default 1)")
 	seed := flag.Int64("seed", 2, "victim weight/input seed")
 	traceFile := flag.String("trace", "", "attack a recorded trace file (from cmd/tracegen) instead of simulating; requires -inw/-ind/-classes")
 	inW := flag.Int("inw", 0, "with -trace: input width")
@@ -69,15 +74,27 @@ func main() {
 
 	if *rank {
 		fmt.Println("\nshort-training candidates on synthetic data...")
-		scores := cnnrev.RankCandidates(rep, net.Input, cnnrev.RankConfig{
-			DepthDiv: *depthDiv, Seed: *seed,
+		res := cnnrev.RankCandidatesResult(context.Background(), rep, net.Input, cnnrev.RankConfig{
+			DepthDiv: *depthDiv, Seed: *seed, Epochs: *epochs,
+			Halving: *halving, Eta: *eta, MinEpochs: *minEpochs,
 		})
-		for i, s := range scores {
+		if res.Halving {
+			fmt.Printf("successive-halving tournament: %d epochs total across %d rungs\n",
+				res.TotalEpochs, len(res.Rungs))
+			for i, rg := range res.Rungs {
+				fmt.Printf("  rung %d: %3d candidates x budget %2d  (%4d epochs, %d eliminated)\n",
+					i, rg.Candidates, rg.TargetEpochs, rg.Epochs, rg.Eliminated)
+			}
+		}
+		if res.Skipped > 0 {
+			fmt.Printf("candidate cap: %d candidates never trained\n", res.Skipped)
+		}
+		for i, s := range res.Scores {
 			mark := ""
 			if s.IsTruth {
 				mark = "  <-- original structure"
 			}
-			fmt.Printf("%3d. candidate %2d  acc %.3f%s\n", i+1, s.Index, s.Accuracy, mark)
+			fmt.Printf("%3d. candidate %2d  acc %.3f  (%d epochs)%s\n", i+1, s.Index, s.Accuracy, s.Epochs, mark)
 		}
 	}
 }

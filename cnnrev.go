@@ -65,6 +65,11 @@ type (
 	RankConfig = core.RankConfig
 	// CandidateScore is a ranked candidate structure.
 	CandidateScore = core.CandidateScore
+	// RankResult is the full outcome of a candidate ranking, including the
+	// successive-halving rung schedule and epoch accounting.
+	RankResult = core.RankResult
+	// RungStat is one rung of a successive-halving tournament.
+	RungStat = core.RungStat
 	// ORAMConfig parameterizes the Path ORAM defense.
 	ORAMConfig = oram.Config
 	// ORAMStats reports obfuscation cost.
@@ -141,6 +146,14 @@ func RunStructureAttackCtx(ctx context.Context, net *Network, cfg AccelConfig, o
 // accuracy and the context error, sorted after every real score.
 func RankCandidatesCtx(ctx context.Context, rep *StructureReport, input Shape, rc RankConfig) []CandidateScore {
 	return core.RankCandidatesCtx(ctx, rep, input, rc)
+}
+
+// RankCandidatesResult is RankCandidatesCtx returning the full RankResult:
+// scores plus the rung schedule, total epoch work, and how many candidates
+// a MaxCandidates cap skipped. With RankConfig.Halving set it runs the
+// successive-halving tournament instead of the flat schedule.
+func RankCandidatesResult(ctx context.Context, rep *StructureReport, input Shape, rc RankConfig) *RankResult {
+	return core.RankCandidatesResult(ctx, rep, input, rc)
 }
 
 // RunWeightAttackCtx is RunWeightAttack with cooperative cancellation at

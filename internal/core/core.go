@@ -12,15 +12,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/corrupt"
-	"cnnrev/internal/dataset"
 	"cnnrev/internal/nn"
 	"cnnrev/internal/structrev"
-	"cnnrev/internal/tensor"
 	"cnnrev/internal/weightrev"
 )
 
@@ -348,138 +345,6 @@ func scaleDim(d, div int) int {
 		s = 1
 	}
 	return s
-}
-
-// RankConfig parameterizes candidate ranking (Figures 4 and 5).
-type RankConfig struct {
-	Classes   int
-	PerClass  int // training samples per class (plus PerClass/3 test)
-	Epochs    int
-	DepthDiv  int
-	TopK      int // accuracy metric: top-K
-	Seed      int64
-	LR        float32
-	BatchSize int
-	// MaxCandidates caps how many structures are trained (0 = all).
-	MaxCandidates int
-	// Serial forces the candidates to be trained one after another on the
-	// calling goroutine — the reference schedule the determinism regression
-	// tests compare the default parallel ranking against.
-	Serial bool
-}
-
-// CandidateScore is one ranked candidate structure.
-type CandidateScore struct {
-	Index    int
-	Accuracy float64
-	IsTruth  bool
-	Err      error
-}
-
-// RankCandidates short-trains every recovered candidate on a synthetic
-// dataset and ranks them by validation accuracy — the paper's method for
-// picking the final structure (its Figures 4 and 5). The input resolution
-// and channel count follow the victim; depth scaling substitutes for the
-// paper's full-scale ImageNet training (see DESIGN.md §2).
-func RankCandidates(rep *StructureReport, input nn.Shape, rc RankConfig) []CandidateScore {
-	return RankCandidatesCtx(context.Background(), rep, input, rc)
-}
-
-// RankCandidatesCtx is RankCandidates with cooperative cancellation at
-// candidate and epoch granularity: a cancelled ranking abandons untrained
-// candidates (and unfinished epochs) and marks their scores with ctx's
-// error and a NaN accuracy, which sorts them after every real score. The
-// per-candidate RNG and shard-state isolation means a cancelled run leaves
-// no residue — a subsequent rank over the same report is bit-identical to
-// one that was never preceded by a cancellation.
-func RankCandidatesCtx(ctx context.Context, rep *StructureReport, input nn.Shape, rc RankConfig) []CandidateScore {
-	if rc.Classes == 0 {
-		rc.Classes = 4
-	}
-	if rc.PerClass == 0 {
-		rc.PerClass = 12
-	}
-	if rc.Epochs == 0 {
-		rc.Epochs = 3
-	}
-	if rc.DepthDiv == 0 {
-		rc.DepthDiv = 16
-	}
-	if rc.TopK == 0 {
-		rc.TopK = 1
-	}
-	if rc.LR == 0 {
-		rc.LR = 0.1
-	}
-	if rc.BatchSize == 0 {
-		rc.BatchSize = 8
-	}
-	testPer := rc.PerClass/3 + 1
-	ds := dataset.Synthetic(rc.Classes, rc.PerClass+testPer, input.C, input.H, input.W, rc.Seed+100)
-	train, test := ds.Split(rc.Classes * rc.PerClass)
-
-	n := len(rep.Structures)
-	if rc.MaxCandidates > 0 && n > rc.MaxCandidates {
-		n = rc.MaxCandidates
-	}
-	// Candidates are fully independent: weights are seeded per candidate
-	// (Seed+i) and each gets a private epoch-shuffle RNG, so training them
-	// concurrently on the shared worker pool reorders nothing observable.
-	// scores[i] is written by exactly one task, the pre-sort order is index
-	// order either way, and sort.Slice is deterministic for a fixed input
-	// order — the ranking is bit-identical to the Serial schedule.
-	scores := make([]CandidateScore, n)
-	rankOne := func(i int) {
-		sc := CandidateScore{Index: i, IsTruth: i == rep.TruthIndex}
-		defer func() { scores[i] = sc }()
-		if err := ctx.Err(); err != nil {
-			sc.Err = err
-			sc.Accuracy = math.NaN()
-			return
-		}
-		net, err := Materialize(rep.Analysis, &rep.Structures[i], input, rc.Classes, rc.DepthDiv)
-		if err != nil {
-			sc.Err = err
-			sc.Accuracy = math.NaN()
-			return
-		}
-		net.InitWeights(rc.Seed + int64(i))
-		tr := nn.NewTrainer(net)
-		tr.LR = rc.LR
-		tr.BatchSize = rc.BatchSize
-		tr.ClipNorm = 1.0 // deep candidates at aggressive rates need clipping
-		rng := rand.New(rand.NewSource(rc.Seed + 7))
-		for e := 0; e < rc.Epochs; e++ {
-			if err := ctx.Err(); err != nil {
-				sc.Err = err
-				sc.Accuracy = math.NaN()
-				return
-			}
-			tr.Epoch(train.X, train.Y, rng)
-		}
-		sc.Accuracy = nn.Accuracy(net, test.X, test.Y, rc.TopK)
-	}
-	if rc.Serial {
-		for i := 0; i < n; i++ {
-			rankOne(i)
-		}
-	} else {
-		tensor.Parallel(n, rankOne)
-	}
-	// Stable sort so candidates with equal accuracies — and the NaN block of
-	// cancelled/failed candidates — keep index order, making the output
-	// well-defined even when a deadline strikes mid-rank.
-	sort.SliceStable(scores, func(i, j int) bool {
-		ai, aj := scores[i].Accuracy, scores[j].Accuracy
-		if math.IsNaN(aj) {
-			return !math.IsNaN(ai)
-		}
-		if math.IsNaN(ai) {
-			return false
-		}
-		return ai > aj
-	})
-	return scores
 }
 
 // WeightReport is the outcome of the §4 weight attack on one conv layer.

@@ -156,12 +156,24 @@ func rankFromQuery(r *http.Request) (*rankParams, error) {
 	if rp.MaxCandidates, err = queryInt(r, "rank_max_candidates", 0); err != nil {
 		return nil, err
 	}
+	if rp.Halving, err = queryBool(r, "rank_halving"); err != nil {
+		return nil, err
+	}
+	if rp.Eta, err = queryInt(r, "rank_eta", 0); err != nil {
+		return nil, err
+	}
+	if rp.MinEpochs, err = queryInt(r, "rank_min_epochs", 0); err != nil {
+		return nil, err
+	}
 	if v := r.URL.Query().Get("rank_seed"); v != "" {
 		seed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad rank_seed=%q", v)
 		}
 		rp.Seed = seed
+	}
+	if err := rp.validate(); err != nil {
+		return nil, err
 	}
 	return rp, nil
 }
@@ -322,6 +334,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if sr.Rank != nil {
+		if err := sr.Rank.validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	seed := int64(2) // documented default for an omitted seed
 	if sr.Seed != nil {

@@ -27,6 +27,29 @@ type rankParams struct {
 	TopK          int   `json:"top_k"`
 	Seed          int64 `json:"seed"`
 	MaxCandidates int   `json:"max_candidates"`
+
+	// Successive-halving tournament knobs (core.RankConfig.Halving/Eta/
+	// MinEpochs). The zero values select the flat schedule.
+	Halving   bool `json:"halving"`
+	Eta       int  `json:"eta"`
+	MinEpochs int  `json:"min_epochs"`
+}
+
+// validate bounds the tournament knobs. Eta/MinEpochs without halving are
+// rejected rather than ignored: a silent no-op would still mint a distinct
+// result-cache key and return a flat ranking under tournament-looking
+// parameters.
+func (p *rankParams) validate() error {
+	if p.Eta < 0 || p.Eta > 64 {
+		return fmt.Errorf("rank eta must be in [0,64], got %d", p.Eta)
+	}
+	if p.MinEpochs < 0 || p.MinEpochs > 1<<20 {
+		return fmt.Errorf("rank min_epochs must be in [0,%d], got %d", 1<<20, p.MinEpochs)
+	}
+	if !p.Halving && (p.Eta != 0 || p.MinEpochs != 0) {
+		return fmt.Errorf("rank eta/min_epochs require halving=true")
+	}
+	return nil
 }
 
 // attackRequest is a fully parsed job input, either a decoded uploaded
@@ -92,7 +115,9 @@ func (req *attackRequest) cacheKey() string {
 		c.Seed, c.DropRate, c.SplitRate, c.CoalesceRate, c.ReorderWindow,
 		c.InterferenceRate, c.InterferenceRegions, c.ProbeGranularityBlocks)
 	if r := req.rank; r != nil {
-		fmt.Fprintf(&b, "rank=%d,%d,%d,%d,%d,%d,%d", r.Classes, r.PerClass, r.Epochs, r.DepthDiv, r.TopK, r.Seed, r.MaxCandidates)
+		fmt.Fprintf(&b, "rank=%d,%d,%d,%d,%d,%d,%d,h=%t,%d,%d",
+			r.Classes, r.PerClass, r.Epochs, r.DepthDiv, r.TopK, r.Seed, r.MaxCandidates,
+			r.Halving, r.Eta, r.MinEpochs)
 	} else {
 		b.WriteString("rank=-")
 	}
@@ -167,6 +192,23 @@ type scoreJSON struct {
 	Accuracy  *float64 `json:"accuracy"` // null when training failed or was cancelled
 	IsTruth   bool     `json:"is_truth,omitempty"`
 	Error     string   `json:"error,omitempty"`
+	Epochs    int      `json:"epochs,omitempty"` // training epochs received (partial under halving elimination)
+}
+
+// rungJSON is one successive-halving rung in the response.
+type rungJSON struct {
+	TargetEpochs int `json:"target_epochs"`
+	Candidates   int `json:"candidates"`
+	Epochs       int `json:"epochs"`
+	Eliminated   int `json:"eliminated"`
+}
+
+// rankMetaJSON summarizes the ranking schedule that produced the scores.
+type rankMetaJSON struct {
+	Halving     bool       `json:"halving"`
+	TotalEpochs int        `json:"total_epochs"`
+	Skipped     int        `json:"skipped,omitempty"` // candidates never trained (MaxCandidates cap)
+	Rungs       []rungJSON `json:"rungs,omitempty"`
 }
 
 type weightsJSON struct {
@@ -205,6 +247,7 @@ type attackResponse struct {
 	Truncated     bool             `json:"structures_truncated,omitempty"`
 	TruthIndex    *int             `json:"truth_index,omitempty"`
 	Scores        []scoreJSON      `json:"scores,omitempty"`
+	Rank          *rankMetaJSON    `json:"rank,omitempty"`
 	Weights       *weightsJSON     `json:"weights,omitempty"`
 	WeightsError  string           `json:"weights_error,omitempty"`
 	TraceBytes    uint64           `json:"trace_bytes,omitempty"`
@@ -395,12 +438,14 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			Classes: req.rank.Classes, PerClass: req.rank.PerClass, Epochs: req.rank.Epochs,
 			DepthDiv: req.rank.DepthDiv, TopK: req.rank.TopK, Seed: req.rank.Seed,
 			MaxCandidates: req.rank.MaxCandidates,
+			Halving:       req.rank.Halving, Eta: req.rank.Eta, MinEpochs: req.rank.MinEpochs,
 		}
 		t0 := time.Now()
-		scores := core.RankCandidatesCtx(ctx, rep, input, rc)
+		rres := core.RankCandidatesResult(ctx, rep, input, rc)
 		observe("rank", time.Since(t0))
-		for _, sc := range scores {
-			sj := scoreJSON{Candidate: sc.Index, IsTruth: sc.IsTruth}
+		s.met.ObserveRank(rres)
+		for _, sc := range rres.Scores {
+			sj := scoreJSON{Candidate: sc.Index, IsTruth: sc.IsTruth, Epochs: sc.Epochs}
 			if !math.IsNaN(sc.Accuracy) {
 				acc := sc.Accuracy
 				sj.Accuracy = &acc
@@ -410,6 +455,14 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			}
 			resp.Scores = append(resp.Scores, sj)
 		}
+		meta := &rankMetaJSON{Halving: rres.Halving, TotalEpochs: rres.TotalEpochs, Skipped: rres.Skipped}
+		for _, rg := range rres.Rungs {
+			meta.Rungs = append(meta.Rungs, rungJSON{
+				TargetEpochs: rg.TargetEpochs, Candidates: rg.Candidates,
+				Epochs: rg.Epochs, Eliminated: rg.Eliminated,
+			})
+		}
+		resp.Rank = meta
 		if ctx.Err() != nil {
 			s.met.MarkStageCancelled("rank")
 			resp.Partial = true

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cnnrev/internal/core"
 	"cnnrev/internal/tensor"
 )
 
@@ -60,9 +61,25 @@ type Metrics struct {
 	cacheStores    atomic.Int64
 	cacheEvictions atomic.Int64
 
+	// Candidate-ranking counters. The per-rung arrays are indexed by rung
+	// number with the last bucket absorbing overflow, keeping the /metrics
+	// label cardinality fixed no matter what schedule a request asks for.
+	rankFlat           atomic.Int64
+	rankHalving        atomic.Int64
+	rankEpochs         atomic.Int64
+	rankSkipped        atomic.Int64
+	rankEliminated     atomic.Int64
+	rankRungEpochs     [rankRungBuckets]atomic.Int64
+	rankRungCandidates [rankRungBuckets]atomic.Int64
+
 	stageLat    map[string]*histogram
 	stageCancel map[string]*atomic.Int64
 }
+
+// rankRungBuckets bounds the per-rung metric label set. Eta=2 from
+// MinEpochs=1 reaches any practical Epochs budget well inside 12 rungs;
+// deeper schedules fold into the final bucket.
+const rankRungBuckets = 12
 
 func newMetrics() *Metrics {
 	m := &Metrics{
@@ -88,6 +105,40 @@ func (m *Metrics) MarkStageCancelled(stage string) {
 	if c := m.stageCancel[stage]; c != nil {
 		c.Add(1)
 	}
+}
+
+// ObserveRank accumulates one ranking run's schedule into the rank
+// counters: flat/tournament split, total epoch work, MaxCandidates skips,
+// rung-boundary eliminations, and per-rung epoch/candidate totals.
+func (m *Metrics) ObserveRank(res *core.RankResult) {
+	if res.Halving {
+		m.rankHalving.Add(1)
+	} else {
+		m.rankFlat.Add(1)
+	}
+	m.rankEpochs.Add(int64(res.TotalEpochs))
+	m.rankSkipped.Add(int64(res.Skipped))
+	for i, r := range res.Rungs {
+		b := i
+		if b >= rankRungBuckets {
+			b = rankRungBuckets - 1
+		}
+		m.rankRungEpochs[b].Add(int64(r.Epochs))
+		m.rankRungCandidates[b].Add(int64(r.Candidates))
+		m.rankEliminated.Add(int64(r.Eliminated))
+	}
+}
+
+// RankRung returns the per-rung (epochs, candidates) totals for a rung
+// index, folding overflow into the last bucket like the writer does.
+func (m *Metrics) RankRung(i int) (epochs, candidates int64) {
+	if i < 0 {
+		return 0, 0
+	}
+	if i >= rankRungBuckets {
+		i = rankRungBuckets - 1
+	}
+	return m.rankRungEpochs[i].Load(), m.rankRungCandidates[i].Load()
 }
 
 // Counter returns a lifecycle counter by its short name; unknown names
@@ -122,6 +173,16 @@ func (m *Metrics) Counter(name string) int64 {
 		return m.cacheStores.Load()
 	case "cache_evictions":
 		return m.cacheEvictions.Load()
+	case "rank_flat":
+		return m.rankFlat.Load()
+	case "rank_halving":
+		return m.rankHalving.Load()
+	case "rank_epochs":
+		return m.rankEpochs.Load()
+	case "rank_skipped":
+		return m.rankSkipped.Load()
+	case "rank_eliminated":
+		return m.rankEliminated.Load()
 	}
 	return 0
 }
@@ -165,6 +226,11 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheByt
 	counter("cache_bypassed_total", "Requests that skipped the cache lookup via cache_bypass.", m.cacheBypassed.Load())
 	counter("cache_stores_total", "Completed results stored in the cache.", m.cacheStores.Load())
 	counter("cache_evictions_total", "Entries evicted to stay under the cache byte budget.", m.cacheEvictions.Load())
+	counter("rank_flat_total", "Candidate rankings run on the flat full-budget schedule.", m.rankFlat.Load())
+	counter("rank_halving_total", "Candidate rankings run as successive-halving tournaments.", m.rankHalving.Load())
+	counter("rank_epochs_total", "Training epochs spent ranking candidates.", m.rankEpochs.Load())
+	counter("rank_skipped_total", "Candidates never trained because of a MaxCandidates cap.", m.rankSkipped.Load())
+	counter("rank_eliminated_total", "Candidates eliminated at tournament rung boundaries.", m.rankEliminated.Load())
 	gauge("cache_bytes", "Bytes held by the result cache (keys + bodies).", cacheBytes)
 	gauge("cache_entries", "Entries held by the result cache.", int64(cacheEntries))
 	gauge("jobs_running", "Jobs currently executing on workers.", m.running.Load())
@@ -188,5 +254,20 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheByt
 	fmt.Fprintf(w, "# HELP revcnnd_stage_cancelled_total Context expirations observed inside a stage.\n# TYPE revcnnd_stage_cancelled_total counter\n")
 	for _, s := range stageNames {
 		fmt.Fprintf(w, "revcnnd_stage_cancelled_total{stage=%q} %d\n", s, m.stageCancel[s].Load())
+	}
+
+	rungLabel := func(i int) string {
+		if i == rankRungBuckets-1 {
+			return fmt.Sprintf("%d+", i)
+		}
+		return fmt.Sprintf("%d", i)
+	}
+	fmt.Fprintf(w, "# HELP revcnnd_rank_rung_epochs_total Training epochs spent at each tournament rung (rung 0 is the flat schedule's only rung).\n# TYPE revcnnd_rank_rung_epochs_total counter\n")
+	for i := range m.rankRungEpochs {
+		fmt.Fprintf(w, "revcnnd_rank_rung_epochs_total{rung=%q} %d\n", rungLabel(i), m.rankRungEpochs[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP revcnnd_rank_rung_candidates_total Candidates entering each tournament rung.\n# TYPE revcnnd_rank_rung_candidates_total counter\n")
+	for i := range m.rankRungCandidates {
+		fmt.Fprintf(w, "revcnnd_rank_rung_candidates_total{rung=%q} %d\n", rungLabel(i), m.rankRungCandidates[i].Load())
 	}
 }

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRankHalvingEndToEnd runs a short successive-halving tournament
+// through /v1/attack/simulate and checks the schedule surfaces in the
+// response and on the rank metrics.
+func TestRankHalvingEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := `{"model":"lenet","rank":{"classes":2,"per_class":6,"epochs":4,"max_candidates":6,"halving":true,"eta":2,"min_epochs":1}}`
+	ar, code := postSimulate(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("halving simulate: status %d", code)
+	}
+	if ar.Rank == nil || !ar.Rank.Halving {
+		t.Fatalf("response rank meta missing or not halving: %+v", ar.Rank)
+	}
+	if len(ar.Rank.Rungs) < 2 {
+		t.Fatalf("want a multi-rung tournament, got rungs %+v", ar.Rank.Rungs)
+	}
+	if ar.Rank.Rungs[0].Candidates != 6 || ar.Rank.Rungs[0].TargetEpochs != 1 {
+		t.Fatalf("first rung %+v, want 6 candidates at budget 1", ar.Rank.Rungs[0])
+	}
+	if ar.Rank.TotalEpochs <= 0 || ar.Rank.TotalEpochs >= 6*4 {
+		t.Fatalf("tournament total epochs %d, want in (0, flat=24)", ar.Rank.TotalEpochs)
+	}
+	if len(ar.Scores) != 6 {
+		t.Fatalf("want 6 scores, got %d", len(ar.Scores))
+	}
+	if ar.Scores[0].Epochs != 4 {
+		t.Fatalf("top score trained %d epochs, want the full budget 4", ar.Scores[0].Epochs)
+	}
+	if ar.Rank.Skipped == 0 {
+		t.Fatalf("max_candidates=6 on a %d-structure report should record skips", ar.NumStructures)
+	}
+
+	if got := s.met.Counter("rank_halving"); got != 1 {
+		t.Fatalf("rank_halving counter %d, want 1", got)
+	}
+	if got := s.met.Counter("rank_epochs"); got != int64(ar.Rank.TotalEpochs) {
+		t.Fatalf("rank_epochs counter %d, want %d", got, ar.Rank.TotalEpochs)
+	}
+	if got := s.met.Counter("rank_eliminated"); got <= 0 {
+		t.Fatalf("rank_eliminated counter %d, want > 0", got)
+	}
+	if ep, cands := s.met.RankRung(0); ep != int64(ar.Rank.Rungs[0].Epochs) || cands != 6 {
+		t.Fatalf("rung-0 metrics (%d epochs, %d candidates), want (%d, 6)", ep, cands, ar.Rank.Rungs[0].Epochs)
+	}
+
+	// A flat ranking increments the other side of the split.
+	flat, code := postSimulate(t, ts, `{"model":"lenet","rank":{"classes":2,"per_class":6,"epochs":2,"max_candidates":4}}`)
+	if code != http.StatusOK {
+		t.Fatalf("flat simulate: status %d", code)
+	}
+	if flat.Rank == nil || flat.Rank.Halving {
+		t.Fatalf("flat rank meta wrong: %+v", flat.Rank)
+	}
+	if len(flat.Rank.Rungs) != 1 || flat.Rank.Rungs[0].TargetEpochs != 2 {
+		t.Fatalf("flat schedule should be one full-budget rung, got %+v", flat.Rank.Rungs)
+	}
+	if got := s.met.Counter("rank_flat"); got != 1 {
+		t.Fatalf("rank_flat counter %d, want 1", got)
+	}
+
+	// The per-rung counters surface on /metrics.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"revcnnd_rank_halving_total 1",
+		"revcnnd_rank_flat_total 1",
+		`revcnnd_rank_rung_epochs_total{rung="0"}`,
+		`revcnnd_rank_rung_candidates_total{rung="11+"}`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRankParamsRejected covers the 400 surface on both endpoints: out-of-
+// range tournament knobs, and eta/min_epochs without halving (a silent
+// no-op would mint a tournament-looking cache key for a flat ranking).
+func TestRankParamsRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	jsonBad := []string{
+		`{"model":"lenet","rank":{"eta":2}}`,
+		`{"model":"lenet","rank":{"min_epochs":3}}`,
+		`{"model":"lenet","rank":{"halving":true,"eta":65}}`,
+		`{"model":"lenet","rank":{"halving":true,"eta":-1}}`,
+		`{"model":"lenet","rank":{"halving":true,"min_epochs":-1}}`,
+	}
+	for _, body := range jsonBad {
+		if _, code := postSimulate(t, ts, body); code != http.StatusBadRequest {
+			t.Fatalf("simulate %s: status %d, want 400", body, code)
+		}
+	}
+	queryBad := []string{
+		"rank=1&rank_eta=2",
+		"rank=1&rank_halving=1&rank_eta=100",
+		"rank=1&rank_halving=1&rank_min_epochs=-2",
+		"rank=1&rank_halving=maybe",
+	}
+	for _, q := range queryBad {
+		resp, err := ts.Client().Post(ts.URL+"/v1/attack/trace?inw=28&ind=1&classes=10&"+q, "application/octet-stream", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("trace?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// The valid query spelling runs a real tournament on an uploaded trace.
+	raw, _ := lenetTraceBytes(t)
+	q := "inw=28&ind=1&classes=10&rank=1&rank_classes=2&rank_per_class=4&rank_epochs=2&rank_max_candidates=3&rank_halving=1&rank_eta=2&rank_min_epochs=1"
+	resp, err := ts.Client().Post(ts.URL+"/v1/attack/trace?"+q, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("valid rank tournament query: status %d: %s", resp.StatusCode, b)
+	}
+	var ar attackResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Rank == nil || !ar.Rank.Halving || len(ar.Scores) == 0 {
+		t.Fatalf("trace-endpoint tournament missing rank meta/scores: %+v", ar.Rank)
+	}
+}
+
+// TestRankCacheKeyDistinguishesHalving: a flat and a tournament ranking of
+// the same victim must occupy distinct result-cache entries, while each
+// schedule individually still hits its own entry on repeat.
+func TestRankCacheKeyDistinguishesHalving(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	flatBody := `{"model":"lenet","rank":{"classes":2,"per_class":4,"epochs":2,"max_candidates":3}}`
+	halvBody := `{"model":"lenet","rank":{"classes":2,"per_class":4,"epochs":2,"max_candidates":3,"halving":true,"eta":2,"min_epochs":1}}`
+
+	if ar, code := postSimulate(t, ts, flatBody); code != http.StatusOK || ar.Cached {
+		t.Fatalf("first flat: code %d cached %v", code, ar != nil && ar.Cached)
+	}
+	// Same victim, tournament schedule: must miss, not serve the flat body.
+	ar, code := postSimulate(t, ts, halvBody)
+	if code != http.StatusOK || ar.Cached {
+		t.Fatalf("first halving: code %d cached %v", code, ar != nil && ar.Cached)
+	}
+	if ar.Rank == nil || !ar.Rank.Halving {
+		t.Fatalf("halving request served a flat result: %+v", ar.Rank)
+	}
+	if got := s.met.Counter("cache_misses"); got != 2 {
+		t.Fatalf("cache misses %d, want 2 (flat and halving keys are distinct)", got)
+	}
+	// Repeats hit their own entries and keep their schedules.
+	if ar, code := postSimulate(t, ts, flatBody); code != http.StatusOK || !ar.Cached || ar.Rank == nil || ar.Rank.Halving {
+		t.Fatalf("flat repeat: code %d, %+v", code, ar)
+	}
+	if ar, code := postSimulate(t, ts, halvBody); code != http.StatusOK || !ar.Cached || ar.Rank == nil || !ar.Rank.Halving {
+		t.Fatalf("halving repeat: code %d, %+v", code, ar)
+	}
+	if got := s.met.Counter("cache_hits"); got != 2 {
+		t.Fatalf("cache hits %d, want 2", got)
+	}
+}
