@@ -34,7 +34,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,rank,ablations")
+	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,rank,dataflow,ablations")
 	outdir := flag.String("outdir", "results", "directory for CSV artifacts")
 	scale := flag.String("scale", "smoke", "training scale for figs 4/5: smoke|medium|full")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -151,6 +151,17 @@ func main() {
 			jsonPath := filepath.Join(*outdir, "bench_rank.json")
 			fatal(experiments.WriteBenchRankJSON(jsonPath, *scale, rows))
 			fmt.Printf("markdown written to %s, JSON to %s\n", mdPath, jsonPath)
+		})
+	}
+	if all || want["dataflow"] {
+		timed("dataflow", func() {
+			rows, err := experiments.DataflowMatrix(nil)
+			fatal(err)
+			md := experiments.FormatDataflowMatrix(rows)
+			fmt.Print(md)
+			path := filepath.Join(*outdir, "dataflow_matrix.md")
+			fatal(os.WriteFile(path, []byte(md), 0o644))
+			fmt.Printf("markdown written to %s\n", path)
 		})
 	}
 	if all || want["ablations"] {

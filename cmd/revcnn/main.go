@@ -31,10 +31,16 @@ func main() {
 	eta := flag.Int("eta", 0, "with -halving: elimination factor (0 = default 2)")
 	minEpochs := flag.Int("minepochs", 0, "with -halving: first-rung epoch budget (0 = default 1)")
 	seed := flag.Int64("seed", 2, "victim weight/input seed")
+	dataflow := flag.String("dataflow", "", "accelerator dataflow: os|ws|rs (or output-stationary|weight-stationary|row-stationary; default os)")
 	traceFile := flag.String("trace", "", "attack a recorded trace file (from cmd/tracegen) instead of simulating; requires -inw/-ind/-classes")
 	inW := flag.Int("inw", 0, "with -trace: input width")
 	inD := flag.Int("ind", 0, "with -trace: input channel count")
 	flag.Parse()
+
+	df, err := cnnrev.ParseDataflow(*dataflow)
+	if err != nil {
+		log.Fatalf("revcnn: %v", err)
+	}
 
 	if *traceFile != "" {
 		attackTraceFile(*traceFile, *inW, *inD, *classes)
@@ -50,12 +56,13 @@ func main() {
 	opt := cnnrev.DefaultSolverOptions()
 	opt.IdenticalModules = *modular
 	opt.TimingSpreadMax = *tol
-	rep, err := cnnrev.RunStructureAttack(net, cnnrev.AccelConfig{}, opt, *seed)
+	rep, err := cnnrev.RunStructureAttack(net, cnnrev.AccelConfig{Dataflow: df}, opt, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("victim: %s (%v input, %d classes)\n", net.Name, net.Input, net.NumClasses())
+	fmt.Printf("accelerator dataflow: %s (detected from trace: %s)\n", rep.Dataflow, rep.DetectedDataflow)
 	fmt.Printf("trace observed: %d bytes of off-chip transfers\n", rep.TraceBytes)
 	rep.Analysis.WriteReport(os.Stdout)
 	fmt.Printf("candidate structures: %d (true structure found: %v)\n",
@@ -115,11 +122,15 @@ func attackTraceFile(path string, inW, inD, classes int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	structures, err := cnnrev.RunStructureAttackOnTrace(tr, cnnrev.Shape{C: inD, H: inW, W: inW}, classes)
+	input := cnnrev.Shape{C: inD, H: inW, W: inW}
+	structures, err := cnnrev.RunStructureAttackOnTrace(tr, input, classes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trace %s: %d records, %d block transfers\n", path, len(tr.Accesses), tr.Blocks())
+	if det, err := cnnrev.DetectTraceDataflow(tr, input); err == nil {
+		fmt.Printf("detected dataflow: %s\n", det.Class)
+	}
 	fmt.Printf("candidate structures: %d\n", len(structures))
 	for i, st := range structures {
 		fmt.Printf("candidate %d:\n", i)

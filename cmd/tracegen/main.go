@@ -23,9 +23,14 @@ func main() {
 	depthDiv := flag.Int("depthdiv", 1, "channel-count divisor (1 = paper size)")
 	classes := flag.Int("classes", 0, "classifier outputs (default: 10 small nets, 1000 large)")
 	seed := flag.Int64("seed", 2, "input/weight seed")
+	dataflow := flag.String("dataflow", "", "accelerator dataflow: os|ws|rs (or output-stationary|weight-stationary|row-stationary; default os)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("tracegen: -out is required")
+	}
+	df, err := cnnrev.ParseDataflow(*dataflow)
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
 	}
 
 	net, err := buildModel(*model, *classes, *depthDiv)
@@ -33,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 	net.InitWeights(*seed)
-	cfg := cnnrev.AccelConfig{ZeroPrune: *zeroPrune}
+	cfg := cnnrev.AccelConfig{ZeroPrune: *zeroPrune, Dataflow: df}
 	tr, err := cnnrev.CaptureTrace(net, cfg, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -46,8 +51,8 @@ func main() {
 	if err := cnnrev.WriteTrace(tr, f); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s: %d records, %d block transfers (block %dB), last cycle %d\n",
-		*out, len(tr.Accesses), tr.Blocks(), tr.BlockBytes, tr.LastCycle())
+	fmt.Printf("wrote %s: %s dataflow, %d records, %d block transfers (block %dB), last cycle %d\n",
+		*out, df, len(tr.Accesses), tr.Blocks(), tr.BlockBytes, tr.LastCycle())
 }
 
 func buildModel(model string, classes, depthDiv int) (*cnnrev.Network, error) {

@@ -49,6 +49,14 @@ type (
 	Shape = nn.Shape
 	// AccelConfig parameterizes the victim accelerator.
 	AccelConfig = accel.Config
+	// Dataflow selects the accelerator's data-reuse schedule.
+	Dataflow = accel.Dataflow
+	// DataflowClass is a detector verdict: one of the three schedules, or
+	// ambiguous when the trace does not discriminate.
+	DataflowClass = structrev.DataflowClass
+	// DataflowDetection is the full auto-detection outcome, including
+	// per-segment votes.
+	DataflowDetection = structrev.DataflowDetection
 	// Trace is an observed off-chip memory trace.
 	Trace = memtrace.Trace
 	// SolverOptions tunes the structure attack.
@@ -88,6 +96,20 @@ var (
 	NiN        = nn.NiN
 	ResNetMini = nn.ResNetMini
 )
+
+// The three accelerator dataflows (data-reuse schedules). Output
+// stationary is the paper's baseline; weight and row stationary test the
+// claim that the attack survives "regardless of micro-architecture details
+// and data reuse strategies".
+const (
+	OutputStationary = accel.OutputStationary
+	WeightStationary = accel.WeightStationary
+	RowStationary    = accel.RowStationary
+)
+
+// ParseDataflow maps a CLI/API spelling ("os", "weight-stationary", ...)
+// to a Dataflow; the empty string means output stationary.
+var ParseDataflow = accel.ParseDataflow
 
 // Quantization: post-training symmetric int8 (the numeric regime of int8
 // inference accelerators; see internal/nn/quant.go).
@@ -172,6 +194,18 @@ func RunStructureAttackOnTrace(tr *Trace, input Shape, classes int) ([]Structure
 		return nil, err
 	}
 	return structrev.Solve(a, input.W, input.C, classes, structrev.DefaultOptions())
+}
+
+// DetectTraceDataflow segments a recorded trace and classifies which
+// accelerator dataflow produced it from the read/write interleaving alone
+// (no knowledge of the victim beyond the input shape). Element size is
+// assumed to be 4 bytes (float32).
+func DetectTraceDataflow(tr *Trace, input Shape) (DataflowDetection, error) {
+	a, err := structrev.Analyze(tr, input.Len()*4, 4)
+	if err != nil {
+		return DataflowDetection{}, err
+	}
+	return structrev.DetectDataflow(tr, a, structrev.DetectOptions{}), nil
 }
 
 // CaptureTrace runs one inference and returns the observable trace.

@@ -30,14 +30,36 @@ const (
 	// WeightStationary pins each filter tile on chip and streams the input
 	// feature map past it; filters are read exactly once.
 	WeightStationary
+	// RowStationary holds partial sums in the PE array (Eyeriss-style):
+	// filters and the input feature map are each read exactly once, and
+	// output rows retire in row-major order across every output channel.
+	RowStationary
 )
 
 // String names the dataflow.
 func (d Dataflow) String() string {
-	if d == WeightStationary {
+	switch d {
+	case WeightStationary:
 		return "weight-stationary"
+	case RowStationary:
+		return "row-stationary"
 	}
 	return "output-stationary"
+}
+
+// ParseDataflow maps a user-facing dataflow name (canonical or short form)
+// to its constant. The empty string selects the default output-stationary
+// design, matching the zero Config.
+func ParseDataflow(s string) (Dataflow, error) {
+	switch s {
+	case "", "os", "output-stationary":
+		return OutputStationary, nil
+	case "ws", "weight-stationary":
+		return WeightStationary, nil
+	case "rs", "row-stationary":
+		return RowStationary, nil
+	}
+	return OutputStationary, fmt.Errorf("accel: unknown dataflow %q (want output-stationary|weight-stationary|row-stationary or os|ws|rs)", s)
 }
 
 // Config describes the accelerator microarchitecture.
@@ -221,6 +243,9 @@ type Result struct {
 // New builds a simulator for net with the given configuration.
 func New(net *nn.Network, cfg Config) (*Simulator, error) {
 	cfg.fillDefaults()
+	if cfg.Dataflow < OutputStationary || cfg.Dataflow > RowStationary {
+		return nil, fmt.Errorf("accel: unknown dataflow %d", cfg.Dataflow)
+	}
 	if cfg.ZeroPrune && cfg.PruneBytesPerNZ%cfg.BlockBytes != 0 {
 		return nil, fmt.Errorf("accel: PruneBytesPerNZ (%d) must be a multiple of BlockBytes (%d) so write counts are exact", cfg.PruneBytesPerNZ, cfg.BlockBytes)
 	}
@@ -262,9 +287,15 @@ func (s *Simulator) estimateAccesses() int {
 			bandRows, ocTile := s.convTiling(i, in, convShape, out, in.C*spec.F*spec.F, false)
 			bands := (out.H + bandRows - 1) / bandRows
 			ocTiles := (spec.OutC + ocTile - 1) / ocTile
-			// Per tile: up to in.C IFM read bursts, weight + bias reads,
-			// up to ocTile OFM write bursts.
-			total += bands * ocTiles * (in.C + 2 + ocTile)
+			if s.cfg.Dataflow == RowStationary {
+				// Weight + bias preamble per tile, then per output row: up
+				// to in.C IFM row bursts and out.C row writes.
+				total += 2*ocTiles + out.H*(in.C+out.C)
+			} else {
+				// Per tile: up to in.C IFM read bursts, weight + bias reads,
+				// up to ocTile OFM write bursts.
+				total += bands * ocTiles * (in.C + 2 + ocTile)
+			}
 			total += out.C // PadPrunedWrites padding bursts
 		case nn.KindFC:
 			in := n.InShapes[i][0]

@@ -438,24 +438,27 @@ func TestPadPrunedWritesHidesCounts(t *testing.T) {
 	}
 }
 
-// TestDataflowsComputeIdentically: both tiling orders are functionally
+// TestDataflowsComputeIdentically: all three tiling orders are functionally
 // identical and read the same total filter/OFM volumes, but produce
-// different access sequences (weight-stationary reads filters exactly once).
+// different access sequences (weight- and row-stationary read filters
+// exactly once; row-stationary also reads the IFM at most once).
 func TestDataflowsComputeIdentically(t *testing.T) {
 	net := nn.ConvNet(10)
 	net.InitWeights(31)
 	x := randInput(net, 32)
 	os, _ := New(net, Config{Dataflow: OutputStationary})
 	ws, _ := New(net, Config{Dataflow: WeightStationary})
+	rs, _ := New(net, Config{Dataflow: RowStationary})
 	ro, _ := os.Run(x)
 	rw, _ := ws.Run(x)
+	rr, _ := rs.Run(x)
 	for i := range ro.Logits {
-		if ro.Logits[i] != rw.Logits[i] {
+		if ro.Logits[i] != rw.Logits[i] || ro.Logits[i] != rr.Logits[i] {
 			t.Fatal("dataflow changed computation")
 		}
 	}
 	// Weight volume: output-stationary re-reads filters per band;
-	// weight-stationary reads each exactly once.
+	// weight- and row-stationary read each exactly once.
 	lay := os.Layout()
 	for i, wr := range lay.Weights {
 		if wr.Bytes == 0 || net.Specs[i].Kind != nn.KindConv {
@@ -463,11 +466,33 @@ func TestDataflowsComputeIdentically(t *testing.T) {
 		}
 		rdOS, _ := collectRegionOps(ro.Trace, wr)
 		rdWS, _ := collectRegionOps(rw.Trace, wr)
+		rdRS, _ := collectRegionOps(rr.Trace, wr)
 		if rdWS != wr.Bytes {
 			t.Errorf("layer %d: weight-stationary read %d of %d weight bytes", i, rdWS, wr.Bytes)
 		}
+		if rdRS != wr.Bytes {
+			t.Errorf("layer %d: row-stationary read %d of %d weight bytes", i, rdRS, wr.Bytes)
+		}
 		if rdOS < rdWS {
 			t.Errorf("layer %d: output-stationary should read at least as much (%d vs %d)", i, rdOS, rdWS)
+		}
+	}
+	// Row-stationary single-pass IFM: each conv layer's input region is read
+	// at most once (weight-stationary streams it once per filter tile).
+	for i := range net.Specs {
+		if net.Specs[i].Kind != nn.KindConv {
+			continue
+		}
+		ref := net.Specs[i].Inputs[0]
+		var inReg Region
+		if ref == nn.InputRef {
+			inReg = lay.Input
+		} else {
+			inReg = lay.Fmaps[ref]
+		}
+		rdRS, _ := collectRegionOps(rr.Trace, inReg)
+		if rdRS > inReg.Bytes {
+			t.Errorf("layer %d: row-stationary read %d of a %d-byte input region (re-read)", i, rdRS, inReg.Bytes)
 		}
 	}
 }
@@ -525,7 +550,7 @@ func TestConcatCopyPath(t *testing.T) {
 	}
 }
 
-// TestWeightStationaryWithPruning combines the alternative dataflow with
+// TestWeightStationaryWithPruning combines the alternative dataflows with
 // zero-pruned writes; functional results and per-channel write volumes must
 // match the output-stationary path.
 func TestWeightStationaryWithPruning(t *testing.T) {
@@ -533,18 +558,20 @@ func TestWeightStationaryWithPruning(t *testing.T) {
 	net.InitWeights(41)
 	x := randInput(net, 42)
 	osim, _ := New(net, Config{ZeroPrune: true})
-	wsim, _ := New(net, Config{ZeroPrune: true, Dataflow: WeightStationary})
 	ro, _ := osim.Run(x)
-	rw, _ := wsim.Run(x)
-	for i := range ro.Logits {
-		if ro.Logits[i] != rw.Logits[i] {
-			t.Fatal("dataflow changed pruned computation")
+	for _, df := range []Dataflow{WeightStationary, RowStationary} {
+		wsim, _ := New(net, Config{ZeroPrune: true, Dataflow: df})
+		rw, _ := wsim.Run(x)
+		for i := range ro.Logits {
+			if ro.Logits[i] != rw.Logits[i] {
+				t.Fatalf("%v changed pruned computation", df)
+			}
 		}
-	}
-	for li := range net.Specs {
-		for c := range ro.NZCounts[li] {
-			if ro.NZCounts[li][c] != rw.NZCounts[li][c] {
-				t.Fatalf("layer %d ch %d: nz differs across dataflows", li, c)
+		for li := range net.Specs {
+			for c := range ro.NZCounts[li] {
+				if ro.NZCounts[li][c] != rw.NZCounts[li][c] {
+					t.Fatalf("%v layer %d ch %d: nz differs across dataflows", df, li, c)
+				}
 			}
 		}
 	}

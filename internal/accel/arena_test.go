@@ -193,7 +193,13 @@ func TestSessionRunSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; pin runs in the non-race job")
 	}
-	for _, cfg := range []Config{{}, {ZeroPrune: true}, {ZeroPrune: true, CycleJitter: 0.05, NoiseSeed: 7}} {
+	for _, cfg := range []Config{
+		{},
+		{ZeroPrune: true},
+		{ZeroPrune: true, CycleJitter: 0.05, NoiseSeed: 7},
+		{Dataflow: WeightStationary},
+		{Dataflow: RowStationary},
+	} {
 		net := nn.LeNet(10)
 		net.InitWeights(5)
 		sim, err := New(net, cfg)

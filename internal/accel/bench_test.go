@@ -1,0 +1,35 @@
+package accel
+
+import (
+	"testing"
+
+	"cnnrev/internal/nn"
+)
+
+// benchSession times one steady-state Session inference (trace emission
+// included) under the given dataflow. The trio doubles as a smoke check
+// that every backend stays allocation-free once warm.
+func benchSession(b *testing.B, df Dataflow) {
+	net := nn.LeNet(10)
+	net.InitWeights(5)
+	sim, err := New(net, Config{Dataflow: df})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ses := sim.NewSession()
+	x := randInput(net, 6)
+	if _, err := ses.Run(x); err != nil { // warm the recorder and scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Run(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSession_OS(b *testing.B) { benchSession(b, OutputStationary) }
+func BenchmarkSession_WS(b *testing.B) { benchSession(b, WeightStationary) }
+func BenchmarkSession_RS(b *testing.B) { benchSession(b, RowStationary) }

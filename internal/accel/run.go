@@ -589,6 +589,21 @@ func (s *Simulator) emitConvTrace(li int, se *session, in, convShape, outShape n
 		}
 		return memBytes
 	}
+	readIFMRows := func(r0, r1 int) int {
+		// Row-granular IFM read: only rows [r0, r1), every channel.
+		rowBytes := (r1 - r0) * in.W * elem
+		if r0 == 0 && r1 == in.H && inDense {
+			se.rec.RecordBytes(se.cycle, inReg.Base, in.C*rowBytes, memtrace.Read)
+			return in.C * rowBytes
+		}
+		memBytes := 0
+		for c := 0; c < in.C; c++ {
+			base := inReg.Base + uint64(c)*inStride + uint64(r0*in.W*elem)
+			se.rec.RecordBytes(se.cycle, base, rowBytes, memtrace.Read)
+			memBytes += rowBytes
+		}
+		return memBytes
+	}
 	readWeights := func(oc0, oc1 int) int {
 		wBytes := (oc1 - oc0) * weightsPerOC * elem
 		se.rec.RecordBytes(se.cycle, wReg.Base+uint64(oc0*weightsPerOC*elem), wBytes, memtrace.Read)
@@ -614,14 +629,17 @@ func (s *Simulator) emitConvTrace(li int, se *session, in, convShape, outShape n
 		}
 		return c0, c1
 	}
-	compute := func(p0, p1, oc0, oc1, memBytes int) {
-		c0, c1 := convRows(p0, p1)
+	computeRows := func(c0, c1, oc0, oc1, memBytes int) {
 		macs := int64(c1-c0) * int64(convShape.W) * int64(spec.F) * int64(spec.F) * int64(in.C) * int64(oc1-oc0)
 		cc := s.computeCycles(macs)
 		if mc := s.memCycles(memBytes); mc > cc {
 			cc = mc
 		}
 		se.cycle += s.jitter(se, cc+cfg.TileOverhead)
+	}
+	compute := func(p0, p1, oc0, oc1, memBytes int) {
+		c0, c1 := convRows(p0, p1)
+		computeRows(c0, c1, oc0, oc1, memBytes)
 	}
 	writeOFM := func(p0, p1, oc0, oc1 int) {
 		// OFM band write (once, post activation+pool).
@@ -662,6 +680,49 @@ func (s *Simulator) emitConvTrace(li int, se *session, in, convShape, outShape n
 				compute(p0, p1, oc0, oc1, mem)
 				writeOFM(p0, p1, oc0, oc1)
 			}
+		}
+	case RowStationary:
+		// Filters stream on chip exactly once (ascending tile preamble) and
+		// partial sums are retained in the PE array, so the IFM is also read
+		// exactly once: each output row pulls in only its newly-needed input
+		// rows and retires immediately across every output channel. The
+		// per-row channel-interleaved write pattern after a weight-only
+		// preamble is this dataflow's trace signature.
+		wb := 0
+		for oc0 := 0; oc0 < spec.OutC; oc0 += ocTile {
+			oc1 := minInt(oc0+ocTile, spec.OutC)
+			wb += readWeights(oc0, oc1)
+		}
+		if pruneIn {
+			// Compressed IFM streams are not row-addressable: stream the
+			// whole map once after the filter preamble.
+			wb += readIFM(0, outShape.H)
+		}
+		cursor, ccur := 0, 0
+		for p := 0; p < outShape.H; p++ {
+			mem := 0
+			if !pruneIn {
+				_, i1 := s.ifmRowsFor(spec, in, convShape, 1, p)
+				if i1 > cursor {
+					mem = readIFMRows(cursor, i1)
+					cursor = i1
+				}
+			}
+			if p == 0 {
+				mem += wb
+			}
+			// Pool windows overlap in conv rows; partial sums held in the
+			// array mean each conv row's MACs are paid exactly once.
+			c0, c1 := convRows(p, p+1)
+			if c0 < ccur {
+				c0 = ccur
+			}
+			if c1 < c0 {
+				c1 = c0
+			}
+			ccur = c1
+			computeRows(c0, c1, 0, spec.OutC, mem)
+			writeOFM(p, p+1, 0, spec.OutC)
 		}
 	default: // OutputStationary
 		// Each output band is pinned on chip while the filter tiles stream

@@ -69,6 +69,15 @@ type StructureReport struct {
 	Corrupted bool
 	Tolerant  bool
 	Noise     structrev.NoiseStats
+	// Dataflow is the accelerator scheduling the capture ran under
+	// (canonical name of cfg.Dataflow).
+	Dataflow string
+	// DetectedDataflow is the scheduling class auto-detected from the
+	// trace's read/write interleaving — "ambiguous" when the evidence is
+	// absent or conflicting (e.g. heavily corrupted probes). On a clean
+	// capture it matches Dataflow; the conformance tests pin this for every
+	// Table 3 victim under every backend.
+	DetectedDataflow string
 }
 
 // StructureAttackSpec selects the hostile-probe extensions of the §3
@@ -153,6 +162,9 @@ func RunStructureAttackSpec(ctx context.Context, net *nn.Network, cfg accel.Conf
 	}
 	stage("analyze", t0)
 	t0 = time.Now()
+	detected := structrev.DetectDataflow(trace, a, structrev.DetectOptions{})
+	stage("detect", t0)
+	t0 = time.Now()
 	structures, serr := structrev.SolveCtx(ctx, a, net.Input.W, net.Input.C, net.NumClasses(), opt)
 	stage("solve", t0)
 	if serr != nil && !isCtxErr(serr) {
@@ -168,6 +180,9 @@ func RunStructureAttackSpec(ctx context.Context, net *nn.Network, cfg accel.Conf
 		Corrupted:  corrupted,
 		Tolerant:   tolerant,
 		Noise:      a.Noise,
+
+		Dataflow:         cfg.Dataflow.String(),
+		DetectedDataflow: detected.Class.String(),
 	}
 	rep.TruthIndex = FindTruth(structures, GroundTruthConfigs(net))
 	return rep, serr

@@ -480,7 +480,7 @@ type DataflowRow struct {
 	TraceBlocks uint64
 }
 
-// AblationDataflow runs the structure attack against both accelerator
+// AblationDataflow runs the structure attack against all three accelerator
 // dataflows, testing the paper's claim that the RAW structure survives
 // "regardless of micro-architecture details and data reuse strategies".
 func AblationDataflow(model string) ([]DataflowRow, error) {
@@ -489,7 +489,7 @@ func AblationDataflow(model string) ([]DataflowRow, error) {
 		classes = 1000
 	}
 	var rows []DataflowRow
-	for _, df := range []accel.Dataflow{accel.OutputStationary, accel.WeightStationary} {
+	for _, df := range []accel.Dataflow{accel.OutputStationary, accel.WeightStationary, accel.RowStationary} {
 		net, err := victim(model, classes, 1)
 		if err != nil {
 			return nil, err

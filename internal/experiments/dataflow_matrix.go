@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/core"
+	"cnnrev/internal/structrev"
+)
+
+// DataflowMatrixRow is one (victim, dataflow) cell of the attack-accuracy
+// matrix: which schedule the victim ran under, what the detector read off
+// the trace, and whether the structure attack still contained the truth.
+type DataflowMatrixRow struct {
+	Network     string
+	Dataflow    string
+	Detected    string
+	Candidates  int
+	TruthFound  bool
+	TraceBlocks uint64
+}
+
+// dataflowMatrixVictims are the paper's Table 3 victims, in table order.
+var dataflowMatrixVictims = []string{"lenet", "convnet", "alexnet", "squeezenet"}
+
+// DataflowMatrix runs the structure attack for every victim × dataflow
+// pair and records the auto-detected schedule alongside the attack
+// outcome. A nil or empty models slice means all four Table 3 victims.
+// The paper's claim is that the attack is dataflow-agnostic; the matrix
+// additionally pins that the adversary can recover the schedule itself
+// from the read/write interleaving before mounting the attack.
+func DataflowMatrix(models []string) ([]DataflowMatrixRow, error) {
+	if len(models) == 0 {
+		models = dataflowMatrixVictims
+	}
+	var rows []DataflowMatrixRow
+	for _, model := range models {
+		classes := 10
+		if model == "alexnet" || model == "squeezenet" {
+			classes = 1000
+		}
+		for _, df := range []accel.Dataflow{accel.OutputStationary, accel.WeightStationary, accel.RowStationary} {
+			net, err := victim(model, classes, 1)
+			if err != nil {
+				return nil, err
+			}
+			opt := structrev.DefaultOptions()
+			if model == "squeezenet" {
+				opt.IdenticalModules = true
+			}
+			rep, err := core.RunStructureAttack(net, accel.Config{Dataflow: df}, opt, 2)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DataflowMatrixRow{
+				Network:     model,
+				Dataflow:    rep.Dataflow,
+				Detected:    rep.DetectedDataflow,
+				Candidates:  len(rep.Structures),
+				TruthFound:  rep.TruthIndex >= 0,
+				TraceBlocks: rep.TraceBytes / 4,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatDataflowMatrix renders the matrix as markdown, with a summary
+// line counting correct detections and truth-containing cells.
+func FormatDataflowMatrix(rows []DataflowMatrixRow) string {
+	var b strings.Builder
+	b.WriteString("# Dataflow attack-accuracy matrix\n\n")
+	b.WriteString("Structure attack and dataflow auto-detection across every Table 3\n")
+	b.WriteString("victim under all three accelerator schedules. `detected` is read\n")
+	b.WriteString("from the trace's read/write interleaving alone; `truth` marks the\n")
+	b.WriteString("true structure surviving into the candidate set.\n\n")
+	b.WriteString("| network | dataflow | detected | candidates | truth | trace blocks |\n")
+	b.WriteString("|---|---|---|---:|---|---:|\n")
+	detOK, truthOK := 0, 0
+	for _, r := range rows {
+		if r.Detected == r.Dataflow {
+			detOK++
+		}
+		if r.TruthFound {
+			truthOK++
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %v | %d |\n",
+			r.Network, r.Dataflow, r.Detected, r.Candidates, r.TruthFound, r.TraceBlocks)
+	}
+	fmt.Fprintf(&b, "\nDetection: %d/%d cells classified as their producing dataflow; truth contained in %d/%d candidate sets.\n",
+		detOK, len(rows), truthOK, len(rows))
+	return b.String()
+}

@@ -180,7 +180,7 @@ func TestAblationDataflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
+	if len(rows) != 3 {
 		t.Fatalf("%d rows", len(rows))
 	}
 	for _, r := range rows {
@@ -188,8 +188,30 @@ func TestAblationDataflow(t *testing.T) {
 			t.Fatalf("%s: truth lost", r.Dataflow)
 		}
 	}
-	if rows[0].Candidates != rows[1].Candidates {
+	if rows[0].Candidates != rows[1].Candidates || rows[1].Candidates != rows[2].Candidates {
 		t.Logf("note: candidate counts differ across dataflows: %+v", rows)
+	}
+}
+
+func TestDataflowMatrixSingleVictim(t *testing.T) {
+	rows, err := DataflowMatrix([]string{"lenet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Detected != r.Dataflow {
+			t.Errorf("%s/%s detected as %s", r.Network, r.Dataflow, r.Detected)
+		}
+		if !r.TruthFound {
+			t.Errorf("%s/%s: truth lost", r.Network, r.Dataflow)
+		}
+	}
+	md := FormatDataflowMatrix(rows)
+	if !strings.Contains(md, "row-stationary") || !strings.Contains(md, "Detection: 3/3") {
+		t.Fatalf("matrix formatting broken:\n%s", md)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"cnnrev/internal/accel"
 )
 
 // TestResultCacheLRUEviction pins the byte-budget LRU contract: least
@@ -81,21 +83,23 @@ func TestCacheKeyDistinguishesParams(t *testing.T) {
 		t.Fatal("identical requests produced different keys")
 	}
 	mutations := map[string]func(*attackRequest){
-		"trace hash":    func(r *attackRequest) { r.traceHash = "abd" },
-		"inw":           func(r *attackRequest) { r.inW = 32 },
-		"classes":       func(r *attackRequest) { r.classes = 100 },
-		"elem":          func(r *attackRequest) { r.elemBytes = 8 },
-		"modular":       func(r *attackRequest) { r.modular = true },
-		"tolerant":      func(r *attackRequest) { r.tolerant = true },
-		"tol":           func(r *attackRequest) { r.tol = 0.2 },
-		"stride":        func(r *attackRequest) { r.allowStrideOK = true },
-		"max return":    func(r *attackRequest) { r.maxReturn = 5 },
-		"weights":       func(r *attackRequest) { r.weights = true },
-		"corrupt seed":  func(r *attackRequest) { r.corrupt.Seed = 9 },
-		"drop rate":     func(r *attackRequest) { r.corrupt.DropRate = 0.01 },
-		"rank present":  func(r *attackRequest) { r.rank = &rankParams{} },
-		"rank seed":     func(r *attackRequest) { r.rank = &rankParams{Seed: 3} },
-		"mode":          func(r *attackRequest) { r.mode = "simulate" },
+		"trace hash":   func(r *attackRequest) { r.traceHash = "abd" },
+		"inw":          func(r *attackRequest) { r.inW = 32 },
+		"classes":      func(r *attackRequest) { r.classes = 100 },
+		"elem":         func(r *attackRequest) { r.elemBytes = 8 },
+		"modular":      func(r *attackRequest) { r.modular = true },
+		"tolerant":     func(r *attackRequest) { r.tolerant = true },
+		"tol":          func(r *attackRequest) { r.tol = 0.2 },
+		"stride":       func(r *attackRequest) { r.allowStrideOK = true },
+		"max return":   func(r *attackRequest) { r.maxReturn = 5 },
+		"weights":      func(r *attackRequest) { r.weights = true },
+		"corrupt seed": func(r *attackRequest) { r.corrupt.Seed = 9 },
+		"drop rate":    func(r *attackRequest) { r.corrupt.DropRate = 0.01 },
+		"rank present": func(r *attackRequest) { r.rank = &rankParams{} },
+		"rank seed":    func(r *attackRequest) { r.rank = &rankParams{Seed: 3} },
+		"mode":         func(r *attackRequest) { r.mode = "simulate" },
+		"dataflow ws":  func(r *attackRequest) { r.dataflow = accel.WeightStationary },
+		"dataflow rs":  func(r *attackRequest) { r.dataflow = accel.RowStationary },
 	}
 	seen := map[string]string{k0: "base"}
 	for name, mutate := range mutations {

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/nn"
+)
+
+// victimTraceBytes is lenetTraceBytes generalized over the capture dataflow.
+func victimTraceBytes(t *testing.T, df accel.Dataflow) []byte {
+	t.Helper()
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{Dataflow: df})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, net.Input.Len())
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postTraceJSON wraps postTrace (serve_test.go) and decodes the response on
+// a 200.
+func postTraceJSON(t *testing.T, ts *httptest.Server, query string, raw []byte) (*attackResponse, int, string) {
+	t.Helper()
+	code, body, marker := postTrace(t, ts, query, raw)
+	if code != http.StatusOK {
+		return nil, code, marker
+	}
+	var ar attackResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	return &ar, code, marker
+}
+
+// TestSimulateDataflowEndToEnd: the simulate endpoint accepts every
+// dataflow spelling, runs the capture on the selected backend, reports both
+// the configured and the auto-detected scheduling, and feeds the
+// per-dataflow stage metrics.
+func TestSimulateDataflowEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"model":"lenet"}`, "output-stationary"},
+		{`{"model":"lenet","dataflow":"ws"}`, "weight-stationary"},
+		{`{"model":"lenet","dataflow":"row-stationary"}`, "row-stationary"},
+	}
+	for _, c := range cases {
+		ar, code := postSimulate(t, ts, c.body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", c.body, code)
+		}
+		if ar.Dataflow != c.want {
+			t.Fatalf("%s: ran under %q, want %q", c.body, ar.Dataflow, c.want)
+		}
+		if ar.DetectedDF != c.want {
+			t.Fatalf("%s: detected %q, want %q", c.body, ar.DetectedDF, c.want)
+		}
+		if _, ok := ar.StageMS["detect"]; !ok {
+			t.Fatalf("%s: missing detect stage timing", c.body)
+		}
+		if ar.NumStructures == 0 {
+			t.Fatalf("%s: empty solve set", c.body)
+		}
+	}
+	for _, df := range []string{"output-stationary", "weight-stationary", "row-stationary"} {
+		if n := s.Metrics().StageDataflowCount("capture", df); n == 0 {
+			t.Fatalf("no capture stage executions recorded under %s", df)
+		}
+	}
+}
+
+// TestSimulateDataflowValidation: unknown dataflow spellings are a 400, not
+// a silent output-stationary run.
+func TestSimulateDataflowValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if _, code := postSimulate(t, ts, `{"model":"lenet","dataflow":"weigth-stationary"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad simulate dataflow: status %d, want 400", code)
+	}
+}
+
+// TestTraceDataflowEndToEnd: the trace endpoint accepts the dataflow
+// parameter, validates it before reading the body, and auto-detects the
+// scheduling that actually produced the upload — including when it
+// contradicts the declared prior.
+func TestTraceDataflowEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dataflows := []struct {
+		df   accel.Dataflow
+		name string
+	}{
+		{accel.OutputStationary, "output-stationary"},
+		{accel.WeightStationary, "weight-stationary"},
+		{accel.RowStationary, "row-stationary"},
+	}
+	if raceEnabled {
+		dataflows = dataflows[:2] // scale work down under the race detector
+	}
+	for _, d := range dataflows {
+		raw := victimTraceBytes(t, d.df)
+		ar, code, _ := postTraceJSON(t, ts, "inw=28&ind=1&classes=10&dataflow=os", raw)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", d.name, code)
+		}
+		if ar.DetectedDF != d.name {
+			t.Fatalf("%s trace detected as %q", d.name, ar.DetectedDF)
+		}
+		if ar.Dataflow != "output-stationary" {
+			t.Fatalf("declared prior not echoed: %q", ar.Dataflow)
+		}
+	}
+
+	// Validation happens on the query string alone: a bad dataflow is
+	// rejected without a trace body at all.
+	_, code, _ := postTraceJSON(t, ts, "inw=28&ind=1&classes=10&dataflow=systolic", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad trace dataflow: status %d, want 400", code)
+	}
+}
+
+// TestDataflowSplitsCacheKey: the same upload under a different dataflow is
+// a different result-cache entry — same trace + different dataflow is never
+// a cache hit — while repeating a (trace, dataflow) pair hits.
+func TestDataflowSplitsCacheKey(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	raw := victimTraceBytes(t, accel.OutputStationary)
+
+	if _, code, hdr := postTraceJSON(t, ts, "inw=28&ind=1&classes=10&dataflow=os", raw); code != http.StatusOK || hdr == "hit" {
+		t.Fatalf("first os request: status %d, cache %q", code, hdr)
+	}
+	if _, code, hdr := postTraceJSON(t, ts, "inw=28&ind=1&classes=10&dataflow=ws", raw); code != http.StatusOK || hdr == "hit" {
+		t.Fatalf("same trace under ws must miss the cache: status %d, cache %q", code, hdr)
+	}
+	if _, code, hdr := postTraceJSON(t, ts, "inw=28&ind=1&classes=10&dataflow=os", raw); code != http.StatusOK || hdr != "hit" {
+		t.Fatalf("repeated os request must hit the cache: status %d, cache %q", code, hdr)
+	}
+	// The bare spelling and the canonical one resolve to the same key: a
+	// client that spells it out does not re-run the attack.
+	if _, code, hdr := postTraceJSON(t, ts, "inw=28&ind=1&classes=10&dataflow=weight-stationary", raw); code != http.StatusOK || hdr != "hit" {
+		t.Fatalf("ws alias must share the ws cache entry: status %d, cache %q", code, hdr)
+	}
+	if hits := s.Metrics().Counter("cache_hits"); hits != 2 {
+		t.Fatalf("recorded %d cache hits, want 2", hits)
+	}
+	// The simulate surface splits on the same axis.
+	if ar, code := postSimulate(t, ts, `{"model":"lenet","dataflow":"rs"}`); code != http.StatusOK || ar.Cached {
+		t.Fatalf("first rs simulate: status %d, cached %v", code, ar != nil && ar.Cached)
+	}
+	if ar, code := postSimulate(t, ts, `{"model":"lenet"}`); code != http.StatusOK || ar.Cached {
+		t.Fatalf("default-dataflow simulate must not reuse the rs entry: status %d", code)
+	}
+	if ar, code := postSimulate(t, ts, `{"model":"lenet","dataflow":"rs"}`); code != http.StatusOK || !ar.Cached {
+		t.Fatalf("repeated rs simulate must be served from cache: status %d", code)
+	}
+}

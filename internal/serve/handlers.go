@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"cnnrev/internal/accel"
 	"cnnrev/internal/corrupt"
 	"cnnrev/internal/memtrace"
 )
@@ -234,6 +235,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		req.cacheBypass, err = queryBool(r, "cache_bypass")
 	}
+	if err == nil {
+		req.dataflow, err = accel.ParseDataflow(r.URL.Query().Get("dataflow"))
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -316,6 +320,11 @@ type simulateRequest struct {
 	// implies Tolerant.
 	Tolerant bool           `json:"tolerant"`
 	Corrupt  *corruptParams `json:"corrupt"`
+
+	// Dataflow selects the accelerator backend the victim runs on
+	// (output-stationary | weight-stationary | row-stationary, or the os/ws/rs
+	// shorthand; empty = output-stationary).
+	Dataflow string `json:"dataflow"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +340,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bypass, err := queryBool(r, "cache_bypass")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dataflow, err := accel.ParseDataflow(sr.Dataflow)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -351,8 +365,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		modular: sr.Modular, tol: sr.Tol, allowStrideOK: sr.AllowStrideOK,
 		maxStructures: sr.MaxStructures, maxReturn: sr.MaxReturn,
 		rank: sr.Rank, weights: sr.Weights,
-		timeout: time.Duration(sr.TimeoutMS) * time.Millisecond,
-		tolerant: sr.Tolerant, cacheBypass: bypass,
+		timeout:  time.Duration(sr.TimeoutMS) * time.Millisecond,
+		tolerant: sr.Tolerant, cacheBypass: bypass, dataflow: dataflow,
 	}
 	if sr.Corrupt != nil {
 		cfg, err := sr.Corrupt.toConfig()

@@ -80,6 +80,10 @@ type attackRequest struct {
 	rank          *rankParams
 	weights       bool
 	timeout       time.Duration
+	// dataflow selects the accelerator backend: the capture schedule in
+	// simulate mode, the adversary's declared scheduling prior in trace mode
+	// (either way the job's own detection result is reported back).
+	dataflow accel.Dataflow
 
 	// hostile-probe extensions: corrupt degrades the trace before analysis
 	// (uploaded or captured), tolerant selects the noise-tolerant analysis
@@ -108,8 +112,8 @@ func (req *attackRequest) cacheKey() string {
 		fmt.Fprintf(&b, "model=%s|depthdiv=%d|filters=%d|zerofrac=%g|seed=%d|",
 			req.model, req.depthDiv, req.filters, req.zeroFrac, req.seed)
 	}
-	fmt.Fprintf(&b, "classes=%d|modular=%t|tol=%g|strideok=%t|maxstructures=%d|maxreturn=%d|tolerant=%t|weights=%t|",
-		req.classes, req.modular, req.tol, req.allowStrideOK, req.maxStructures, req.maxReturn, req.tolerant, req.weights)
+	fmt.Fprintf(&b, "classes=%d|modular=%t|tol=%g|strideok=%t|maxstructures=%d|maxreturn=%d|tolerant=%t|weights=%t|dataflow=%s|",
+		req.classes, req.modular, req.tol, req.allowStrideOK, req.maxStructures, req.maxReturn, req.tolerant, req.weights, req.dataflow)
 	c := req.corrupt
 	fmt.Fprintf(&b, "corrupt=%d,%g,%g,%g,%d,%g,%d,%d|",
 		c.Seed, c.DropRate, c.SplitRate, c.CoalesceRate, c.ReorderWindow,
@@ -240,6 +244,8 @@ type attackResponse struct {
 	Cached        bool             `json:"cached,omitempty"` // served from the result cache; job_id/stage_ms describe the job that computed it
 	Tolerant      bool             `json:"tolerant,omitempty"`
 	Corrupted     bool             `json:"corrupted,omitempty"`
+	Dataflow      string           `json:"dataflow,omitempty"`          // accelerator scheduling the job ran under (simulate: capture backend; trace: declared prior)
+	DetectedDF    string           `json:"detected_dataflow,omitempty"` // scheduling class auto-detected from the trace; "ambiguous" when evidence is insufficient
 	Noise         *noiseJSON       `json:"noise,omitempty"`
 	Segments      []segmentJSON    `json:"segments,omitempty"`
 	NumStructures int              `json:"num_structures"`
@@ -323,6 +329,7 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 	resp := &attackResponse{JobID: j.id, Mode: req.mode, Model: req.model, StageMS: map[string]int64{}}
 	observe := func(stage string, d time.Duration) {
 		s.met.ObserveStage(stage, d)
+		s.met.ObserveStageDataflow(stage, req.dataflow.String(), d)
 		resp.StageMS[stage] = d.Milliseconds()
 	}
 	opt := s.solverOptions(req)
@@ -377,6 +384,9 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 		}
 		observe("analyze", time.Since(t0))
 		t0 = time.Now()
+		detected := structrev.DetectDataflow(trace, a, structrev.DetectOptions{})
+		observe("detect", time.Since(t0))
+		t0 = time.Now()
 		structures, serr := structrev.SolveCtx(ctx, a, req.inW, req.inD, req.classes, opt)
 		observe("solve", time.Since(t0))
 		if serr != nil && !isCtxErr(serr) {
@@ -392,6 +402,9 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			Corrupted:  corrupted,
 			Tolerant:   tolerant,
 			Noise:      a.Noise,
+
+			Dataflow:         req.dataflow.String(),
+			DetectedDataflow: detected.Class.String(),
 		}
 		if serr != nil {
 			s.met.MarkStageCancelled("solve")
@@ -408,7 +421,7 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 		}
 		input = net.Input
 		spec := core.StructureAttackSpec{Corrupt: req.corrupt, Tolerant: req.tolerant}
-		rep, err = core.RunStructureAttackSpec(ctx, net, accel.Config{}, opt, req.seed, spec, observe)
+		rep, err = core.RunStructureAttackSpec(ctx, net, accel.Config{Dataflow: req.dataflow}, opt, req.seed, spec, observe)
 		if err != nil && rep == nil {
 			return fail(http.StatusUnprocessableEntity, err)
 		}
@@ -474,7 +487,7 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			resp.WeightsError = "weight attack requires simulate mode"
 		} else {
 			t0 := time.Now()
-			wrep, err := core.RunWeightAttackCtx(ctx, net, accel.Config{})
+			wrep, err := core.RunWeightAttackCtx(ctx, net, accel.Config{Dataflow: req.dataflow})
 			switch {
 			case err != nil && isCtxErr(err):
 				s.met.MarkStageCancelled("weights")
@@ -526,6 +539,8 @@ func fillStructureResult(resp *attackResponse, rep *core.StructureReport, maxRet
 	resp.TraceBytes = rep.TraceBytes
 	resp.Tolerant = rep.Tolerant
 	resp.Corrupted = rep.Corrupted
+	resp.Dataflow = rep.Dataflow
+	resp.DetectedDF = rep.DetectedDataflow
 	if rep.Tolerant {
 		resp.Noise = &noiseJSON{
 			InterferenceRegions:  rep.Noise.InterferenceRegions,

@@ -13,7 +13,11 @@ import (
 
 // stageNames is the fixed pipeline-stage vocabulary, in execution order.
 // Fixing the set up front lets every stage own lock-free atomics.
-var stageNames = []string{"decode", "capture", "corrupt", "analyze", "solve", "rank", "weights"}
+var stageNames = []string{"decode", "capture", "corrupt", "analyze", "detect", "solve", "rank", "weights"}
+
+// dataflowNames is the fixed accelerator-dataflow label vocabulary for the
+// per-dataflow stage counters (accel's canonical names).
+var dataflowNames = []string{"output-stationary", "weight-stationary", "row-stationary"}
 
 // latBounds are the per-stage latency histogram bucket upper bounds in
 // seconds; stage work spans sub-millisecond trace decodes to multi-minute
@@ -74,6 +78,17 @@ type Metrics struct {
 
 	stageLat    map[string]*histogram
 	stageCancel map[string]*atomic.Int64
+	// stageDataflow splits stage executions by the accelerator dataflow the
+	// job ran under (keyed "stage|dataflow"); both vocabularies are fixed, so
+	// scrape cardinality is bounded regardless of request mix.
+	stageDataflow map[string]*stageDataflowStat
+}
+
+// stageDataflowStat accumulates one (stage, dataflow) cell: execution count
+// and total latency.
+type stageDataflowStat struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
 }
 
 // rankRungBuckets bounds the per-rung metric label set. Eta=2 from
@@ -83,12 +98,16 @@ const rankRungBuckets = 12
 
 func newMetrics() *Metrics {
 	m := &Metrics{
-		stageLat:    make(map[string]*histogram, len(stageNames)),
-		stageCancel: make(map[string]*atomic.Int64, len(stageNames)),
+		stageLat:      make(map[string]*histogram, len(stageNames)),
+		stageCancel:   make(map[string]*atomic.Int64, len(stageNames)),
+		stageDataflow: make(map[string]*stageDataflowStat, len(stageNames)*len(dataflowNames)),
 	}
 	for _, s := range stageNames {
 		m.stageLat[s] = newHistogram()
 		m.stageCancel[s] = new(atomic.Int64)
+		for _, df := range dataflowNames {
+			m.stageDataflow[s+"|"+df] = new(stageDataflowStat)
+		}
 	}
 	return m
 }
@@ -98,6 +117,24 @@ func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	if h := m.stageLat[stage]; h != nil {
 		h.observe(d)
 	}
+}
+
+// ObserveStageDataflow records one completed stage execution under an
+// accelerator dataflow; unknown labels are dropped rather than minted.
+func (m *Metrics) ObserveStageDataflow(stage, dataflow string, d time.Duration) {
+	if st := m.stageDataflow[stage+"|"+dataflow]; st != nil {
+		st.count.Add(1)
+		st.sumNanos.Add(int64(d))
+	}
+}
+
+// StageDataflowCount returns how many executions a (stage, dataflow) cell
+// has observed. The e2e tests use this instead of scraping the text output.
+func (m *Metrics) StageDataflowCount(stage, dataflow string) int64 {
+	if st := m.stageDataflow[stage+"|"+dataflow]; st != nil {
+		return st.count.Load()
+	}
+	return 0
 }
 
 // MarkStageCancelled records that a job's context expired inside the stage.
@@ -254,6 +291,20 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheByt
 	fmt.Fprintf(w, "# HELP revcnnd_stage_cancelled_total Context expirations observed inside a stage.\n# TYPE revcnnd_stage_cancelled_total counter\n")
 	for _, s := range stageNames {
 		fmt.Fprintf(w, "revcnnd_stage_cancelled_total{stage=%q} %d\n", s, m.stageCancel[s].Load())
+	}
+	fmt.Fprintf(w, "# HELP revcnnd_stage_dataflow_total Stage executions split by accelerator dataflow.\n# TYPE revcnnd_stage_dataflow_total counter\n")
+	for _, s := range stageNames {
+		for _, df := range dataflowNames {
+			st := m.stageDataflow[s+"|"+df]
+			fmt.Fprintf(w, "revcnnd_stage_dataflow_total{stage=%q,dataflow=%q} %d\n", s, df, st.count.Load())
+		}
+	}
+	fmt.Fprintf(w, "# HELP revcnnd_stage_dataflow_seconds_total Stage latency split by accelerator dataflow.\n# TYPE revcnnd_stage_dataflow_seconds_total counter\n")
+	for _, s := range stageNames {
+		for _, df := range dataflowNames {
+			st := m.stageDataflow[s+"|"+df]
+			fmt.Fprintf(w, "revcnnd_stage_dataflow_seconds_total{stage=%q,dataflow=%q} %g\n", s, df, time.Duration(st.sumNanos.Load()).Seconds())
+		}
 	}
 
 	rungLabel := func(i int) string {

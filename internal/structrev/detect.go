@@ -1,0 +1,281 @@
+package structrev
+
+import (
+	"sort"
+
+	"cnnrev/internal/memtrace"
+)
+
+// DataflowClass identifies the accelerator scheduling family that produced
+// a trace. The classes correspond to accel's Dataflow values; structrev
+// names them independently so the attack side carries no simulator
+// dependency.
+type DataflowClass int
+
+const (
+	// DataflowAmbiguous means the evidence was absent or conflicting. The
+	// detector prefers this over guessing: a corrupted trace must degrade
+	// to ambiguous, never to a wrong confident answer.
+	DataflowAmbiguous DataflowClass = iota
+	DataflowOutputStationary
+	DataflowWeightStationary
+	DataflowRowStationary
+)
+
+// String names the class using accel's canonical dataflow names.
+func (c DataflowClass) String() string {
+	switch c {
+	case DataflowOutputStationary:
+		return "output-stationary"
+	case DataflowWeightStationary:
+		return "weight-stationary"
+	case DataflowRowStationary:
+		return "row-stationary"
+	}
+	return "ambiguous"
+}
+
+// DataflowVote is one segment's classification evidence.
+type DataflowVote struct {
+	// Segment indexes Analysis.Segments.
+	Segment int
+	// Class is the per-segment verdict (DataflowAmbiguous = abstain).
+	Class DataflowClass
+	// Weak marks a degenerate single-tile/single-band pattern whose class
+	// is the most plausible reading but cannot veto a specific verdict:
+	// tiny layers genuinely converge across dataflows.
+	Weak bool
+	// Reason is a fixed diagnostic tag for reports and tests.
+	Reason string
+}
+
+// DetectOptions tunes dataflow detection. The zero value matches the
+// default accelerator configuration.
+type DetectOptions struct {
+	// OFMBufBytes is the accelerator's on-chip output buffer size (the
+	// paper's threat model assumes a known victim device). Write groups
+	// filling more than half of it mark band-granular retirement
+	// (weight-stationary); row-granular groups stay far below it. 0 uses
+	// the 64 KiB default.
+	OFMBufBytes int
+	// FCRatio is the WeightsBytes/OFMBytes ratio at which a segment is
+	// treated as fully connected and abstains — FC trace emission is
+	// dataflow-invariant. 0 uses 16.
+	FCRatio uint64
+}
+
+// DataflowDetection is the result of classifying a trace's dataflow.
+type DataflowDetection struct {
+	// Class is the aggregated verdict across all weighted segments.
+	Class DataflowClass
+	// Votes holds the per-segment evidence (abstaining segments included,
+	// with Class DataflowAmbiguous).
+	Votes []DataflowVote
+}
+
+// segEvidence accumulates one segment's raw interleaving features during
+// the trace scan.
+type segEvidence struct {
+	weightReads   int
+	wRegress      int    // weight-read address regressions (re-sweeps)
+	prevWAddr     uint64 // last weight-read address
+	sawFmap       bool   // any fmap read / OFM write seen yet
+	fmapBeforeW   bool   // fmap access preceded the first weight read
+	wAfterFmap    bool   // weight read after fmap traffic began
+	writes        int
+	writeGroups   int // maximal runs of non-regressing OFM write addresses
+	prevWrAddr    uint64
+	groupBytes    uint64
+	maxGroupBytes uint64
+}
+
+func (ev *segEvidence) closeWriteGroup() {
+	if ev.groupBytes > ev.maxGroupBytes {
+		ev.maxGroupBytes = ev.groupBytes
+	}
+	ev.groupBytes = 0
+}
+
+// DetectDataflow classifies which accelerator dataflow produced the trace
+// from the read/write interleaving structure of each weighted segment:
+//
+//   - output-stationary re-sweeps the filter region once per output band
+//     (weight-read address regressions) and, in its single-band form, opens
+//     every tile with an IFM read before the filter tile;
+//   - weight-stationary opens each filter tile with a weight read and
+//     interleaves further weight reads with feature-map traffic, retiring
+//     buffer-filling output bands;
+//   - row-stationary reads the whole filter region in one ascending
+//     preamble before any feature-map access and retires output rows —
+//     many small write groups, each far below the output buffer size.
+//
+// Fully-connected segments emit the same trace under every dataflow and
+// abstain, as do segments whose evidence is incomplete. Votes are
+// aggregated conservatively: a verdict requires at least one supporting
+// segment and no contradicting segment, so corrupted traces degrade to
+// DataflowAmbiguous rather than flipping to a wrong confident answer.
+func DetectDataflow(tr *memtrace.Trace, a *Analysis, opt DetectOptions) DataflowDetection {
+	if opt.OFMBufBytes <= 0 {
+		opt.OFMBufBytes = 64 << 10
+	}
+	if opt.FCRatio == 0 {
+		opt.FCRatio = 16
+	}
+	det := DataflowDetection{Class: DataflowAmbiguous}
+	if tr == nil || a == nil || len(a.Segments) == 0 {
+		return det
+	}
+
+	// Feature-map address space: the network input region plus every
+	// segment's output region. Reads outside both this set and a segment's
+	// weight region (co-tenant interference, hostile noise) carry no
+	// dataflow signal and are ignored.
+	fmapIvs := make([]memtrace.Interval, 0, len(a.Segments)+1)
+	if a.InputRegion.Bytes() > 0 {
+		fmapIvs = append(fmapIvs, a.InputRegion)
+	}
+	for i := range a.Segments {
+		if iv := a.Segments[i].OFMRegion; iv.Bytes() > 0 {
+			fmapIvs = append(fmapIvs, iv)
+		}
+	}
+	sort.Slice(fmapIvs, func(i, j int) bool { return fmapIvs[i].Lo < fmapIvs[j].Lo })
+	inFmap := func(addr uint64) bool {
+		k := sort.Search(len(fmapIvs), func(i int) bool { return fmapIvs[i].Hi > addr })
+		return k < len(fmapIvs) && fmapIvs[k].Contains(addr)
+	}
+
+	// One pass over the trace, attributing accesses to segments by cycle
+	// window. Accesses are cycle-ordered in honest traces; out-of-window
+	// stragglers (reordering corruption) are dropped rather than guessed at.
+	ev := make([]segEvidence, len(a.Segments))
+	si := 0
+	for _, acc := range tr.Accesses {
+		for si < len(a.Segments) && acc.Cycle >= a.Segments[si].EndCycle {
+			ev[si].closeWriteGroup()
+			si++
+		}
+		if si >= len(a.Segments) {
+			break
+		}
+		seg := &a.Segments[si]
+		if acc.Cycle < seg.StartCycle {
+			continue
+		}
+		e := &ev[si]
+		switch {
+		case acc.Kind == memtrace.Read && seg.WeightsRegion.Contains(acc.Addr):
+			if e.weightReads > 0 && acc.Addr < e.prevWAddr {
+				e.wRegress++
+			}
+			e.prevWAddr = acc.Addr
+			e.weightReads++
+			if e.sawFmap {
+				e.wAfterFmap = true
+			}
+		case acc.Kind == memtrace.Write && seg.OFMRegion.Contains(acc.Addr):
+			if e.writes == 0 {
+				e.writeGroups = 1
+			} else if acc.Addr < e.prevWrAddr {
+				e.closeWriteGroup()
+				e.writeGroups++
+			}
+			e.prevWrAddr = acc.Addr
+			e.writes++
+			e.groupBytes += uint64(acc.Count) * uint64(tr.BlockBytes)
+			if e.weightReads == 0 {
+				e.fmapBeforeW = true
+			}
+			e.sawFmap = true
+		case acc.Kind == memtrace.Read && inFmap(acc.Addr):
+			if e.weightReads == 0 {
+				e.fmapBeforeW = true
+			}
+			e.sawFmap = true
+		}
+	}
+	if si < len(a.Segments) {
+		ev[si].closeWriteGroup()
+	}
+
+	for i := range a.Segments {
+		det.Votes = append(det.Votes, classifySegment(&a.Segments[i], &ev[i], &opt))
+	}
+
+	var osN, wsN, wsWeakN, rsN int
+	for _, v := range det.Votes {
+		switch {
+		case v.Class == DataflowOutputStationary:
+			osN++
+		case v.Class == DataflowWeightStationary && v.Weak:
+			wsWeakN++
+		case v.Class == DataflowWeightStationary:
+			wsN++
+		case v.Class == DataflowRowStationary:
+			rsN++
+		}
+	}
+	switch {
+	case osN > 0 && wsN == 0 && wsWeakN == 0 && rsN == 0:
+		det.Class = DataflowOutputStationary
+	case rsN > 0 && osN == 0 && wsN == 0:
+		// Weak weight-stationary votes come from degenerate single-group
+		// segments, which a row-stationary schedule also produces when a
+		// layer has one output row; they do not contradict row votes.
+		det.Class = DataflowRowStationary
+	case (wsN > 0 || wsWeakN > 0) && osN == 0 && rsN == 0:
+		det.Class = DataflowWeightStationary
+	}
+	return det
+}
+
+// classifySegment turns one segment's interleaving evidence into a vote.
+func classifySegment(seg *Segment, e *segEvidence, opt *DetectOptions) DataflowVote {
+	v := DataflowVote{Segment: seg.Index, Class: DataflowAmbiguous}
+	if seg.Kind != SegWeighted || e.weightReads == 0 || e.writes == 0 {
+		v.Reason = "no-evidence"
+		return v
+	}
+	if seg.OFMBytes > 0 && seg.WeightsBytes/seg.OFMBytes >= opt.FCRatio {
+		// Fully-connected layers stream IFM → weight rows → output under
+		// every dataflow; their trace carries no scheduling signal.
+		v.Reason = "fc-invariant"
+		return v
+	}
+	switch {
+	case e.wRegress > 0:
+		// Only the output-stationary order re-reads the filter region
+		// (once per band); drops cannot fabricate an address regression.
+		v.Class = DataflowOutputStationary
+		v.Reason = "weight-resweep"
+	case e.fmapBeforeW:
+		// Single-band output-stationary: each tile opens with the pinned
+		// band's IFM read, before its filter tile.
+		v.Class = DataflowOutputStationary
+		v.Reason = "ifm-first"
+	case e.wAfterFmap:
+		// Single ascending weight sweep interleaved with feature-map
+		// traffic: filter tiles pinned one after another.
+		v.Class = DataflowWeightStationary
+		v.Reason = "weights-interleaved"
+	case e.writeGroups >= 2 && e.maxGroupBytes < uint64(opt.OFMBufBytes)/2:
+		// Weight-only preamble with many small write retirements: output
+		// rows leave the PE array as they finish. Band-granular schedules
+		// always fill most of the output buffer before writing back.
+		v.Class = DataflowRowStationary
+		v.Reason = "row-writes"
+	case e.writeGroups >= 2:
+		// Weight-only preamble with buffer-filling write bands: a single
+		// filter tile streamed across multiple output bands.
+		v.Class = DataflowWeightStationary
+		v.Reason = "band-writes"
+	default:
+		// One tile, one band: [weights, IFM, write]. Weight-stationary is
+		// the natural reading, but a one-row layer under row-stationary
+		// emits the same thing — a weak vote that cannot veto others.
+		v.Class = DataflowWeightStationary
+		v.Weak = true
+		v.Reason = "single-tile"
+	}
+	return v
+}

@@ -1,7 +1,10 @@
 // Command gen regenerates the golden-trace conformance corpus consumed by
 // golden_test.go: for each Table 3 victim it captures one deterministic
-// inference trace on the default simulated accelerator and writes the
-// serialized trace plus the recovered dataflow-graph report.
+// inference trace per accelerator dataflow and writes the serialized trace
+// plus the recovered dataflow-graph report. The output-stationary corpus
+// keeps the historical unsuffixed names (lenet.trace, …) — those bytes pin
+// the pre-refactor simulator schedule — while the weight- and
+// row-stationary captures carry .ws/.rs suffixes (lenet.ws.trace, …).
 //
 // Regenerate (from internal/structrev) with:
 //
@@ -10,8 +13,8 @@
 // The traces are value-independent — without zero pruning the accelerator's
 // transaction schedule depends only on layer shapes and tiling — so
 // regeneration is byte-identical across machines as long as the capture
-// parameters below (weight seed 1, input seed 2, default accel.Config)
-// stay fixed.
+// parameters below (weight seed 1, input seed 2, default accel.Config plus
+// the dataflow) stay fixed.
 package main
 
 import (
@@ -28,6 +31,17 @@ import (
 	"cnnrev/internal/structrev"
 )
 
+// dataflows maps the per-backend file suffix ("" = legacy output-stationary
+// names) to the captured dataflow.
+var dataflows = []struct {
+	suffix string
+	df     accel.Dataflow
+}{
+	{"", accel.OutputStationary},
+	{".ws", accel.WeightStationary},
+	{".rs", accel.RowStationary},
+}
+
 func main() {
 	out := flag.String("out", filepath.Join("testdata", "golden"), "output directory")
 	flag.Parse()
@@ -36,47 +50,50 @@ func main() {
 	}
 	victims := []struct {
 		name string
-		net  *nn.Network
+		net  func() *nn.Network
 	}{
-		{"lenet", nn.LeNet(10)},
-		{"convnet", nn.ConvNet(10)},
-		{"alexnet", nn.AlexNet(1000, 1)},
-		{"squeezenet", nn.SqueezeNet(1000, 1)},
+		{"lenet", func() *nn.Network { return nn.LeNet(10) }},
+		{"convnet", func() *nn.Network { return nn.ConvNet(10) }},
+		{"alexnet", func() *nn.Network { return nn.AlexNet(1000, 1) }},
+		{"squeezenet", func() *nn.Network { return nn.SqueezeNet(1000, 1) }},
 	}
 	for _, v := range victims {
-		v.net.InitWeights(1)
-		sim, err := accel.New(v.net, accel.Config{})
-		if err != nil {
-			log.Fatal(err)
+		for _, d := range dataflows {
+			net := v.net()
+			net.InitWeights(1)
+			sim, err := accel.New(net, accel.Config{Dataflow: d.df})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			x := make([]float32, net.Input.Len())
+			for i := range x {
+				x[i] = float32(rng.NormFloat64())
+			}
+			res, err := sim.Run(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.Trace.Write(&buf); err != nil {
+				log.Fatal(err)
+			}
+			tracePath := filepath.Join(*out, v.name+d.suffix+".trace")
+			if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			a, err := structrev.Analyze(res.Trace, net.Input.Len()*4, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var rep bytes.Buffer
+			a.WriteReport(&rep)
+			reportPath := filepath.Join(*out, v.name+d.suffix+".report.txt")
+			if err := os.WriteFile(reportPath, rep.Bytes(), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-18s %7d accesses  %8d trace bytes  %2d segments\n",
+				v.name, d.df, len(res.Trace.Accesses), buf.Len(), len(a.Segments))
 		}
-		rng := rand.New(rand.NewSource(2))
-		x := make([]float32, v.net.Input.Len())
-		for i := range x {
-			x[i] = float32(rng.NormFloat64())
-		}
-		res, err := sim.Run(x)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var buf bytes.Buffer
-		if err := res.Trace.Write(&buf); err != nil {
-			log.Fatal(err)
-		}
-		tracePath := filepath.Join(*out, v.name+".trace")
-		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		a, err := structrev.Analyze(res.Trace, v.net.Input.Len()*4, 4)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var rep bytes.Buffer
-		a.WriteReport(&rep)
-		reportPath := filepath.Join(*out, v.name+".report.txt")
-		if err := os.WriteFile(reportPath, rep.Bytes(), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s  %7d accesses  %8d trace bytes  %2d segments\n",
-			v.name, len(res.Trace.Accesses), buf.Len(), len(a.Segments))
 	}
 }
