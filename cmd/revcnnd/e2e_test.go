@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cnnrev/internal/jobstore"
+)
+
+// binOnce builds the revcnnd binary once per test run. Setting
+// REVCNND_E2E_RACE=1 builds it with the race detector (the CI smoke does),
+// at the cost of slower jobs.
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "revcnnd-e2e-")
+		if err != nil {
+			binErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "revcnnd")
+		args := []string{"build"}
+		if os.Getenv("REVCNND_E2E_RACE") == "1" {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", binPath, ".")
+		cmd := exec.Command("go", args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			binErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	t.Cleanup(func() {}) // binary dir is left for later tests in this run
+	return binPath
+}
+
+// proc is one running revcnnd process.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+}
+
+var addrRE = regexp.MustCompile(`msg="revcnnd listening" addr=([^ ]+)`)
+
+// startProc launches revcnnd with the given flags (always with -addr
+// 127.0.0.1:0) and waits for its listening line to learn the bound port.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, done: make(chan error, 1)}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := addrRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { p.done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		<-p.done
+	})
+	select {
+	case p.addr = <-addrc:
+	case err := <-p.done:
+		t.Fatalf("revcnnd exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for revcnnd to listen")
+	}
+	return p
+}
+
+// term sends SIGTERM and waits for a clean exit.
+func (p *proc) term(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-p.done:
+		if err != nil {
+			t.Fatalf("revcnnd exit after SIGTERM: %v", err)
+		}
+		p.done <- nil // keep the cleanup's receive satisfied
+	case <-time.After(2 * time.Minute):
+		t.Fatal("revcnnd did not exit after SIGTERM")
+	}
+}
+
+func (p *proc) url(path string) string { return "http://" + p.addr + path }
+
+// submitAsync posts a simulate body with wait=false and returns the job ID.
+func submitAsync(t *testing.T, p *proc, body string) string {
+	t.Helper()
+	resp, err := http.Post(p.url("/v1/attack/simulate?wait=false"), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit = %d (%s)", resp.StatusCode, b)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(b, &acc); err != nil || acc.JobID == "" {
+		t.Fatalf("bad accept body %q: %v", b, err)
+	}
+	return acc.JobID
+}
+
+// pollDone polls one job until it reaches a terminal state.
+func pollDone(t *testing.T, p *proc, id string, timeout time.Duration) (state string, status int) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(p.url("/v1/jobs/" + id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string `json:"state"`
+			Status int    `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch jobstore.State(st.State) {
+		case jobstore.StateDone, jobstore.StateFailed, jobstore.StateCancelled:
+			return st.State, st.Status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestMultiProcessSmoke runs a stateless frontend and a separate worker
+// process against one shared store directory and pushes 20 concurrent
+// async jobs through the pair.
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	front := startProc(t, bin, "-role", "frontend", "-store", dir, "-queue", "32")
+	worker := startProc(t, bin, "-role", "worker", "-store", dir, "-queue", "32", "-workers", "2", "-lease", "2s")
+
+	const n = 20
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = submitAsync(t, front, fmt.Sprintf(`{"model":"lenet","seed":%d}`, i))
+	}
+	for _, id := range ids {
+		state, status := pollDone(t, front, id, 2*time.Minute)
+		if state != string(jobstore.StateDone) || status != http.StatusOK {
+			t.Fatalf("job %s: state %s status %d, want done/200", id, state, status)
+		}
+	}
+
+	// The worker served only observability; the frontend executed nothing.
+	resp, err := http.Get(worker.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), fmt.Sprintf("revcnnd_jobs_completed_total %d", n)) {
+		t.Fatalf("worker metrics missing %d completions", n)
+	}
+
+	front.term(t)
+	worker.term(t)
+}
+
+// TestKillWorkerReclaim kills a worker process mid-job with SIGKILL and
+// checks lease recovery: every job completes exactly once, with at least
+// one job completing on a second attempt in the surviving process.
+func TestKillWorkerReclaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	front := startProc(t, bin, "-role", "frontend", "-store", dir, "-queue", "32", "-timeout", "5m")
+	w1 := startProc(t, bin, "-role", "worker", "-store", dir, "-queue", "32", "-workers", "1", "-lease", "500ms", "-timeout", "5m")
+	w2 := startProc(t, bin, "-role", "worker", "-store", dir, "-queue", "32", "-workers", "1", "-lease", "500ms", "-timeout", "5m")
+
+	// Jobs slow enough to be mid-flight when the victim dies.
+	body := `{"model":"lenet","rank":{"classes":2,"per_class":6,"epochs":25,"max_candidates":1},"timeout_ms":240000}`
+	const n = 4
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = submitAsync(t, front, body)
+	}
+
+	// Watch the store directly until a job is running on a known victim.
+	inspect, err := jobstore.OpenFS(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inspect.Close()
+	victims := map[string]*proc{
+		fmt.Sprintf("p%d-", w1.cmd.Process.Pid): w1,
+		fmt.Sprintf("p%d-", w2.cmd.Process.Pid): w2,
+	}
+	var victim *proc
+	deadline := time.Now().Add(time.Minute)
+	for victim == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no job started running on a worker")
+		}
+		for _, id := range ids {
+			rec, err := inspect.Fetch(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.State == jobstore.StateRunning {
+				for prefix, p := range victims {
+					if strings.HasPrefix(rec.Worker, prefix) {
+						victim = p
+					}
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	victim.cmd.Process.Kill() // SIGKILL: no drain, lease must expire
+
+	attempts2 := 0
+	for _, id := range ids {
+		state, status := pollDone(t, front, id, 4*time.Minute)
+		if state != string(jobstore.StateDone) || status != http.StatusOK {
+			t.Fatalf("job %s: state %s status %d, want done/200", id, state, status)
+		}
+		rec, err := inspect.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Completions != 1 {
+			t.Fatalf("job %s completed %d times, want exactly once", id, rec.Completions)
+		}
+		if rec.Attempt >= 2 {
+			attempts2++
+		}
+	}
+	if attempts2 == 0 {
+		t.Fatal("no job was re-claimed after the worker died")
+	}
+	front.term(t)
+}

@@ -8,25 +8,38 @@
 //
 //	revcnnd -addr :8080 -workers 1 -queue 8 -timeout 60s
 //
+// Scale-out: point several processes at one shared store directory to split
+// the service horizontally — stateless frontends submit and wait, workers
+// claim jobs under a lease and heartbeat while executing, and a worker that
+// dies mid-job has its lease expire and the job re-claimed elsewhere:
+//
+//	revcnnd -addr :8080 -role frontend -store /srv/revcnn/jobs
+//	revcnnd -addr :8081 -role worker   -store /srv/revcnn/jobs -workers 2
+//
 // Endpoints:
 //
-//	GET  /healthz              liveness + queue occupancy
-//	GET  /metrics              Prometheus text metrics
-//	POST /v1/attack/trace      raw trace body; ?inw=&ind=&classes=[&rank=1...]
-//	POST /v1/attack/simulate   JSON victim spec; see internal/serve
+//	GET    /healthz              liveness + role + queue occupancy
+//	GET    /metrics              Prometheus text metrics
+//	POST   /v1/attack/trace      raw trace body; ?inw=&ind=&classes=[&rank=1...][&wait=0]
+//	POST   /v1/attack/simulate   JSON victim spec; see internal/serve [?wait=0]
+//	GET    /v1/jobs/{id}         async job status + result
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cnnrev/internal/jobstore"
 	"cnnrev/internal/serve"
 )
 
@@ -39,27 +52,72 @@ func main() {
 	maxStructures := flag.Int("max-structures", 0, "cap candidate enumeration per job (0 = solver default)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = 256 MiB default, negative disables)")
 	drain := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	storeDir := flag.String("store", "", "shared filesystem job-store directory (empty = private in-process queue)")
+	role := flag.String("role", serve.RoleBoth, "process role: both, frontend (no workers), or worker (no attack surface)")
+	lease := flag.Duration("lease", 15*time.Second, "job lease duration; a worker silent this long forfeits its job")
+	maxRetries := flag.Int("max-retries", 2, "lease-expiry re-claims before a job is failed as orphaned")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(log, *addr, *workers, *queue, *timeout, *maxUpload, *maxStructures,
+		*cacheBytes, *drain, *storeDir, *role, *lease, *maxRetries); err != nil {
+		log.Error("revcnnd failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(log *slog.Logger, addr string, workers, queue int, timeout time.Duration,
+	maxUpload int64, maxStructures int, cacheBytes int64, drain time.Duration,
+	storeDir, role string, lease time.Duration, maxRetries int) error {
+	switch role {
+	case serve.RoleBoth, serve.RoleFrontend, serve.RoleWorker:
+	default:
+		return fmt.Errorf("unknown -role %q (want both, frontend, or worker)", role)
+	}
+	if role != serve.RoleBoth && storeDir == "" {
+		return fmt.Errorf("-role %s requires a shared -store directory", role)
+	}
+
+	var store jobstore.Store
+	if storeDir != "" {
+		fs, err := jobstore.OpenFS(storeDir, jobstore.Options{
+			QueueDepth: queue,
+			MaxRetries: maxRetries,
+		})
+		if err != nil {
+			return fmt.Errorf("open job store: %w", err)
+		}
+		defer fs.Close()
+		store = fs
+	}
+
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		JobTimeout:     *timeout,
-		MaxUploadBytes: *maxUpload,
-		MaxStructures:  *maxStructures,
-		CacheBytes:     *cacheBytes,
+		Workers:        workers,
+		QueueDepth:     queue,
+		JobTimeout:     timeout,
+		MaxUploadBytes: maxUpload,
+		MaxStructures:  maxStructures,
+		CacheBytes:     cacheBytes,
+		Store:          store,
+		Role:           role,
+		Lease:          lease,
+		MaxRetries:     maxRetries,
 		Logger:         log,
 	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Info("revcnnd listening", "addr", *addr, "workers", *workers, "queue", *queue, "timeout", *timeout)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Info("revcnnd listening", "addr", ln.Addr().String(), "role", role,
+		"workers", workers, "queue", queue, "timeout", timeout, "store", storeDir)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -67,11 +125,10 @@ func main() {
 	case sig := <-sigc:
 		log.Info("shutting down", "signal", sig.String())
 	case err := <-errc:
-		log.Error("listener failed", "err", err)
-		os.Exit(1)
+		return fmt.Errorf("listener failed: %w", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	// Drain the job queue first (aborting queued jobs, finishing in-flight
 	// ones), then close the listener and let handlers flush responses.
@@ -82,4 +139,5 @@ func main() {
 		log.Error("http shutdown", "err", err)
 	}
 	log.Info("drained; exiting")
+	return nil
 }

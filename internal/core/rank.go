@@ -47,6 +47,14 @@ type RankConfig struct {
 	Eta int
 	// MinEpochs is the first-rung per-candidate epoch budget (default 1).
 	MinEpochs int
+
+	// Runner, when non-nil (and Serial is unset), schedules each rung's
+	// independent candidate trainings instead of tensor.Parallel — the hook
+	// revcnnd uses to fan a rung out across its idle serve workers. The
+	// determinism contract requires only that Runner invoke fn exactly once
+	// for every i in [0,n), in any order, and return after all calls finish;
+	// candidate state isolation makes the result schedule-independent.
+	Runner func(n int, fn func(i int))
 }
 
 // CandidateScore is one ranked candidate structure.
@@ -261,9 +269,14 @@ func RankCandidatesResult(ctx context.Context, rep *StructureReport, input nn.Sh
 		} else {
 			// Candidates within a rung are fully independent; one task per
 			// candidate on the shared worker pool (nested GEMM/trainer
-			// parallelism finds the pool busy and runs inline).
+			// parallelism finds the pool busy and runs inline), or on the
+			// caller's Runner when it wants to schedule the fan-out itself.
 			surv := survivors
-			tensor.Parallel(len(surv), func(si int) { trainOne(surv[si], budget, final) })
+			run := tensor.Parallel
+			if rc.Runner != nil {
+				run = rc.Runner
+			}
+			run(len(surv), func(si int) { trainOne(surv[si], budget, final) })
 		}
 		rs := RungStat{TargetEpochs: budget, Candidates: len(survivors)}
 		for si, i := range survivors {

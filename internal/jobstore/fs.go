@@ -1,0 +1,516 @@
+package jobstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// FS is the shared filesystem store: every revcnnd process pointed at the
+// same directory drains one queue. A single flock-guarded lock file
+// serializes mutations across processes (job-granular work makes the lock
+// cheap), job records are small JSON files renamed into place atomically,
+// and payloads/results live in separate write-once files so heartbeats
+// never rewrite megabytes of trace data.
+//
+// Layout under the root directory:
+//
+//	.lock        cross-process mutex (flock)
+//	jobs/        <id>.json per-job record
+//	payload/     <id> opaque request bytes (removed on completion)
+//	result/      <id> opaque result bytes
+//	tmp/         staging for atomic renames
+type FS struct {
+	root string
+	opt  Options
+
+	mu     sync.Mutex // serializes goroutines in this process; flock handles other processes
+	lockf  *os.File
+	notify chan struct{}
+	stopc  chan struct{}
+	closed atomic.Bool
+
+	claimed, retried, orphaned, completed atomic.Int64
+}
+
+// fsRecord is the on-disk job record. Times are UnixNano; zero means unset.
+type fsRecord struct {
+	ID              string `json:"id"`
+	State           State  `json:"state"`
+	Attempt         int    `json:"attempt"`
+	Worker          string `json:"worker,omitempty"`
+	Err             string `json:"err,omitempty"`
+	SubmittedAt     int64  `json:"submitted_at"`
+	ClaimedAt       int64  `json:"claimed_at,omitempty"`
+	LeaseExpiry     int64  `json:"lease_expiry,omitempty"`
+	CompletedAt     int64  `json:"completed_at,omitempty"`
+	Deadline        int64  `json:"deadline,omitempty"`
+	CancelRequested bool   `json:"cancel_requested,omitempty"`
+	Completions     int    `json:"completions"`
+	HasResult       bool   `json:"has_result,omitempty"`
+}
+
+// OpenFS opens (creating if needed) a shared store rooted at dir.
+func OpenFS(dir string, opt Options) (*FS, error) {
+	opt.fillDefaults()
+	for _, sub := range []string{"", "jobs", "payload", "result", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("jobstore: create %s: %w", sub, err)
+		}
+	}
+	lockf, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open lock file: %w", err)
+	}
+	f := &FS{
+		root:   dir,
+		opt:    opt,
+		lockf:  lockf,
+		notify: make(chan struct{}, 1),
+		stopc:  make(chan struct{}),
+	}
+	go f.notifyLoop()
+	return f, nil
+}
+
+var _ Store = (*FS)(nil)
+
+// notifyLoop pulses the notify channel every PollInterval. The FS store has
+// no cross-process wakeup channel, so claim loops poll on this cadence.
+func (f *FS) notifyLoop() {
+	t := time.NewTicker(f.opt.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stopc:
+			return
+		case <-t.C:
+			select {
+			case f.notify <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// lock takes the process-local mutex then the cross-process flock.
+func (f *FS) lock() error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	f.mu.Lock()
+	if f.closed.Load() {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if err := syscall.Flock(int(f.lockf.Fd()), syscall.LOCK_EX); err != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("jobstore: flock: %w", err)
+	}
+	return nil
+}
+
+func (f *FS) unlock() {
+	syscall.Flock(int(f.lockf.Fd()), syscall.LOCK_UN)
+	f.mu.Unlock()
+}
+
+func (f *FS) recordPath(id string) string  { return filepath.Join(f.root, "jobs", id+".json") }
+func (f *FS) payloadPath(id string) string { return filepath.Join(f.root, "payload", id) }
+func (f *FS) resultPath(id string) string  { return filepath.Join(f.root, "result", id) }
+
+// writeFileAtomic stages data in tmp/ and renames it to path.
+func (f *FS) writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Join(f.root, "tmp"), "stage-")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+func (f *FS) writeRecord(rec *fsRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return f.writeFileAtomic(f.recordPath(rec.ID), data)
+}
+
+func (f *FS) readRecord(id string) (*fsRecord, error) {
+	data, err := os.ReadFile(f.recordPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	var rec fsRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("jobstore: corrupt record %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// scan reads every job record. Called with the lock held.
+func (f *FS) scan() ([]*fsRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(f.root, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*fsRecord, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		rec, err := f.readRecord(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue // racing removal or corrupt leftovers; skip
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// sweep handles lease recovery and terminal retention over a scan.
+// Called with the lock held; returns recs with swept-away entries removed.
+func (f *FS) sweep(recs []*fsRecord, now time.Time) []*fsRecord {
+	kept := recs[:0]
+	for _, rec := range recs {
+		switch {
+		case rec.State == StateRunning && now.UnixNano() >= rec.LeaseExpiry:
+			rec.Worker = ""
+			switch {
+			case rec.CancelRequested:
+				f.terminalize(rec, StateCancelled, "cancelled while lease expired", now)
+			case rec.Attempt-1 >= f.opt.MaxRetries:
+				f.orphaned.Add(1)
+				f.terminalize(rec, StateFailed, "lease expired; retry cap exhausted", now)
+			default:
+				f.retried.Add(1)
+				rec.State = StateQueued
+				rec.LeaseExpiry = 0
+				f.writeRecord(rec)
+			}
+			kept = append(kept, rec)
+		case rec.State.Terminal() && now.Sub(time.Unix(0, rec.CompletedAt)) > f.opt.RetainFor:
+			os.Remove(f.recordPath(rec.ID))
+			os.Remove(f.resultPath(rec.ID))
+		default:
+			kept = append(kept, rec)
+		}
+	}
+	return kept
+}
+
+// terminalize finalizes a record on disk. Called with the lock held.
+func (f *FS) terminalize(rec *fsRecord, st State, reason string, now time.Time) {
+	rec.State = st
+	if rec.Err == "" {
+		rec.Err = reason
+	}
+	rec.CompletedAt = now.UnixNano()
+	os.Remove(f.payloadPath(rec.ID))
+	f.writeRecord(rec)
+}
+
+// Submit implements Store.
+func (f *FS) Submit(j Job) error {
+	if err := f.lock(); err != nil {
+		return err
+	}
+	defer f.unlock()
+	recs, err := f.scan()
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	recs = f.sweep(recs, now)
+	queued := 0
+	for _, rec := range recs {
+		if rec.ID == j.ID {
+			return ErrTerminal // ID reuse is a caller bug; refuse rather than clobber
+		}
+		if rec.State == StateQueued {
+			queued++
+		}
+	}
+	if queued >= f.opt.QueueDepth {
+		return ErrFull
+	}
+	if err := f.writeFileAtomic(f.payloadPath(j.ID), j.Payload); err != nil {
+		return err
+	}
+	var deadline int64
+	if !j.Deadline.IsZero() {
+		deadline = j.Deadline.UnixNano()
+	}
+	return f.writeRecord(&fsRecord{
+		ID:          j.ID,
+		State:       StateQueued,
+		SubmittedAt: now.UnixNano(),
+		Deadline:    deadline,
+	})
+}
+
+// Claim implements Store.
+func (f *FS) Claim(worker string, lease time.Duration) (*Claim, error) {
+	if err := f.lock(); err != nil {
+		return nil, err
+	}
+	defer f.unlock()
+	recs, err := f.scan()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	recs = f.sweep(recs, now)
+	var pick *fsRecord
+	for _, rec := range recs {
+		if rec.State != StateQueued {
+			continue
+		}
+		// Oldest first; a re-queued retry keeps its original SubmittedAt and
+		// so naturally resumes ahead of younger submissions.
+		if pick == nil || rec.SubmittedAt < pick.SubmittedAt {
+			pick = rec
+		}
+	}
+	if pick == nil {
+		return nil, ErrEmpty
+	}
+	payload, err := os.ReadFile(f.payloadPath(pick.ID))
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: payload %s: %w", pick.ID, err)
+	}
+	pick.State = StateRunning
+	pick.Worker = worker
+	pick.Attempt++
+	pick.ClaimedAt = now.UnixNano()
+	pick.LeaseExpiry = now.Add(lease).UnixNano()
+	if err := f.writeRecord(pick); err != nil {
+		return nil, err
+	}
+	f.claimed.Add(1)
+	var deadline time.Time
+	if pick.Deadline != 0 {
+		deadline = time.Unix(0, pick.Deadline)
+	}
+	return &Claim{
+		ID:          pick.ID,
+		Payload:     payload,
+		Attempt:     pick.Attempt,
+		Deadline:    deadline,
+		SubmittedAt: time.Unix(0, pick.SubmittedAt),
+		ClaimedAt:   now,
+	}, nil
+}
+
+// owned loads the record iff (id, worker, attempt) is the live claim.
+// Called with the lock held.
+func (f *FS) owned(id, worker string, attempt int) (*fsRecord, error) {
+	rec, err := f.readRecord(id)
+	if err != nil {
+		return nil, err
+	}
+	if rec.State != StateRunning || rec.Worker != worker || rec.Attempt != attempt {
+		return nil, ErrLost
+	}
+	// An expired-but-unswept lease is already lost: another process's next
+	// Claim will re-queue it, so acting on it here would race that recovery.
+	if time.Now().UnixNano() >= rec.LeaseExpiry {
+		return nil, ErrLost
+	}
+	return rec, nil
+}
+
+// Heartbeat implements Store.
+func (f *FS) Heartbeat(id, worker string, attempt int, lease time.Duration) (bool, error) {
+	if err := f.lock(); err != nil {
+		return false, err
+	}
+	defer f.unlock()
+	rec, err := f.owned(id, worker, attempt)
+	if err != nil {
+		return false, err
+	}
+	rec.LeaseExpiry = time.Now().Add(lease).UnixNano()
+	if err := f.writeRecord(rec); err != nil {
+		return false, err
+	}
+	return rec.CancelRequested, nil
+}
+
+// Complete implements Store.
+func (f *FS) Complete(id, worker string, attempt int, result []byte, failure string) error {
+	if err := f.lock(); err != nil {
+		return err
+	}
+	defer f.unlock()
+	rec, err := f.owned(id, worker, attempt)
+	if err != nil {
+		return err
+	}
+	if result != nil {
+		if err := f.writeFileAtomic(f.resultPath(id), result); err != nil {
+			return err
+		}
+		rec.HasResult = true
+	}
+	rec.Err = failure
+	rec.Completions++
+	f.completed.Add(1)
+	st := StateDone
+	switch {
+	case rec.CancelRequested:
+		st = StateCancelled
+	case failure != "":
+		st = StateFailed
+	}
+	f.terminalize(rec, st, failure, time.Now())
+	return nil
+}
+
+// Fetch implements Store.
+func (f *FS) Fetch(id string) (*Record, error) {
+	if err := f.lock(); err != nil {
+		return nil, err
+	}
+	defer f.unlock()
+	rec, err := f.readRecord(id)
+	if err != nil {
+		return nil, err
+	}
+	var result []byte
+	if rec.HasResult {
+		result, err = os.ReadFile(f.resultPath(id))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return recordFromFS(rec, result), nil
+}
+
+func recordFromFS(rec *fsRecord, result []byte) *Record {
+	r := &Record{
+		ID:              rec.ID,
+		State:           rec.State,
+		Attempt:         rec.Attempt,
+		Worker:          rec.Worker,
+		Err:             rec.Err,
+		Result:          result,
+		SubmittedAt:     time.Unix(0, rec.SubmittedAt),
+		CancelRequested: rec.CancelRequested,
+		Completions:     rec.Completions,
+	}
+	if rec.ClaimedAt != 0 {
+		r.ClaimedAt = time.Unix(0, rec.ClaimedAt)
+	}
+	if rec.LeaseExpiry != 0 {
+		r.LeaseExpiry = time.Unix(0, rec.LeaseExpiry)
+	}
+	return r
+}
+
+// Cancel implements Store.
+func (f *FS) Cancel(id string) (bool, error) {
+	if err := f.lock(); err != nil {
+		return false, err
+	}
+	defer f.unlock()
+	rec, err := f.readRecord(id)
+	if err != nil {
+		return false, err
+	}
+	if rec.State.Terminal() {
+		return false, ErrTerminal
+	}
+	rec.CancelRequested = true
+	if rec.State == StateQueued {
+		f.terminalize(rec, StateCancelled, "cancelled while queued", time.Now())
+		return true, nil
+	}
+	return false, f.writeRecord(rec)
+}
+
+// Wait implements Store. The FS store has no cross-process completion
+// signal, so Wait polls at the store's PollInterval.
+func (f *FS) Wait(ctx context.Context, id string) (*Record, error) {
+	t := time.NewTicker(f.opt.PollInterval)
+	defer t.Stop()
+	for {
+		rec, err := f.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		if rec.State.Terminal() {
+			return rec, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Notify implements Store.
+func (f *FS) Notify() <-chan struct{} { return f.notify }
+
+// Stats implements Store. Gauges reflect the shared directory; counters are
+// this process's contribution.
+func (f *FS) Stats() Stats {
+	st := Stats{
+		Claimed:   f.claimed.Load(),
+		Retried:   f.retried.Load(),
+		Orphaned:  f.orphaned.Load(),
+		Completed: f.completed.Load(),
+	}
+	if err := f.lock(); err != nil {
+		return st
+	}
+	defer f.unlock()
+	recs, err := f.scan()
+	if err != nil {
+		return st
+	}
+	recs = f.sweep(recs, time.Now())
+	for _, rec := range recs {
+		switch rec.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Leased++
+		}
+	}
+	return st
+}
+
+// Close implements Store. The shared directory is left intact for other
+// processes; only this process's handles stop.
+func (f *FS) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	close(f.stopc)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lockf.Close()
+}

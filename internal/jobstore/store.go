@@ -1,0 +1,229 @@
+// Package jobstore is the pluggable queue behind revcnnd's horizontal
+// scale-out: a stateless HTTP frontend submits attack jobs, a pool of
+// workers — in the same process or in N separate revcnnd processes sharing
+// one store — claims them under a lease, and crash recovery falls out of
+// lease expiry: a worker that dies mid-job stops heartbeating, its lease
+// expires, and the next Claim re-queues the job (bounded by a retry cap)
+// for another worker to pick up.
+//
+// Two implementations ship:
+//
+//   - Mem (NewMem): the zero-dependency in-process queue. This is the
+//     default revcnnd store and preserves the single-process service's
+//     original bounded-queue behavior.
+//   - FS (OpenFS): a shared filesystem store — one directory, flock-guarded
+//     per-job records — so multiple revcnnd processes on one host (or a
+//     shared volume) drain a common queue.
+//
+// Completion is exactly-once: Claim hands out an (ID, Attempt) pair, and
+// Complete/Heartbeat from a stale attempt — one whose lease expired and was
+// re-claimed — fail with ErrLost, so a worker that stalls past its lease
+// and then wakes up cannot double-deliver a result.
+package jobstore
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued jobs are waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning jobs are claimed under a live (or expired-but-unswept)
+	// lease.
+	StateRunning State = "running"
+	// StateDone jobs completed and carry a result.
+	StateDone State = "done"
+	// StateFailed jobs exhausted their retry cap after repeated lease
+	// expiries (orphaned), or were completed with a failure.
+	StateFailed State = "failed"
+	// StateCancelled jobs were cancelled before (queued) or during
+	// (running, acknowledged by the worker) execution.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submission.
+type Job struct {
+	// ID must be unique across every process sharing the store; NewID
+	// generates a suitable one.
+	ID string
+	// Payload is the opaque serialized request; the store never interprets
+	// it.
+	Payload []byte
+	// Deadline, when nonzero, is the job's absolute execution deadline.
+	// Queue wait counts against it: workers bound the job context by this
+	// time regardless of when the claim happens.
+	Deadline time.Time
+}
+
+// Claim is a leased job handed to a worker. The (ID, Attempt) pair is the
+// worker's completion credential: Heartbeat and Complete verify it, so a
+// claim that outlives its lease and is re-issued to another worker can no
+// longer act on the job.
+type Claim struct {
+	ID          string
+	Payload     []byte
+	Attempt     int
+	Deadline    time.Time
+	SubmittedAt time.Time
+	ClaimedAt   time.Time
+}
+
+// Record is a point-in-time snapshot of a job's stored state.
+type Record struct {
+	ID              string
+	State           State
+	Attempt         int
+	Worker          string
+	Err             string // failure/cancellation reason for terminal states
+	Result          []byte // set once State == StateDone (and for failed completions that carried one)
+	SubmittedAt     time.Time
+	ClaimedAt       time.Time
+	LeaseExpiry     time.Time
+	CancelRequested bool
+	// Completions counts accepted Complete calls — the exactly-once
+	// invariant is Completions <= 1 for every job, which the kill-a-worker
+	// e2e asserts after lease re-claims.
+	Completions int
+}
+
+// Stats is a store occupancy/lifecycle snapshot. The counters are
+// process-local views for the FS store (each process counts the claims and
+// sweeps it performed); the gauges reflect the shared state.
+type Stats struct {
+	Queued    int   // jobs waiting for a worker
+	Leased    int   // jobs claimed under a lease
+	Claimed   int64 // claims handed out (includes re-claims)
+	Retried   int64 // expired leases re-queued
+	Orphaned  int64 // jobs failed after exhausting the retry cap
+	Completed int64 // accepted Complete calls
+}
+
+// Store errors. Implementations return these sentinel values (possibly
+// wrapped) so callers can branch with errors.Is.
+var (
+	// ErrFull rejects a submission because the queue is at capacity.
+	ErrFull = errors.New("jobstore: queue full")
+	// ErrEmpty reports that no job is currently claimable.
+	ErrEmpty = errors.New("jobstore: nothing to claim")
+	// ErrNotFound reports an unknown (or swept) job ID.
+	ErrNotFound = errors.New("jobstore: job not found")
+	// ErrLost reports that the caller's claim is no longer valid: the lease
+	// expired and the job was re-queued, re-claimed, or orphaned.
+	ErrLost = errors.New("jobstore: claim lost")
+	// ErrTerminal rejects an operation on a job already in a final state.
+	ErrTerminal = errors.New("jobstore: job already terminal")
+	// ErrClosed reports operations on a closed store.
+	ErrClosed = errors.New("jobstore: store closed")
+)
+
+// Store is the pluggable job queue contract. All methods are safe for
+// concurrent use; Claim is non-blocking (ErrEmpty when nothing is ready) —
+// callers wait on Notify between attempts.
+type Store interface {
+	// Submit enqueues a job. ErrFull when the queue is at capacity.
+	Submit(j Job) error
+	// Claim leases the oldest claimable job to worker for the given
+	// duration. It also performs lease recovery: expired leases are
+	// re-queued (and become claimable in the same pass) or orphaned when
+	// the retry cap is exhausted. ErrEmpty when nothing is claimable.
+	Claim(worker string, lease time.Duration) (*Claim, error)
+	// Heartbeat extends the lease of a claim and reports whether
+	// cancellation of the job has been requested. ErrLost when the claim
+	// is no longer valid.
+	Heartbeat(id, worker string, attempt int, lease time.Duration) (cancelRequested bool, err error)
+	// Complete finishes a claimed job: failure == "" stores the result and
+	// marks it done; a nonempty failure marks it failed. A job whose
+	// cancellation was requested terminalizes as cancelled either way.
+	// ErrLost when the claim is no longer valid — the result is discarded
+	// and whoever holds the live claim remains responsible for the job.
+	Complete(id, worker string, attempt int, result []byte, failure string) error
+	// Fetch returns a snapshot of the job.
+	Fetch(id string) (*Record, error)
+	// Cancel requests cancellation. A queued job terminalizes immediately
+	// (wasQueued true); a running job has its cancellation flagged for the
+	// worker's next heartbeat (wasQueued false). ErrTerminal if already
+	// final.
+	Cancel(id string) (wasQueued bool, err error)
+	// Wait blocks until the job reaches a terminal state or ctx expires.
+	Wait(ctx context.Context, id string) (*Record, error)
+	// Notify returns a channel pulsed when a job may have become
+	// claimable. Pulses are best-effort (coalesced, may be spurious);
+	// claim loops must also poll on a coarse fallback interval.
+	Notify() <-chan struct{}
+	// Stats returns an occupancy and lifecycle snapshot.
+	Stats() Stats
+	// Close releases the store's resources. In-flight claims held by other
+	// processes (FS store) are unaffected.
+	Close() error
+}
+
+// CancelWatcher is an optional fast path stores can provide: when the
+// current claim of id matches attempt, fn is invoked as soon as
+// cancellation is requested, instead of waiting for the next heartbeat.
+// The in-memory store implements it, giving the single-process deployment
+// its original instant client-disconnect cancellation.
+type CancelWatcher interface {
+	WatchCancel(id string, attempt int, fn func())
+}
+
+// Options parameterizes a store.
+type Options struct {
+	// QueueDepth bounds how many jobs may wait for a worker (default 8).
+	// For the FS store the bound is per-submitter and approximate: each
+	// process enforces it against its latest scan of the shared directory.
+	QueueDepth int
+	// MaxRetries is how many times an expired lease may be re-queued
+	// before the job is orphaned (default 2, so a job runs at most
+	// 1+MaxRetries attempts). Negative disables retries entirely.
+	MaxRetries int
+	// RetainTerminal caps how many terminal records the in-memory store
+	// keeps for Fetch/Wait after completion (default 1024, FIFO-evicted).
+	RetainTerminal int
+	// RetainFor is how long the FS store keeps terminal records before
+	// sweeping their files (default 1h).
+	RetainFor time.Duration
+	// PollInterval is the FS store's scan/notify period (default 25ms).
+	PollInterval time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetainTerminal <= 0 {
+		o.RetainTerminal = 1024
+	}
+	if o.RetainFor <= 0 {
+		o.RetainFor = time.Hour
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+}
+
+// NewID returns a job ID unique across processes (64 random bits).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("jobstore: crypto/rand unavailable: " + err.Error())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

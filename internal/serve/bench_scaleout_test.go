@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// benchServeThroughput pushes b.N independent structure-attack jobs through
+// a server with the given worker count and reports end-to-end jobs/s. The
+// cache is disabled (every seed is distinct anyway) so each job pays the
+// full pipeline; scaling beyond one worker requires spare cores — on a
+// single-core runner the pair measures queueing overhead, not speedup.
+func benchServeThroughput(b *testing.B, workers int) {
+	s := New(Config{
+		Workers:    workers,
+		QueueDepth: 4096,
+		CacheBytes: -1,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		sctx, scancel := ctxWithTimeout(b.Elapsed() + 120e9)
+		defer scancel()
+		if err := s.Shutdown(sctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	}()
+	var seed atomic.Int64
+	b.SetParallelism(workers)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := fmt.Sprintf(`{"model":"lenet","seed":%d}`, seed.Add(1))
+			resp, err := ts.Client().Post(ts.URL+"/v1/attack/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("simulate = %d", resp.StatusCode)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+func BenchmarkServeThroughput_1Workers(b *testing.B) { benchServeThroughput(b, 1) }
+func BenchmarkServeThroughput_4Workers(b *testing.B) { benchServeThroughput(b, 4) }

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/corrupt"
+	"cnnrev/internal/memtrace"
+)
+
+// payloadHeader is the job-store wire form of an attackRequest, minus the
+// trace body (which rides behind it in its native serialized form so a
+// multi-megabyte upload is never base64-inflated through JSON). The frontend
+// resolves everything request-shaped — including the effective MaxStructures
+// merged with the server cap — before encoding, so a worker replica with a
+// different local configuration still solves under the submitting frontend's
+// bound and the result matches the frontend's cache key.
+type payloadHeader struct {
+	Mode string `json:"mode"`
+
+	TraceHash string `json:"trace_hash,omitempty"`
+	InW       int    `json:"inw,omitempty"`
+	InD       int    `json:"ind,omitempty"`
+	ElemBytes int    `json:"elem,omitempty"`
+
+	Model    string  `json:"model,omitempty"`
+	DepthDiv int     `json:"depth_div,omitempty"`
+	Filters  int     `json:"filters,omitempty"`
+	ZeroFrac float64 `json:"zero_frac,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+
+	Classes       int            `json:"classes,omitempty"`
+	Modular       bool           `json:"modular,omitempty"`
+	Tol           float64        `json:"tol,omitempty"`
+	AllowStrideOK bool           `json:"allow_stride_ok,omitempty"`
+	MaxStructures int            `json:"max_structures,omitempty"`
+	CapResolved   bool           `json:"cap_resolved,omitempty"`
+	MaxReturn     int            `json:"max_return,omitempty"`
+	Rank          *rankParams    `json:"rank,omitempty"`
+	Weights       bool           `json:"weights,omitempty"`
+	TimeoutNS     int64          `json:"timeout_ns,omitempty"`
+	Dataflow      string         `json:"dataflow,omitempty"`
+	Tolerant      bool           `json:"tolerant,omitempty"`
+	Corrupt       corrupt.Config `json:"corrupt,omitempty"`
+}
+
+// encodeRequest serializes a parsed request for the job store:
+// a 4-byte little-endian header length, the JSON header, then (trace mode)
+// the raw serialized trace.
+func encodeRequest(req *attackRequest) ([]byte, error) {
+	hdr := payloadHeader{
+		Mode:      req.mode,
+		TraceHash: req.traceHash, InW: req.inW, InD: req.inD, ElemBytes: req.elemBytes,
+		Model: req.model, DepthDiv: req.depthDiv, Filters: req.filters,
+		ZeroFrac: req.zeroFrac, Seed: req.seed,
+		Classes: req.classes, Modular: req.modular, Tol: req.tol,
+		AllowStrideOK: req.allowStrideOK,
+		MaxStructures: req.maxStructures, CapResolved: req.capResolved,
+		MaxReturn: req.maxReturn, Rank: req.rank, Weights: req.weights,
+		TimeoutNS: int64(req.timeout), Dataflow: req.dataflow.String(),
+		Tolerant: req.tolerant, Corrupt: req.corrupt,
+	}
+	hb, err := json.Marshal(&hdr)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(hb)))
+	buf.Write(lenb[:])
+	buf.Write(hb)
+	if req.mode == "trace" {
+		if req.trace == nil {
+			return nil, fmt.Errorf("serve: trace mode request without a trace")
+		}
+		if err := req.trace.Write(&buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRequest parses a job payload back into an attackRequest. The
+// payload comes from this package's own encoder (possibly in another
+// process), so errors mean version skew or corruption, not client input.
+func decodeRequest(payload []byte) (*attackRequest, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("serve: job payload too short")
+	}
+	hlen := binary.LittleEndian.Uint32(payload[:4])
+	if int(hlen) > len(payload)-4 {
+		return nil, fmt.Errorf("serve: job payload header length %d exceeds payload", hlen)
+	}
+	var hdr payloadHeader
+	if err := json.Unmarshal(payload[4:4+hlen], &hdr); err != nil {
+		return nil, fmt.Errorf("serve: job payload header: %w", err)
+	}
+	df, err := accel.ParseDataflow(hdr.Dataflow)
+	if err != nil {
+		return nil, fmt.Errorf("serve: job payload dataflow: %w", err)
+	}
+	req := &attackRequest{
+		mode:      hdr.Mode,
+		traceHash: hdr.TraceHash, inW: hdr.InW, inD: hdr.InD, elemBytes: hdr.ElemBytes,
+		model: hdr.Model, depthDiv: hdr.DepthDiv, filters: hdr.Filters,
+		zeroFrac: hdr.ZeroFrac, seed: hdr.Seed,
+		classes: hdr.Classes, modular: hdr.Modular, tol: hdr.Tol,
+		allowStrideOK: hdr.AllowStrideOK,
+		maxStructures: hdr.MaxStructures, capResolved: hdr.CapResolved,
+		maxReturn: hdr.MaxReturn, rank: hdr.Rank, weights: hdr.Weights,
+		timeout:  time.Duration(hdr.TimeoutNS),
+		dataflow: df, tolerant: hdr.Tolerant, corrupt: hdr.Corrupt,
+	}
+	if req.mode == "trace" {
+		tr, err := memtrace.DecodeTrace(payload[4+hlen:])
+		if err != nil {
+			return nil, fmt.Errorf("serve: job payload trace: %w", err)
+		}
+		req.trace = tr
+	}
+	return req, nil
+}
+
+// resultEnvelope is the job-store wire form of a finished job's HTTP
+// outcome: the status and pre-marshaled response body a frontend should
+// relay. Cacheable marks complete 200s — the only outcomes the
+// content-addressed result cache may store.
+type resultEnvelope struct {
+	Status    int             `json:"status"`
+	Body      json.RawMessage `json:"body,omitempty"`
+	ErrMsg    string          `json:"error,omitempty"`
+	Cacheable bool            `json:"cacheable,omitempty"`
+}
+
+func encodeEnvelope(env *resultEnvelope) []byte {
+	b, err := json.Marshal(env)
+	if err != nil {
+		// The envelope is built from marshalable fields only; failure here is
+		// a programming error, but a failed job beats a crashed worker.
+		b, _ = json.Marshal(&resultEnvelope{Status: 500, ErrMsg: "result encoding failed"})
+	}
+	return b
+}
+
+func decodeEnvelope(data []byte) (*resultEnvelope, error) {
+	var env resultEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("serve: result envelope: %w", err)
+	}
+	return &env, nil
+}

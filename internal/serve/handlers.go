@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -15,29 +14,34 @@ import (
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/corrupt"
+	"cnnrev/internal/jobstore"
 	"cnnrev/internal/memtrace"
 )
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Role == RoleWorker {
+		// A pure worker keeps only the observability surface; attack
+		// submission and job polling belong to the frontends.
+		return
+	}
 	s.mux.HandleFunc("POST /v1/attack/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/attack/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	depth := len(s.pending)
-	s.mu.Unlock()
 	st := struct {
 		Status     string `json:"status"`
+		Role       string `json:"role"`
 		Workers    int    `json:"workers"`
 		Running    int64  `json:"running"`
 		QueueDepth int    `json:"queue_depth"`
-	}{"ok", s.cfg.Workers, s.met.running.Load(), depth}
+	}{"ok", s.cfg.Role, s.cfg.Workers, s.met.running.Load(), s.queueDepth()}
 	code := http.StatusOK
-	if draining {
+	if s.isDraining() {
 		st.Status = "draining"
 		code = http.StatusServiceUnavailable
 	}
@@ -49,7 +53,70 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	cacheBytes, cacheEntries := s.cacheStats()
-	s.met.writePrometheus(w, s.queueDepth(), s.cfg.Workers, cacheBytes, cacheEntries)
+	s.met.writePrometheus(w, s.store.Stats(), s.cfg.Workers, cacheBytes, cacheEntries)
+}
+
+// jobStatusJSON is the GET /v1/jobs/{id} body: the store record plus, for
+// finished jobs, the result envelope's status and body.
+type jobStatusJSON struct {
+	ID      string `json:"job_id"`
+	State   string `json:"state"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Status and Result carry the finished job's HTTP outcome: the status
+	// the synchronous path would have returned and the attack response body.
+	Status int             `json:"status,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.store.Fetch(id)
+	if err != nil {
+		if errors.Is(err, jobstore.ErrNotFound) {
+			http.Error(w, "unknown job", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	st := jobStatusJSON{ID: rec.ID, State: string(rec.State), Attempt: rec.Attempt, Error: rec.Err}
+	if rec.State.Terminal() && len(rec.Result) > 0 {
+		if env, derr := decodeEnvelope(rec.Result); derr == nil {
+			st.Status = env.Status
+			st.Result = env.Body
+			if env.ErrMsg != "" && st.Error == "" {
+				st.Error = env.ErrMsg
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wasQueued, err := s.store.Cancel(id)
+	switch {
+	case errors.Is(err, jobstore.ErrNotFound):
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	case errors.Is(err, jobstore.ErrTerminal):
+		http.Error(w, "job already finished", http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	state := "cancelling" // running: the worker acknowledges at the next boundary
+	if wasQueued {
+		state = "cancelled"
+		s.met.cancelled.Add(1)
+	}
+	s.log.Info("job cancel requested", "job", id, "queued", wasQueued)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "{\"job_id\":%q,\"state\":%q}\n", id, state)
 }
 
 // queryInt parses an optional integer query parameter.
@@ -379,23 +446,50 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.submit(w, r, req)
 }
 
+// marshalResponse renders an attack response body as compact JSON without
+// a trailing newline — the form that survives a json.RawMessage round-trip
+// through the result envelope byte-for-byte. Writers append the newline at
+// write time so cached replays stay byte-identical to first responses.
+func marshalResponse(resp *attackResponse) ([]byte, error) {
+	return json.Marshal(resp)
+}
+
+// writeBody writes a response body plus the protocol's trailing newline.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte{'\n'})
+}
+
 // submit resolves the request against the content-addressed result cache,
-// then — on a miss — enqueues the job and blocks until a worker (or
-// shutdown) finishes it, writing the job's outcome and caching complete
-// results. The job context is the request context bounded by the requested
-// (capped) deadline, so a disconnecting client cancels its own job and a
-// queue wait counts against the deadline.
+// then — on a miss — encodes it into the job store. wait=true (the
+// default) blocks until a worker (or shutdown) finishes the job, writing
+// its outcome and caching complete results; wait=false returns 202 with
+// the job ID for GET /v1/jobs polling. The effective solver cap is
+// resolved here, before keying and encoding, so every worker replica
+// solves under the submitting frontend's bound.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, req *attackRequest) {
+	wait := true
+	switch v := r.URL.Query().Get("wait"); v {
+	case "", "1", "true", "yes":
+	case "0", "false", "no":
+		wait = false
+	default:
+		http.Error(w, fmt.Sprintf("bad wait=%q (want one of 0/1/true/false/yes/no)", v), http.StatusBadRequest)
+		return
+	}
+	req.maxStructures = s.solverOptions(req).MaxStructures
+	req.capResolved = true
 	var key string
-	if s.cache != nil {
+	if s.cache != nil && wait {
 		key = req.cacheKey()
 		if req.cacheBypass {
 			s.met.cacheBypassed.Add(1)
 		} else if body, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
-			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Revcnnd-Cache", "hit")
-			w.Write(body)
+			writeBody(w, http.StatusOK, body)
 			return
 		} else {
 			s.met.cacheMisses.Add(1)
@@ -404,49 +498,154 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, req *attackReque
 	if req.timeout <= 0 || req.timeout > s.cfg.JobTimeout {
 		req.timeout = s.cfg.JobTimeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
-	defer cancel()
-	j := &job{id: s.jobSeq.Add(1), ctx: ctx, req: req, done: make(chan struct{})}
-	if err := s.enqueue(j); err != nil {
+	payload, err := encodeRequest(req)
+	if err != nil {
+		http.Error(w, "request encoding failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	id := jobstore.NewID()
+
+	// Register before submitting so a Shutdown racing this handler either
+	// sees the drain flag here or finds the job tracked and aborts it.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, errDraining.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if wait {
+		s.tracked[id] = struct{}{}
+	}
+	s.mu.Unlock()
+	if wait {
+		defer s.untrack(id)
+	}
+
+	deadline := time.Now().Add(req.timeout)
+	if err := s.store.Submit(jobstore.Job{ID: id, Payload: payload, Deadline: deadline}); err != nil {
 		code := http.StatusServiceUnavailable
-		if errors.Is(err, errQueueFull) {
+		if errors.Is(err, jobstore.ErrFull) {
+			s.met.rejected.Add(1)
 			code = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", "1")
 		}
-		s.log.Info("job rejected", "job", j.id, "reason", err)
+		s.log.Info("job rejected", "job", id, "reason", err)
 		http.Error(w, err.Error(), code)
 		return
 	}
-	<-j.done
-	if j.resp == nil {
-		if j.status == 0 {
-			// The client disconnected: the peer is gone, so writing a body
-			// (the old 408) only polluted access logs with a timeout the
-			// server never hit. Record the distinct outcome and hand the
-			// aborted connection back to net/http.
-			s.met.abandoned.Add(1)
-			s.log.Info("job canceled by client disconnect; no response written", "job", j.id)
+	if wait && s.isDraining() {
+		// Shutdown's abort sweep may have run between tracking and Submit,
+		// finding nothing to cancel; abort the stragglers ourselves. A job a
+		// worker already claimed drains to completion like any in-flight job.
+		if wasQueued, cerr := s.store.Cancel(id); cerr == nil && wasQueued {
+			s.met.aborted.Add(1)
+			s.log.Info("job aborted by shutdown", "job", id)
+			http.Error(w, errDraining.Error(), http.StatusServiceUnavailable)
 			return
 		}
-		msg := "job failed"
-		if j.err != nil {
-			msg = j.err.Error()
-		}
-		http.Error(w, msg, j.status)
+	}
+
+	if !wait {
+		s.met.async.Add(1)
+		s.log.Info("job accepted", "job", id, "mode", req.mode, "timeout", req.timeout)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Location", "/v1/jobs/"+id)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "{\"job_id\":%q,\"state\":%q}\n", id, jobstore.StateQueued)
 		return
 	}
-	// Cache only complete results: partials depend on where the deadline
-	// struck, which is not a function of the key.
-	if s.cache != nil && j.status == http.StatusOK && !j.resp.Partial {
-		cached := *j.resp
-		cached.Cached = true
-		var buf bytes.Buffer
-		if err := json.NewEncoder(&buf).Encode(&cached); err == nil {
-			s.met.cacheStores.Add(1)
-			s.met.cacheEvictions.Add(s.cache.put(key, buf.Bytes()))
-		}
+
+	// Wait out the job on a store watch detached from the client connection:
+	// the deadline plus two leases covers queue wait, execution, and one full
+	// lease-recovery round before we give up on the store.
+	waitCtx, cancelWait := context.WithDeadline(context.Background(), deadline.Add(2*s.cfg.Lease+5*time.Second))
+	defer cancelWait()
+	type waitResult struct {
+		rec *jobstore.Record
+		err error
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(j.status)
-	json.NewEncoder(w).Encode(j.resp)
+	recc := make(chan waitResult, 1)
+	go func() {
+		rec, werr := s.store.Wait(waitCtx, id)
+		recc <- waitResult{rec, werr}
+	}()
+
+	select {
+	case <-r.Context().Done():
+		// The client disconnected. Cancel the job — a queued job dies here
+		// (counted as cancelled, like a running job the worker abandons), a
+		// running one is flagged for the worker — then await the terminal
+		// state so completed work can still populate the cache. Nothing is
+		// written: the peer is gone.
+		if wasQueued, cerr := s.store.Cancel(id); cerr == nil && wasQueued {
+			s.met.cancelled.Add(1)
+		}
+		res := <-recc
+		s.met.abandoned.Add(1)
+		s.log.Info("job canceled by client disconnect; no response written", "job", id)
+		if res.err == nil && res.rec.State == jobstore.StateDone {
+			s.maybeCache(key, res.rec)
+		}
+		return
+	case res := <-recc:
+		if res.err != nil {
+			http.Error(w, "job did not complete: "+res.err.Error(), http.StatusGatewayTimeout)
+			return
+		}
+		s.writeOutcome(w, key, res.rec)
+	}
+}
+
+// maybeCache stores a finished job's cacheable envelope, re-marshaling the
+// body with the cached flag set (byte-stable: compact JSON, sorted map
+// keys, round-trip-exact numbers).
+func (s *Server) maybeCache(key string, rec *jobstore.Record) {
+	if s.cache == nil || key == "" || len(rec.Result) == 0 {
+		return
+	}
+	env, err := decodeEnvelope(rec.Result)
+	if err != nil || !env.Cacheable {
+		return
+	}
+	var resp attackResponse
+	if err := json.Unmarshal(env.Body, &resp); err != nil {
+		return
+	}
+	resp.Cached = true
+	body, err := marshalResponse(&resp)
+	if err != nil {
+		return
+	}
+	s.met.cacheStores.Add(1)
+	s.met.cacheEvictions.Add(s.cache.put(key, body))
+}
+
+// writeOutcome relays a terminal job record to the synchronous client.
+func (s *Server) writeOutcome(w http.ResponseWriter, key string, rec *jobstore.Record) {
+	switch rec.State {
+	case jobstore.StateDone, jobstore.StateFailed:
+		env, err := decodeEnvelope(rec.Result)
+		if err != nil {
+			msg := rec.Err
+			if msg == "" {
+				msg = "job result unreadable: " + err.Error()
+			}
+			http.Error(w, msg, http.StatusInternalServerError)
+			return
+		}
+		if env.Body == nil {
+			http.Error(w, env.ErrMsg, env.Status)
+			return
+		}
+		if env.Cacheable {
+			s.maybeCache(key, rec)
+		}
+		writeBody(w, env.Status, env.Body)
+	case jobstore.StateCancelled:
+		// Either shutdown aborted it while queued or another client's DELETE
+		// landed; both are service-side terminations of a live request.
+		http.Error(w, errDraining.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, "job in unexpected state "+string(rec.State), http.StatusInternalServerError)
+	}
 }

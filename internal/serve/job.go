@@ -76,7 +76,12 @@ type attackRequest struct {
 	tol           float64
 	allowStrideOK bool
 	maxStructures int
-	maxReturn     int
+	// capResolved marks maxStructures as the *effective* solver cap — the
+	// request cap already merged with the server's -max-structures by the
+	// submitting frontend — so worker replicas and the cache key use the
+	// frontend's bound verbatim instead of re-merging against their own.
+	capResolved bool
+	maxReturn   int
 	rank          *rankParams
 	weights       bool
 	timeout       time.Duration
@@ -100,12 +105,15 @@ type attackRequest struct {
 // the content-addressed cache key. Trace mode is keyed on the upload's
 // SHA-256 plus the analysis parameters; simulate mode on the canonical
 // victim spec (with the seed already resolved, so an absent seed and an
-// explicit seed 2 share an entry). The job timeout is deliberately
-// excluded: only complete results are cached, and a complete result is
-// valid under any deadline.
+// explicit seed 2 share an entry). The maxstructures component is the
+// *effective* cap (request merged with the server's -max-structures), so
+// restarting the server with a different cap never replays a result
+// computed under the old bound — hence the v2 prefix. The job timeout is
+// deliberately excluded: only complete results are cached, and a complete
+// result is valid under any deadline.
 func (req *attackRequest) cacheKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v1|mode=%s|", req.mode)
+	fmt.Fprintf(&b, "v2|mode=%s|", req.mode)
 	if req.mode == "trace" {
 		fmt.Fprintf(&b, "sha256=%s|inw=%d|ind=%d|elem=%d|", req.traceHash, req.inW, req.inD, req.elemBytes)
 	} else {
@@ -237,7 +245,7 @@ type noiseJSON struct {
 }
 
 type attackResponse struct {
-	JobID         uint64           `json:"job_id"`
+	JobID         string           `json:"job_id"`
 	Mode          string           `json:"mode"`
 	Model         string           `json:"model,omitempty"`
 	Partial       bool             `json:"partial,omitempty"`
@@ -299,13 +307,20 @@ func buildVictim(model string, classes, depthDiv, filters int, zeroFrac float64,
 	return nil, false, fmt.Errorf("unknown model %q", model)
 }
 
-// solverOptions maps request knobs onto the solver's option set.
+// solverOptions maps request knobs onto the solver's option set. Once the
+// submitting frontend has resolved the effective cap (capResolved), it is
+// taken verbatim — a worker with a different -max-structures must not
+// re-merge it.
 func (s *Server) solverOptions(req *attackRequest) structrev.Options {
 	opt := structrev.DefaultOptions()
 	opt.IdenticalModules = req.modular
 	opt.AllowStrideOverKernel = req.allowStrideOK
 	if req.tol > 0 {
 		opt.TimingSpreadMax = req.tol
+	}
+	if req.capResolved {
+		opt.MaxStructures = req.maxStructures
+		return opt
 	}
 	if s.cfg.MaxStructures > 0 {
 		opt.MaxStructures = s.cfg.MaxStructures
@@ -453,6 +468,12 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			MaxCandidates: req.rank.MaxCandidates,
 			Halving:       req.rank.Halving, Eta: req.rank.Eta, MinEpochs: req.rank.MinEpochs,
 		}
+		if s.cfg.Workers > 1 {
+			// Fan each rung's independent trainings out to idle serve workers;
+			// training remains seed-deterministic per candidate, so the scores
+			// are bit-identical to the serial schedule.
+			rc.Runner = s.runShared
+		}
 		t0 := time.Now()
 		rres := core.RankCandidatesResult(ctx, rep, input, rc)
 		observe("rank", time.Since(t0))
@@ -488,6 +509,10 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 		} else {
 			t0 := time.Now()
 			wrep, err := core.RunWeightAttackCtx(ctx, net, accel.Config{Dataflow: req.dataflow})
+			// Record the stage on every outcome — an unreachable first layer
+			// or a mid-stage cancellation still spent this wall time, and the
+			// stage histogram must not undercount it.
+			observe("weights", time.Since(t0))
 			switch {
 			case err != nil && isCtxErr(err):
 				s.met.MarkStageCancelled("weights")
@@ -497,7 +522,6 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 				// reach (pooled/padded); report it without failing the job.
 				resp.WeightsError = err.Error()
 			default:
-				observe("weights", time.Since(t0))
 				resp.Weights = &weightsJSON{
 					Filters: wrep.Filters, MaxRatioErr: wrep.MaxRatioErr,
 					ZerosActual: wrep.ZerosActual, ZerosDetected: wrep.ZerosDetected,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cnnrev/internal/core"
+	"cnnrev/internal/jobstore"
 	"cnnrev/internal/tensor"
 )
 
@@ -58,6 +59,17 @@ type Metrics struct {
 	// could be written — a distinct outcome from server-side deadline
 	// expiry, which still writes a 504/partial body.
 	abandoned atomic.Int64
+	// async counts wait=false submissions accepted with 202.
+	async atomic.Int64
+
+	// Scale-out instrumentation: time spent queued before a worker claimed
+	// the job, lease age at completion, per-worker job attribution, and the
+	// rank-rung shard pool's activity.
+	queueWait   *histogram
+	leaseAge    *histogram
+	workerJobs  []atomic.Int64
+	shardRuns   atomic.Int64
+	shardHelped atomic.Int64
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -96,8 +108,14 @@ type stageDataflowStat struct {
 // deeper schedules fold into the final bucket.
 const rankRungBuckets = 12
 
-func newMetrics() *Metrics {
+func newMetrics(workers int) *Metrics {
+	if workers < 0 {
+		workers = 0
+	}
 	m := &Metrics{
+		queueWait:     newHistogram(),
+		leaseAge:      newHistogram(),
+		workerJobs:    make([]atomic.Int64, workers),
 		stageLat:      make(map[string]*histogram, len(stageNames)),
 		stageCancel:   make(map[string]*atomic.Int64, len(stageNames)),
 		stageDataflow: make(map[string]*stageDataflowStat, len(stageNames)*len(dataflowNames)),
@@ -110,6 +128,39 @@ func newMetrics() *Metrics {
 		}
 	}
 	return m
+}
+
+// observeQueueWait records the interval between a job's submission and the
+// claim that started executing it.
+func (m *Metrics) observeQueueWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.queueWait.observe(d)
+}
+
+// observeLeaseAge records how long a worker held its lease on a job, claim
+// to completion.
+func (m *Metrics) observeLeaseAge(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.leaseAge.observe(d)
+}
+
+// workerJob attributes one claimed job to a worker index.
+func (m *Metrics) workerJob(idx int) {
+	if idx >= 0 && idx < len(m.workerJobs) {
+		m.workerJobs[idx].Add(1)
+	}
+}
+
+// WorkerJobs returns the jobs claimed by one worker index.
+func (m *Metrics) WorkerJobs(idx int) int64 {
+	if idx >= 0 && idx < len(m.workerJobs) {
+		return m.workerJobs[idx].Load()
+	}
+	return 0
 }
 
 // ObserveStage records one completed stage execution.
@@ -200,6 +251,16 @@ func (m *Metrics) Counter(name string) int64 {
 		return m.running.Load()
 	case "abandoned":
 		return m.abandoned.Load()
+	case "async":
+		return m.async.Load()
+	case "queue_wait_count":
+		return m.queueWait.count.Load()
+	case "lease_age_count":
+		return m.leaseAge.count.Load()
+	case "shard_runs":
+		return m.shardRuns.Load()
+	case "shard_helped":
+		return m.shardHelped.Load()
 	case "cache_hits":
 		return m.cacheHits.Load()
 	case "cache_misses":
@@ -241,9 +302,12 @@ func (m *Metrics) StageCount(stage string) int64 {
 }
 
 // writePrometheus renders the metrics in Prometheus text exposition format.
-// queueDepth, workers, and the cache occupancy are owned by the server (the
-// queue and cache are mutex-backed) and passed in at scrape time.
-func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheBytes int64, cacheEntries int) {
+// The job-store stats, worker count, and cache occupancy are owned by the
+// server (the store and cache are mutex-backed) and passed in at scrape
+// time. Store counters are process-local: on a shared filesystem store each
+// replica reports its own claims/retries, while the queue gauges reflect
+// the whole shared queue.
+func (m *Metrics) writePrometheus(w io.Writer, st jobstore.Stats, workers int, cacheBytes int64, cacheEntries int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP revcnnd_%s %s\n# TYPE revcnnd_%s counter\nrevcnnd_%s %d\n", name, help, name, name, v)
 	}
@@ -258,6 +322,10 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheByt
 	counter("jobs_failed_total", "Jobs that ended in an error.", m.failed.Load())
 	counter("jobs_aborted_total", "Queued jobs aborted by shutdown.", m.aborted.Load())
 	counter("jobs_abandoned_total", "Jobs whose client disconnected before the response was written.", m.abandoned.Load())
+	counter("jobs_async_total", "Jobs accepted asynchronously (wait=false) with 202.", m.async.Load())
+	counter("store_claimed_total", "Job leases issued by this process's store handle.", st.Claimed)
+	counter("store_retried_total", "Expired leases re-queued for another attempt.", st.Retried)
+	counter("store_orphaned_total", "Jobs failed after exhausting the lease-retry cap.", st.Orphaned)
 	counter("cache_hits_total", "Requests served from the content-addressed result cache.", m.cacheHits.Load())
 	counter("cache_misses_total", "Cache lookups that fell through to the job queue.", m.cacheMisses.Load())
 	counter("cache_bypassed_total", "Requests that skipped the cache lookup via cache_bypass.", m.cacheBypassed.Load())
@@ -271,9 +339,32 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, workers int, cacheByt
 	gauge("cache_bytes", "Bytes held by the result cache (keys + bodies).", cacheBytes)
 	gauge("cache_entries", "Entries held by the result cache.", int64(cacheEntries))
 	gauge("jobs_running", "Jobs currently executing on workers.", m.running.Load())
-	gauge("queue_depth", "Jobs waiting for a worker.", int64(queueDepth))
+	gauge("queue_depth", "Jobs waiting for a worker.", int64(st.Queued))
+	gauge("jobs_leased", "Jobs currently leased to workers (whole store, all processes).", int64(st.Leased))
 	gauge("workers", "Configured worker count.", int64(workers))
 	gauge("tensor_pool_workers", "Shared tensor worker pool size used inside jobs.", int64(tensor.Workers()))
+	counter("rank_shard_runs_total", "Rank rungs fanned out through the worker shard pool.", m.shardRuns.Load())
+	counter("rank_shard_helpers_total", "Idle workers recruited to help a rank rung.", m.shardHelped.Load())
+
+	writeHistogram := func(name, help string, h *histogram) {
+		fmt.Fprintf(w, "# HELP revcnnd_%s %s\n# TYPE revcnnd_%s histogram\n", name, help, name)
+		var cum int64
+		for i, b := range latBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "revcnnd_%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+		}
+		cum += h.counts[len(latBounds)].Load()
+		fmt.Fprintf(w, "revcnnd_%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "revcnnd_%s_sum %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(w, "revcnnd_%s_count %d\n", name, h.count.Load())
+	}
+	writeHistogram("queue_wait_seconds", "Time jobs spent queued before a worker claimed them.", m.queueWait)
+	writeHistogram("lease_age_seconds", "Lease age at job completion (claim to finish).", m.leaseAge)
+
+	fmt.Fprintf(w, "# HELP revcnnd_worker_jobs_total Jobs claimed per local worker.\n# TYPE revcnnd_worker_jobs_total counter\n")
+	for i := range m.workerJobs {
+		fmt.Fprintf(w, "revcnnd_worker_jobs_total{worker=\"%d\"} %d\n", i, m.workerJobs[i].Load())
+	}
 
 	fmt.Fprintf(w, "# HELP revcnnd_stage_seconds Per-stage job latency.\n# TYPE revcnnd_stage_seconds histogram\n")
 	for _, s := range stageNames {
