@@ -34,7 +34,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,rank,dataflow,ablations")
+	run := flag.String("run", "all", "comma-separated: table3,table3x,table4,fig3,fig4,fig5,fig7,noise,rank,dataflow,defense,ablations")
 	outdir := flag.String("outdir", "results", "directory for CSV artifacts")
 	scale := flag.String("scale", "smoke", "training scale for figs 4/5: smoke|medium|full")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -160,6 +160,24 @@ func main() {
 			md := experiments.FormatDataflowMatrix(rows)
 			fmt.Print(md)
 			path := filepath.Join(*outdir, "dataflow_matrix.md")
+			fatal(os.WriteFile(path, []byte(md), 0o644))
+			fmt.Printf("markdown written to %s\n", path)
+		})
+	}
+	if all || want["defense"] {
+		timed("defense", func() {
+			// The smoke scale keeps CI honest without the large-net captures:
+			// one MNIST-scale victim against a defense subset.
+			var models, defenses []string
+			if *scale == "smoke" {
+				models = []string{"lenet"}
+				defenses = []string{"none", "pad", "fuse"}
+			}
+			rows, err := experiments.DefenseMatrix(models, defenses)
+			fatal(err)
+			md := experiments.FormatDefenseMatrix(rows)
+			fmt.Print(md)
+			path := filepath.Join(*outdir, "defense_matrix.md")
 			fatal(os.WriteFile(path, []byte(md), 0o644))
 			fmt.Printf("markdown written to %s\n", path)
 		})

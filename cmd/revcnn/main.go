@@ -32,6 +32,14 @@ func main() {
 	minEpochs := flag.Int("minepochs", 0, "with -halving: first-rung epoch budget (0 = default 1)")
 	seed := flag.Int64("seed", 2, "victim weight/input seed")
 	dataflow := flag.String("dataflow", "", "accelerator dataflow: os|ws|rs (or output-stationary|weight-stationary|row-stationary; default os)")
+	defenseKind := flag.String("defense", "", "defensive trace transform on the victim side: none|dummy|pad|rerand|fuse|oram")
+	defenseSeed := flag.Int64("defense-seed", 0, "seed for the randomized defenses (dummy, rerand, oram)")
+	dummyRate := flag.Float64("defense-dummy-rate", 0, "with -defense dummy: injected records per real record (0 = default 1)")
+	bucketBytes := flag.Int("defense-bucket-bytes", 0, "with -defense pad: bucket granularity in bytes (0 = next power of two)")
+	onchipBytes := flag.Int64("defense-onchip-bytes", 0, "with -defense fuse: on-chip buffer capacity in bytes (0 = 1 MiB)")
+	oramZ := flag.Int("defense-oram-z", 0, "with -defense oram: bucket capacity Z (0 = default 4)")
+	oramBlock := flag.Int("defense-oram-block", 0, "with -defense oram: ORAM block size in bytes (0 = default 64)")
+	tolerant := flag.Bool("tolerant", false, "use the noise-tolerant analysis path")
 	traceFile := flag.String("trace", "", "attack a recorded trace file (from cmd/tracegen) instead of simulating; requires -inw/-ind/-classes")
 	inW := flag.Int("inw", 0, "with -trace: input width")
 	inD := flag.Int("ind", 0, "with -trace: input channel count")
@@ -39,6 +47,15 @@ func main() {
 
 	df, err := cnnrev.ParseDataflow(*dataflow)
 	if err != nil {
+		log.Fatalf("revcnn: %v", err)
+	}
+	dcfg := cnnrev.DefenseConfig{
+		Kind: *defenseKind, Seed: *defenseSeed, DummyRate: *dummyRate,
+		BucketBytes: *bucketBytes, OnChipBytes: *onchipBytes,
+	}
+	dcfg.ORAM.Z = *oramZ
+	dcfg.ORAM.BlockBytes = *oramBlock
+	if err := dcfg.Validate(); err != nil {
 		log.Fatalf("revcnn: %v", err)
 	}
 
@@ -56,13 +73,18 @@ func main() {
 	opt := cnnrev.DefaultSolverOptions()
 	opt.IdenticalModules = *modular
 	opt.TimingSpreadMax = *tol
-	rep, err := cnnrev.RunStructureAttack(net, cnnrev.AccelConfig{Dataflow: df}, opt, *seed)
+	spec := cnnrev.StructureAttackSpec{Defense: dcfg, Tolerant: *tolerant}
+	rep, err := cnnrev.RunStructureAttackSpec(context.Background(), net, cnnrev.AccelConfig{Dataflow: df}, opt, *seed, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("victim: %s (%v input, %d classes)\n", net.Name, net.Input, net.NumClasses())
 	fmt.Printf("accelerator dataflow: %s (detected from trace: %s)\n", rep.Dataflow, rep.DetectedDataflow)
+	if rep.Defense != "" {
+		fmt.Printf("defense: %s (bandwidth x%.2f, latency x%.2f)\n",
+			rep.Defense, rep.DefenseStats.BandwidthOverhead(), rep.DefenseStats.LatencyOverhead())
+	}
 	fmt.Printf("trace observed: %d bytes of off-chip transfers\n", rep.TraceBytes)
 	rep.Analysis.WriteReport(os.Stdout)
 	fmt.Printf("candidate structures: %d (true structure found: %v)\n",

@@ -24,12 +24,28 @@ func main() {
 	classes := flag.Int("classes", 0, "classifier outputs (default: 10 small nets, 1000 large)")
 	seed := flag.Int64("seed", 2, "input/weight seed")
 	dataflow := flag.String("dataflow", "", "accelerator dataflow: os|ws|rs (or output-stationary|weight-stationary|row-stationary; default os)")
+	defenseKind := flag.String("defense", "", "defensive trace transform applied before writing: none|dummy|pad|rerand|fuse|oram")
+	defenseSeed := flag.Int64("defense-seed", 0, "seed for the randomized defenses (dummy, rerand, oram)")
+	dummyRate := flag.Float64("defense-dummy-rate", 0, "with -defense dummy: injected records per real record (0 = default 1)")
+	bucketBytes := flag.Int("defense-bucket-bytes", 0, "with -defense pad: bucket granularity in bytes (0 = next power of two)")
+	onchipBytes := flag.Int64("defense-onchip-bytes", 0, "with -defense fuse: on-chip buffer capacity in bytes (0 = 1 MiB)")
+	oramZ := flag.Int("defense-oram-z", 0, "with -defense oram: bucket capacity Z (0 = default 4)")
+	oramBlock := flag.Int("defense-oram-block", 0, "with -defense oram: ORAM block size in bytes (0 = default 64)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("tracegen: -out is required")
 	}
 	df, err := cnnrev.ParseDataflow(*dataflow)
 	if err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+	dcfg := cnnrev.DefenseConfig{
+		Kind: *defenseKind, Seed: *defenseSeed, DummyRate: *dummyRate,
+		BucketBytes: *bucketBytes, OnChipBytes: *onchipBytes,
+	}
+	dcfg.ORAM.Z = *oramZ
+	dcfg.ORAM.BlockBytes = *oramBlock
+	if err := dcfg.Validate(); err != nil {
 		log.Fatalf("tracegen: %v", err)
 	}
 
@@ -42,6 +58,15 @@ func main() {
 	tr, err := cnnrev.CaptureTrace(net, cfg, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if dcfg.Enabled() {
+		defended, st, derr := cnnrev.DefendTrace(tr, dcfg)
+		if derr != nil {
+			log.Fatalf("tracegen: %v", derr)
+		}
+		tr = defended
+		fmt.Printf("defense %s: bandwidth x%.2f, latency x%.2f (%d -> %d block transfers)\n",
+			st.Defense, st.BandwidthOverhead(), st.LatencyOverhead(), st.InputBlocks, st.OutputBlocks)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/core"
+	"cnnrev/internal/defense"
 	"cnnrev/internal/experiments"
 	"cnnrev/internal/memtrace"
 	"cnnrev/internal/nn"
@@ -82,7 +83,22 @@ type (
 	ORAMConfig = oram.Config
 	// ORAMStats reports obfuscation cost.
 	ORAMStats = oram.Stats
+	// DefenseConfig selects a defensive trace transform and its knobs
+	// (internal/defense): dummy-traffic injection, bucket padding,
+	// address re-randomization, layer fusion, or the ORAM adapter.
+	DefenseConfig = defense.Config
+	// DefenseStats reports a defense's measured bandwidth/latency cost.
+	DefenseStats = defense.Stats
+	// DefenseTransform is one defense behind the common Apply interface.
+	DefenseTransform = defense.Transform
+	// StructureAttackSpec selects the hostile-probe and defense extensions
+	// of the §3 pipeline (corruption, tolerant analysis, defensive trace
+	// transforms); the zero value reproduces the clean pipeline.
+	StructureAttackSpec = core.StructureAttackSpec
 )
+
+// DefenseKinds lists the recognized defense kind names.
+var DefenseKinds = defense.Kinds
 
 // Model-zoo constructors: the paper's four study networks plus the
 // beyond-paper victims (VGG-11, Network-in-Network, a mini ResNet with
@@ -258,6 +274,21 @@ func AttackServedTrace(tr *Trace, input Shape, classes int) ([][]Structure, erro
 // ObfuscateTrace replays a trace through Path ORAM.
 func ObfuscateTrace(tr *Trace, cfg ORAMConfig) (*Trace, ORAMStats, error) {
 	return oram.Obfuscate(tr, cfg)
+}
+
+// DefendTrace applies a defensive trace transform (internal/defense) to a
+// captured trace and reports its measured cost. The zero config returns a
+// byte-identical copy.
+func DefendTrace(tr *Trace, cfg DefenseConfig) (*Trace, DefenseStats, error) {
+	return defense.Apply(tr, cfg)
+}
+
+// RunStructureAttackSpec is RunStructureAttackCtx with the hostile-probe
+// and defense spec: the captured trace passes through spec.Defense (the
+// victim's countermeasure) and then spec.Corrupt (the probe's noise)
+// before analysis.
+func RunStructureAttackSpec(ctx context.Context, net *Network, cfg AccelConfig, opt SolverOptions, seed int64, spec StructureAttackSpec) (*StructureReport, error) {
+	return core.RunStructureAttackSpec(ctx, net, cfg, opt, seed, spec, nil)
 }
 
 // WriteTrace serializes a trace; ReadTrace deserializes one.

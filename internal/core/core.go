@@ -16,6 +16,7 @@ import (
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/corrupt"
+	"cnnrev/internal/defense"
 	"cnnrev/internal/nn"
 	"cnnrev/internal/structrev"
 	"cnnrev/internal/weightrev"
@@ -69,6 +70,11 @@ type StructureReport struct {
 	Corrupted bool
 	Tolerant  bool
 	Noise     structrev.NoiseStats
+	// Defense names the defensive trace transform applied between capture
+	// and the (adversary-side) corruption/analysis stages — "" when none
+	// ran. DefenseStats carries its measured bandwidth/latency cost.
+	Defense      string
+	DefenseStats defense.Stats
 	// Dataflow is the accelerator scheduling the capture ran under
 	// (canonical name of cfg.Dataflow).
 	Dataflow string
@@ -85,6 +91,11 @@ type StructureReport struct {
 // imperfect bus probe) and the noise-tolerant analysis that compensates.
 // The zero value reproduces the clean pipeline exactly.
 type StructureAttackSpec struct {
+	// Defense applies a defensive trace transform (internal/defense) to
+	// the captured trace before any adversary-side stage: the victim's
+	// countermeasure runs at the accelerator, the probe's corruption
+	// happens afterwards on the bus.
+	Defense defense.Config
 	// Corrupt degrades the captured trace before analysis. Enabling any
 	// model forces the tolerant analysis path.
 	Corrupt corrupt.Config
@@ -142,6 +153,20 @@ func RunStructureAttackSpec(ctx context.Context, net *nn.Network, cfg accel.Conf
 		return nil, err
 	}
 	trace := cap.Result.Trace
+	var defStats defense.Stats
+	defended := spec.Defense.Enabled()
+	if defended {
+		t0 = time.Now()
+		var derr error
+		trace, defStats, derr = defense.Apply(trace, spec.Defense)
+		if derr != nil {
+			return nil, derr
+		}
+		stage("defense", t0)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	corrupted := spec.Corrupt.Enabled()
 	if corrupted {
 		t0 = time.Now()
@@ -183,6 +208,10 @@ func RunStructureAttackSpec(ctx context.Context, net *nn.Network, cfg accel.Conf
 
 		Dataflow:         cfg.Dataflow.String(),
 		DetectedDataflow: detected.Class.String(),
+	}
+	if defended {
+		rep.Defense = spec.Defense.Kind
+		rep.DefenseStats = defStats
 	}
 	rep.TruthIndex = FindTruth(structures, GroundTruthConfigs(net))
 	return rep, serr

@@ -1,0 +1,52 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"cnnrev/internal/accel"
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/nn"
+)
+
+// benchTrace captures the LeNet victim once per benchmark: a real
+// accelerator trace, so the reported overhead factors are the ones the
+// defense matrix experiment publishes.
+func benchTrace(b *testing.B) *memtrace.Trace {
+	b.Helper()
+	net := nn.LeNet(10)
+	net.InitWeights(1)
+	sim, err := accel.New(net, accel.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, net.Input.Len())
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	res, err := sim.Run(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Trace
+}
+
+func benchDefense(b *testing.B, cfg Config) {
+	tr := benchTrace(b)
+	var st Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = Apply(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.BandwidthOverhead(), "bw_overhead")
+	b.ReportMetric(st.LatencyOverhead(), "lat_overhead")
+	b.ReportMetric(float64(st.OutputBlocks), "out_blocks")
+}
+
+func BenchmarkDefense_Pad(b *testing.B)   { benchDefense(b, Config{Kind: "pad", Seed: 7}) }
+func BenchmarkDefense_Dummy(b *testing.B) { benchDefense(b, Config{Kind: "dummy", Seed: 7}) }

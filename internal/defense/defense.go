@@ -1,0 +1,669 @@
+// Package defense applies deterministic, seeded defensive trace transforms
+// to memory traces. The paper's related-work section names ORAM as the
+// defense that defeats its attacks at significant cost; real deployments
+// would try cheaper countermeasures first (Wei et al. arXiv:1803.05847,
+// Alam & Ghosh arXiv:1811.05259). This package models four of them as
+// post-hoc transforms over a captured memtrace.Trace — the defender's view
+// of "what the DRAM bus would have carried had the accelerator shipped with
+// this countermeasure" — plus an adapter wrapping the Path ORAM controller
+// in internal/oram behind the same interface:
+//
+//   - dummy: dummy-traffic injection *inside* the victim's own buffer
+//     regions, inflating observed read/write volumes and fabricating
+//     read-after-write edges (traffic injected outside the footprint is
+//     stripped by the tolerant analyzer's far-field filter, so a useful
+//     dummy defense must pollute the victim's address space itself),
+//   - pad: buffer padding to size buckets — every buffer is re-allocated at
+//     its bucket size (next power of two, or the configured granularity)
+//     and the pad tail is actually streamed, so distinct layer geometries
+//     collapse onto shared observable sizes,
+//   - rerand: address-space re-randomization between layers — at every
+//     producer→consumer handoff the buffer is copied to a fresh randomized
+//     base, severing the write→read address linkage the segmentation
+//     keys on,
+//   - fuse: layer fusion — intermediate feature maps small enough for the
+//     configured on-chip buffer never round-trip through DRAM, so their
+//     records vanish from the trace (a bandwidth *saving*, overhead < 1),
+//   - oram: the full Path ORAM controller (cost 2·Z·(L+1) physical blocks
+//     per logical access).
+//
+// All randomized transforms draw from a single PRNG seeded by Config.Seed,
+// so equal (trace, Config) pairs produce byte-identical defended traces,
+// and a zero Config returns a byte-identical copy — the same contract
+// internal/corrupt pins. Every transform reports bandwidth and latency
+// overhead factors via Stats.
+package defense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/oram"
+)
+
+// Kinds lists the recognized defense kinds, in documentation order.
+// "none" (or the empty string) disables the defense.
+var Kinds = []string{"none", "dummy", "pad", "rerand", "fuse", "oram"}
+
+// guardBytes is the allocator's guard-page separation between victim
+// buffers (see accel.layout); transforms that re-place buffers preserve it
+// so the defended trace still looks like one victim address space.
+const guardBytes = 4096
+
+// regionGap is the coalescing gap used to recover buffer regions from a
+// trace: one byte under the guard separation, matching the tolerant
+// analyzer's default so the defender and attacker agree on what a
+// "buffer" is.
+const regionGap = guardBytes - 1
+
+// maxEmitRecords bounds how many records a defense may materialize beyond
+// the input, keeping Apply total on hostile (codec-valid but adversarial)
+// traces. It sits far above any real victim's record count.
+const maxEmitRecords = 8 << 20
+
+// Config selects a defense and its knobs. The zero value disables every
+// transform: Apply becomes a deep copy with unit overhead.
+type Config struct {
+	// Kind names the defense: "", "none", "dummy", "pad", "rerand",
+	// "fuse", or "oram".
+	Kind string
+
+	// Seed drives the PRNG behind the randomized transforms (dummy,
+	// rerand) and defaults the ORAM position-map seed. Equal seeds on
+	// equal inputs defend identically.
+	Seed int64
+
+	// DummyRate is the expected number of injected dummy records per real
+	// record, in [0, 8]. 0 defaults to 1.
+	DummyRate float64
+
+	// BucketBytes is the pad defense's bucket granularity: every buffer is
+	// padded to the next multiple of this size. 0 selects power-of-two
+	// bucketing (each buffer rounds up to the next power of two).
+	BucketBytes int
+
+	// OnChipBytes is the fuse defense's on-chip buffer capacity:
+	// intermediate feature maps at most this large never reach DRAM.
+	// 0 defaults to 1 MiB.
+	OnChipBytes int64
+
+	// ORAM parameterizes the oram adapter (BlockBytes, Z, Seed). A zero
+	// ORAM.Seed inherits Config.Seed.
+	ORAM oram.Config
+}
+
+// Enabled reports whether a defense transform is active.
+func (c Config) Enabled() bool {
+	return c.Kind != "" && c.Kind != "none"
+}
+
+// Validate rejects configurations no transform can run. It is the single
+// gate both HTTP endpoints and the CLIs rely on, so every bound is checked
+// here rather than at use sites.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case "", "none", "dummy", "pad", "rerand", "fuse", "oram":
+	default:
+		return fmt.Errorf("defense: unknown kind %q (want one of %v)", c.Kind, Kinds)
+	}
+	if c.DummyRate < 0 || c.DummyRate > 8 {
+		return fmt.Errorf("defense: DummyRate must be in [0,8], got %v", c.DummyRate)
+	}
+	if math.IsNaN(c.DummyRate) {
+		return fmt.Errorf("defense: DummyRate must be in [0,8], got NaN")
+	}
+	if c.BucketBytes < 0 || c.BucketBytes > 1<<30 {
+		return fmt.Errorf("defense: BucketBytes must be in [0,2^30], got %d", c.BucketBytes)
+	}
+	if c.OnChipBytes < 0 || c.OnChipBytes > 1<<40 {
+		return fmt.Errorf("defense: OnChipBytes must be in [0,2^40], got %d", c.OnChipBytes)
+	}
+	if err := c.ORAM.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats reports the cost of one defended replay. Input counts describe the
+// plaintext trace, Output counts the defended trace the adversary observes.
+type Stats struct {
+	// Defense is the canonical kind name ("none" for the identity).
+	Defense string
+	// InputBlocks / OutputBlocks count block transfers before and after.
+	// The two sides may use different block sizes (the ORAM adapter usually
+	// does), so overhead factors are computed from the byte totals below,
+	// never from these counts.
+	InputBlocks  uint64
+	OutputBlocks uint64
+	// InputBytes / OutputBytes are the off-chip traffic volumes
+	// (blocks × block size) — the basis of BandwidthOverhead.
+	InputBytes  uint64
+	OutputBytes uint64
+	// InputCycles / OutputCycles are the trace time spans (last cycle
+	// stamps), the latency proxy under the one-transfer-per-tick model.
+	// The ORAM adapter normalizes its output span to the input's block
+	// granularity so the ratio compares equal-bandwidth buses.
+	InputCycles  uint64
+	OutputCycles uint64
+	// ORAM carries the controller's own statistics when Defense == "oram".
+	ORAM *oram.Stats
+}
+
+// BandwidthOverhead returns the traffic expansion factor in bytes
+// (output/input; < 1 for fusion, which removes traffic).
+func (s Stats) BandwidthOverhead() float64 {
+	if s.InputBytes == 0 {
+		return 0
+	}
+	return float64(s.OutputBytes) / float64(s.InputBytes)
+}
+
+// LatencyOverhead returns the trace-span expansion factor.
+func (s Stats) LatencyOverhead() float64 {
+	if s.InputCycles == 0 {
+		return 0
+	}
+	return float64(s.OutputCycles) / float64(s.InputCycles)
+}
+
+// Transform is one defense: a deterministic trace rewrite plus its cost.
+// Apply never modifies its input.
+type Transform interface {
+	// Name is the canonical kind string.
+	Name() string
+	// Apply returns the defended trace and cost statistics.
+	Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error)
+}
+
+// New returns the transform selected by cfg, or an error if cfg is invalid.
+func New(cfg Config) (Transform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case "", "none":
+		return identity{}, nil
+	case "dummy":
+		return dummyTraffic{cfg}, nil
+	case "pad":
+		return padBuckets{cfg}, nil
+	case "rerand":
+		return rerandomize{cfg}, nil
+	case "fuse":
+		return fuseLayers{cfg}, nil
+	case "oram":
+		return oramAdapter{cfg}, nil
+	}
+	return nil, fmt.Errorf("defense: unknown kind %q", cfg.Kind)
+}
+
+// Apply is the convenience entry point: validate cfg, run its transform.
+func Apply(tr *memtrace.Trace, cfg Config) (*memtrace.Trace, Stats, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return t.Apply(tr)
+}
+
+// copyTrace deep-copies a trace (the no-mutation contract's foundation).
+func copyTrace(tr *memtrace.Trace) *memtrace.Trace {
+	return &memtrace.Trace{
+		BlockBytes: tr.BlockBytes,
+		Accesses:   append([]memtrace.Access(nil), tr.Accesses...),
+	}
+}
+
+// statsFor fills a Stats pair from the two traces.
+func statsFor(name string, in, out *memtrace.Trace) Stats {
+	return Stats{
+		Defense:      name,
+		InputBlocks:  in.Blocks(),
+		OutputBlocks: out.Blocks(),
+		InputBytes:   traceBytes(in),
+		OutputBytes:  traceBytes(out),
+		InputCycles:  in.LastCycle(),
+		OutputCycles: out.LastCycle(),
+	}
+}
+
+// traceBytes is the trace's off-chip traffic volume, saturating on hostile
+// block totals.
+func traceBytes(tr *memtrace.Trace) uint64 {
+	blocks, bb := tr.Blocks(), uint64(tr.BlockBytes)
+	if bb != 0 && blocks > ^uint64(0)/bb {
+		return ^uint64(0)
+	}
+	return blocks * bb
+}
+
+// recEnd returns the record's end address, saturating instead of wrapping
+// on hostile extents.
+func recEnd(a memtrace.Access, blockBytes int) uint64 {
+	span := uint64(a.Count) * uint64(blockBytes)
+	if a.Addr > ^uint64(0)-span {
+		return ^uint64(0)
+	}
+	return a.Addr + span
+}
+
+// footprint recovers the trace's buffer regions: per-record extents
+// coalesced with the guard-aware gap, sorted by base address.
+func footprint(tr *memtrace.Trace) []memtrace.Interval {
+	ivs := make([]memtrace.Interval, 0, len(tr.Accesses))
+	for _, a := range tr.Accesses {
+		ivs = append(ivs, memtrace.Interval{Lo: a.Addr, Hi: recEnd(a, tr.BlockBytes)})
+	}
+	return memtrace.CoalesceIntervals(ivs, regionGap)
+}
+
+// regionOf returns the index of the region containing addr, or -1.
+// regions must be sorted by Lo (CoalesceIntervals guarantees it).
+func regionOf(regions []memtrace.Interval, addr uint64) int {
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].Hi > addr })
+	if i < len(regions) && addr >= regions[i].Lo {
+		return i
+	}
+	return -1
+}
+
+// identity is the disabled defense: a byte-identical deep copy.
+type identity struct{}
+
+func (identity) Name() string { return "none" }
+
+func (identity) Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error) {
+	out := copyTrace(tr)
+	return out, statsFor("none", tr, out), nil
+}
+
+// dummyTraffic injects seeded dummy records at random offsets inside the
+// victim's own buffer regions. Each real record seeds, in expectation,
+// DummyRate dummies carrying its cycle stamp and (up to region capacity)
+// its transfer size, so the injected traffic is time- and volume-
+// correlated with real activity — bandwidth overhead tracks 1+DummyRate —
+// and, critically, address-correlated: it lands inside the regions the
+// tolerant analyzer keeps, inflating every observed size and planting
+// spurious read-after-write edges.
+type dummyTraffic struct{ cfg Config }
+
+func (dummyTraffic) Name() string { return "dummy" }
+
+func (d dummyTraffic) Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error) {
+	out := copyTrace(tr)
+	if len(out.Accesses) == 0 {
+		return out, statsFor("dummy", tr, out), nil
+	}
+	rate := d.cfg.DummyRate
+	if rate == 0 {
+		rate = 1
+	}
+	regions := footprint(out)
+	if len(regions) == 0 {
+		return out, statsFor("dummy", tr, out), nil
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	block := uint64(out.BlockBytes)
+	budget := maxEmitRecords
+	merged := make([]memtrace.Access, 0, len(out.Accesses)+int(rate*float64(len(out.Accesses)))+1)
+	for _, a := range out.Accesses {
+		merged = append(merged, a)
+		n := int(rate)
+		if rng.Float64() < rate-float64(n) {
+			n++
+		}
+		for k := 0; k < n && budget > 0; k++ {
+			r := regions[rng.Intn(len(regions))]
+			span := r.Bytes() / block
+			if span == 0 {
+				continue
+			}
+			want := uint64(a.Count)
+			if want == 0 {
+				want = 1
+			}
+			if want > span {
+				want = span // region smaller than the source transfer
+			}
+			maxOff := span - want
+			if maxOff > math.MaxInt64-1 {
+				maxOff = math.MaxInt64 - 1
+			}
+			off := uint64(rng.Int63n(int64(maxOff+1))) * block
+			count := uint32(want)
+			kind := memtrace.Read
+			if rng.Intn(2) == 1 {
+				kind = memtrace.Write
+			}
+			merged = append(merged, memtrace.Access{Cycle: a.Cycle, Addr: r.Lo + off, Count: count, Kind: kind})
+			budget--
+		}
+	}
+	out.Accesses = merged
+	return out, statsFor("dummy", tr, out), nil
+}
+
+// bucketFor rounds size up to the configured bucket: the next multiple of
+// BucketBytes, or the next power of two when BucketBytes is 0. Saturates
+// instead of overflowing on hostile sizes.
+func bucketFor(size uint64, bucketBytes int) uint64 {
+	if size == 0 {
+		return 0
+	}
+	if bucketBytes > 0 {
+		b := uint64(bucketBytes)
+		r := size % b
+		if r == 0 {
+			return size
+		}
+		if size > ^uint64(0)-(b-r) {
+			return ^uint64(0)
+		}
+		return size + (b - r)
+	}
+	p := uint64(1)
+	for p < size {
+		if p > 1<<62 {
+			return ^uint64(0)
+		}
+		p <<= 1
+	}
+	return p
+}
+
+// padBuckets re-allocates every buffer at its bucket size and streams the
+// pad tail, so the adversary observes bucket geometries instead of exact
+// layer sizes. Buffers are re-placed in a fresh address space (each at its
+// bucket size plus the usual guard page) because padding in place would
+// spill into the neighbouring buffer; the relative order of buffers is
+// preserved. Pad traffic replays each kind that touched the buffer, at
+// that kind's last cycle in the buffer, as one tail record.
+type padBuckets struct{ cfg Config }
+
+func (padBuckets) Name() string { return "pad" }
+
+func (p padBuckets) Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error) {
+	out := copyTrace(tr)
+	if len(out.Accesses) == 0 {
+		return out, statsFor("pad", tr, out), nil
+	}
+	block := uint64(out.BlockBytes)
+	regions := footprint(out)
+	// Lay the padded buffers out in a fresh space, preserving order.
+	newBase := make([]uint64, len(regions))
+	bucket := make([]uint64, len(regions))
+	cursor := uint64(guardBytes)
+	for i, r := range regions {
+		size := r.Bytes()
+		// Round the occupied size up to block alignment before bucketing so
+		// the pad tail starts on a block boundary.
+		if rem := size % block; rem != 0 {
+			size += block - rem
+		}
+		b := bucketFor(size, p.cfg.BucketBytes)
+		if b < size {
+			b = size
+		}
+		newBase[i] = cursor
+		bucket[i] = b
+		step := b + guardBytes
+		if cursor > ^uint64(0)-step {
+			return nil, Stats{}, fmt.Errorf("defense: pad layout overflows the address space (%d buffers)", len(regions))
+		}
+		cursor += step
+	}
+	// Track, per (region, kind), the last cycle that kind touched it, to
+	// stamp the pad tails.
+	type lastUse struct {
+		cycle uint64
+		seen  bool
+	}
+	last := make([][2]lastUse, len(regions))
+	for i := range out.Accesses {
+		a := &out.Accesses[i]
+		ri := regionOf(regions, a.Addr)
+		if ri < 0 {
+			continue
+		}
+		a.Addr = newBase[ri] + (a.Addr - regions[ri].Lo)
+		lu := &last[ri][a.Kind&1]
+		if !lu.seen || a.Cycle >= lu.cycle {
+			lu.cycle = a.Cycle
+			lu.seen = true
+		}
+	}
+	// Stream each buffer's pad tail once per kind that used it.
+	var tails []memtrace.Access
+	for i, r := range regions {
+		size := r.Bytes()
+		if rem := size % block; rem != 0 {
+			size += block - rem
+		}
+		padBlocks := (bucket[i] - size) / block
+		if padBlocks == 0 {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			lu := last[i][k]
+			if !lu.seen {
+				continue
+			}
+			addr := newBase[i] + size
+			remaining := padBlocks
+			for remaining > 0 && len(tails) < maxEmitRecords {
+				c := remaining
+				if c > math.MaxUint32 {
+					c = math.MaxUint32
+				}
+				tails = append(tails, memtrace.Access{Cycle: lu.cycle, Addr: addr, Count: uint32(c), Kind: memtrace.Kind(k)})
+				addr += c * block
+				remaining -= c
+			}
+		}
+	}
+	if len(tails) > 0 {
+		out.Accesses = mergeByCycle(out.Accesses, tails)
+	}
+	return out, statsFor("pad", tr, out), nil
+}
+
+// mergeByCycle stable-merges extra records into the main stream by cycle
+// stamp; main records keep their relative order and an extra record lands
+// after main records with the same stamp. extra is sorted first (stably,
+// preserving generation order on ties).
+func mergeByCycle(main, extra []memtrace.Access) []memtrace.Access {
+	sort.SliceStable(extra, func(x, y int) bool { return extra[x].Cycle < extra[y].Cycle })
+	merged := make([]memtrace.Access, 0, len(main)+len(extra))
+	i, j := 0, 0
+	for i < len(main) && j < len(extra) {
+		if main[i].Cycle <= extra[j].Cycle {
+			merged = append(merged, main[i])
+			i++
+		} else {
+			merged = append(merged, extra[j])
+			j++
+		}
+	}
+	merged = append(merged, main[i:]...)
+	merged = append(merged, extra[j:]...)
+	return merged
+}
+
+// rerandomize re-randomizes buffer placement at every producer→consumer
+// handoff: when a buffer that was just written is first read back, the
+// runtime copies it to a fresh base (one whole-region read of the old
+// placement plus one whole-region write of the new) and the consumer reads
+// the copy. The write→read address linkage the segmentation keys on is
+// severed — the reads hit an address the producer never wrote — at a cost
+// of two extra region transits per layer boundary.
+type rerandomize struct{ cfg Config }
+
+func (rerandomize) Name() string { return "rerand" }
+
+func (r rerandomize) Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error) {
+	out := copyTrace(tr)
+	if len(out.Accesses) == 0 {
+		return out, statsFor("rerand", tr, out), nil
+	}
+	block := uint64(out.BlockBytes)
+	regions := footprint(out)
+	if len(regions) == 0 {
+		return out, statsFor("rerand", tr, out), nil
+	}
+	// Fresh placements go past the top of the existing footprint.
+	top := regions[len(regions)-1].Hi
+	if rem := top % guardBytes; rem != 0 {
+		top += guardBytes - rem
+	}
+	cursor := top + guardBytes
+	if cursor < top {
+		// Hostile footprint already occupies the top of the address space;
+		// nowhere to re-place, leave the trace unchanged (same convention as
+		// corrupt's interference injector).
+		return out, statsFor("rerand", tr, out), nil
+	}
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	// Current base of each region (identity until first handoff) and the
+	// kind of its previous access.
+	base := make([]uint64, len(regions))
+	lastKind := make([]memtrace.Kind, len(regions))
+	everWritten := make([]bool, len(regions))
+	for i, reg := range regions {
+		base[i] = reg.Lo
+		lastKind[i] = memtrace.Kind(0xff) // sentinel: untouched
+	}
+	var copies []memtrace.Access
+	var outAccs []memtrace.Access
+	for _, a := range out.Accesses {
+		ri := regionOf(regions, a.Addr)
+		if ri < 0 {
+			outAccs = append(outAccs, a)
+			continue
+		}
+		if a.Kind == memtrace.Read && lastKind[ri] == memtrace.Write && everWritten[ri] {
+			// Handoff: copy the region to a fresh randomized base.
+			size := regions[ri].Bytes()
+			if rem := size % block; rem != 0 {
+				size += block - rem
+			}
+			slack := uint64(rng.Intn(16)) * guardBytes
+			step := size + guardBytes + slack
+			if cursor > ^uint64(0)-step || len(copies)+2 > maxEmitRecords {
+				// Out of address space (hostile extents): stop re-placing,
+				// keep the remaining trace as-is.
+				outAccs = append(outAccs, a)
+				lastKind[ri] = a.Kind
+				continue
+			}
+			fresh := cursor + slack
+			cursor += step
+			blocks := size / block
+			for blocks > 0 {
+				c := blocks
+				if c > math.MaxUint32 {
+					c = math.MaxUint32
+				}
+				copies = append(copies,
+					memtrace.Access{Cycle: a.Cycle, Addr: base[ri] + (size - blocks*block), Count: uint32(c), Kind: memtrace.Read},
+					memtrace.Access{Cycle: a.Cycle, Addr: fresh + (size - blocks*block), Count: uint32(c), Kind: memtrace.Write})
+				blocks -= c
+			}
+			base[ri] = fresh
+		}
+		a.Addr = base[ri] + (a.Addr - regions[ri].Lo)
+		lastKind[ri] = a.Kind
+		if a.Kind == memtrace.Write {
+			everWritten[ri] = true
+		}
+		outAccs = append(outAccs, a)
+	}
+	out.Accesses = outAccs
+	if len(copies) > 0 {
+		out.Accesses = mergeByCycle(out.Accesses, copies)
+	}
+	return out, statsFor("rerand", tr, out), nil
+}
+
+// fuseLayers removes the DRAM round-trip of intermediate feature maps that
+// fit the on-chip buffer: any buffer that is both written and later read
+// (a producer→consumer intermediate) and whose extent is at most
+// OnChipBytes has all its records elided. Read-only buffers (weights, the
+// input image) and write-only buffers (the final output) always remain.
+// This is the only defense whose bandwidth overhead is below 1.
+type fuseLayers struct{ cfg Config }
+
+func (fuseLayers) Name() string { return "fuse" }
+
+func (f fuseLayers) Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error) {
+	out := copyTrace(tr)
+	if len(out.Accesses) == 0 {
+		return out, statsFor("fuse", tr, out), nil
+	}
+	capacity := f.cfg.OnChipBytes
+	if capacity == 0 {
+		capacity = 1 << 20
+	}
+	regions := footprint(out)
+	written := make([]bool, len(regions))
+	readAfterWrite := make([]bool, len(regions))
+	for _, a := range out.Accesses {
+		ri := regionOf(regions, a.Addr)
+		if ri < 0 {
+			continue
+		}
+		switch a.Kind {
+		case memtrace.Write:
+			written[ri] = true
+		case memtrace.Read:
+			if written[ri] {
+				readAfterWrite[ri] = true
+			}
+		}
+	}
+	fused := make([]bool, len(regions))
+	for i, r := range regions {
+		fused[i] = written[i] && readAfterWrite[i] && r.Bytes() <= uint64(capacity)
+	}
+	kept := out.Accesses[:0]
+	for _, a := range out.Accesses {
+		if ri := regionOf(regions, a.Addr); ri >= 0 && fused[ri] {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	out.Accesses = kept
+	return out, statsFor("fuse", tr, out), nil
+}
+
+// oramAdapter runs the Path ORAM controller behind the Transform interface.
+type oramAdapter struct{ cfg Config }
+
+func (oramAdapter) Name() string { return "oram" }
+
+func (o oramAdapter) Apply(tr *memtrace.Trace) (*memtrace.Trace, Stats, error) {
+	ocfg := o.cfg.ORAM
+	if ocfg.Seed == 0 {
+		ocfg.Seed = o.cfg.Seed
+	}
+	obf, ost, err := oram.Obfuscate(tr, ocfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := statsFor("oram", tr, obf)
+	st.ORAM = &ost
+	// The controller clocks one tick per physical transfer, but its blocks
+	// may be far larger than the victim's. Normalize the output span to the
+	// input granularity so LatencyOverhead compares equal-bandwidth buses.
+	if tr.BlockBytes > 0 && obf.BlockBytes > tr.BlockBytes {
+		factor := uint64(obf.BlockBytes / tr.BlockBytes)
+		if st.OutputCycles > ^uint64(0)/factor {
+			st.OutputCycles = ^uint64(0)
+		} else {
+			st.OutputCycles *= factor
+		}
+	}
+	return obf, st, nil
+}

@@ -1,0 +1,327 @@
+package defense
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/oram"
+)
+
+// testTrace builds a deterministic victim-like trace with the four buffer
+// roles the transforms key on, guard-separated like accel's allocator:
+//
+//	region A: weights (read-only)
+//	region B: input image (read-only)
+//	region C: intermediate feature map (written, then read back — a RAW
+//	          handoff the rerand and fuse defenses act on)
+//	region D: final output (write-only)
+func testTrace() *memtrace.Trace {
+	tr := &memtrace.Trace{BlockBytes: 64}
+	cycle := uint64(100)
+	burst := func(base uint64, blocks int, kind memtrace.Kind) {
+		addr := base
+		for blocks > 0 {
+			n := 5
+			if n > blocks {
+				n = blocks
+			}
+			tr.Accesses = append(tr.Accesses, memtrace.Access{
+				Cycle: cycle, Addr: addr, Count: uint32(n), Kind: kind,
+			})
+			addr += uint64(n) * 64
+			blocks -= n
+			cycle += 3
+		}
+	}
+	const (
+		regionA = uint64(1 << 20)
+		regionB = regionA + 48*64 + 8192
+		regionC = regionB + 30*64 + 8192
+		regionD = regionC + 40*64 + 8192
+	)
+	burst(regionA, 48, memtrace.Read)  // weights stream in
+	burst(regionB, 30, memtrace.Read)  // input image
+	burst(regionC, 40, memtrace.Write) // layer 1 OFM out
+	burst(regionC, 40, memtrace.Read)  // layer 2 reads it back
+	burst(regionD, 20, memtrace.Write) // final output
+	return tr
+}
+
+func traceWire(t *testing.T, tr *memtrace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func mustApply(t *testing.T, tr *memtrace.Trace, cfg Config) (*memtrace.Trace, Stats) {
+	t.Helper()
+	out, st, err := Apply(tr, cfg)
+	if err != nil {
+		t.Fatalf("Apply(%+v): %v", cfg, err)
+	}
+	return out, st
+}
+
+// enabledKinds is every defense that actually transforms, for table tests.
+var enabledKinds = []string{"dummy", "pad", "rerand", "fuse", "oram"}
+
+// TestZeroConfigIsByteIdentical pins the corrupt-package contract: a
+// disabled Config returns a byte-identical copy, and a seed alone does not
+// enable anything.
+func TestZeroConfigIsByteIdentical(t *testing.T) {
+	tr := testTrace()
+	want := traceWire(t, tr)
+	for _, cfg := range []Config{{}, {Seed: 42}, {Kind: "none", Seed: 42}} {
+		out, st, err := Apply(tr, cfg)
+		if err != nil {
+			t.Fatalf("Apply(%+v): %v", cfg, err)
+		}
+		if !bytes.Equal(want, traceWire(t, out)) {
+			t.Fatalf("disabled config %+v changed the trace bytes", cfg)
+		}
+		if cfg.Enabled() {
+			t.Fatalf("config %+v claims to be enabled", cfg)
+		}
+		if st.Defense != "none" || st.BandwidthOverhead() != 1 || st.LatencyOverhead() != 1 {
+			t.Fatalf("identity stats: %+v", st)
+		}
+	}
+}
+
+// TestApplyDoesNotMutateInput verifies no transform touches its input.
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	for _, kind := range enabledKinds {
+		tr := testTrace()
+		want := traceWire(t, tr)
+		mustApply(t, tr, Config{Kind: kind, Seed: 3})
+		if !bytes.Equal(want, traceWire(t, tr)) {
+			t.Fatalf("%s: Apply mutated its input trace", kind)
+		}
+	}
+}
+
+// TestEqualSeedsDefendIdentically pins determinism for every transform and
+// seed sensitivity for the randomized ones.
+func TestEqualSeedsDefendIdentically(t *testing.T) {
+	for _, kind := range enabledKinds {
+		cfg := Config{Kind: kind, Seed: 7}
+		a := traceWire(t, first(mustApply(t, testTrace(), cfg)))
+		b := traceWire(t, first(mustApply(t, testTrace(), cfg)))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: equal seeds produced different defended traces", kind)
+		}
+	}
+	for _, kind := range []string{"dummy", "rerand", "oram"} {
+		a := traceWire(t, first(mustApply(t, testTrace(), Config{Kind: kind, Seed: 7})))
+		c := traceWire(t, first(mustApply(t, testTrace(), Config{Kind: kind, Seed: 8})))
+		if bytes.Equal(a, c) {
+			t.Fatalf("%s: different seeds produced identical defended traces", kind)
+		}
+	}
+}
+
+func first(tr *memtrace.Trace, _ Stats) *memtrace.Trace { return tr }
+
+// TestValidateRejectsHostileConfigs pins the single validation gate the
+// HTTP endpoints and CLIs rely on.
+func TestValidateRejectsHostileConfigs(t *testing.T) {
+	bad := []Config{
+		{Kind: "rot13"},
+		{Kind: "dummy", DummyRate: -0.1},
+		{Kind: "dummy", DummyRate: 8.5},
+		{Kind: "dummy", DummyRate: math.NaN()},
+		{Kind: "pad", BucketBytes: -1},
+		{Kind: "pad", BucketBytes: 1<<30 + 1},
+		{Kind: "fuse", OnChipBytes: -1},
+		{Kind: "fuse", OnChipBytes: 1<<40 + 1},
+		{Kind: "oram", ORAM: oram.Config{Z: -1}},
+		{Kind: "oram", ORAM: oram.Config{BlockBytes: -64}},
+		{Kind: "oram", ORAM: oram.Config{BlockBytes: 48}}, // not a power of two
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a hostile config", cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted a hostile config", cfg)
+		}
+		if _, _, err := Apply(testTrace(), cfg); err == nil {
+			t.Errorf("Apply(%+v) accepted a hostile config", cfg)
+		}
+	}
+	good := []Config{
+		{}, {Kind: "none"}, {Kind: "dummy", DummyRate: 8}, {Kind: "pad", BucketBytes: 1 << 30},
+		{Kind: "fuse", OnChipBytes: 1 << 40}, {Kind: "oram", ORAM: oram.Config{Z: 4, BlockBytes: 4096}},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", cfg, err)
+		}
+	}
+}
+
+// TestDummyInjectsInsideFootprint verifies the dummy defense pollutes the
+// victim's own regions (anything else would be stripped as co-tenant
+// interference), at a bandwidth overhead tracking 1+rate.
+func TestDummyInjectsInsideFootprint(t *testing.T) {
+	tr := testTrace()
+	regions := footprint(tr)
+	out, st := mustApply(t, tr, Config{Kind: "dummy", Seed: 9, DummyRate: 2})
+	if len(out.Accesses) <= len(tr.Accesses) {
+		t.Fatal("dummy injected nothing")
+	}
+	for i, a := range out.Accesses {
+		if regionOf(regions, a.Addr) < 0 {
+			t.Fatalf("record %d at %#x lies outside the victim footprint", i, a.Addr)
+		}
+		if end := recEnd(a, out.BlockBytes); regionOf(regions, end-1) < 0 {
+			t.Fatalf("record %d end %#x lies outside the victim footprint", i, end)
+		}
+	}
+	bw := st.BandwidthOverhead()
+	if bw <= 1.2 || bw > 3.2 {
+		t.Fatalf("dummy rate 2 bandwidth overhead %v, want in (1.2, 3.2]", bw)
+	}
+	if st.LatencyOverhead() != 1 {
+		t.Fatalf("dummy must not stretch the trace span, got x%v", st.LatencyOverhead())
+	}
+}
+
+// TestPadRoundsRegionsToBuckets verifies every defended buffer occupies a
+// bucket-sized region: distinct layer geometries collapse onto shared
+// observable sizes, and real sizes are no longer present.
+func TestPadRoundsRegionsToBuckets(t *testing.T) {
+	tr := testTrace()
+	in := footprint(tr)
+	out, st := mustApply(t, tr, Config{Kind: "pad", Seed: 1})
+	got := footprint(out)
+	if len(got) != len(in) {
+		t.Fatalf("pad changed the region count: %d -> %d", len(in), len(got))
+	}
+	for i, r := range got {
+		size := r.Bytes()
+		if size&(size-1) != 0 {
+			t.Fatalf("region %d: %d bytes is not a power of two", i, size)
+		}
+		if size < in[i].Bytes() {
+			t.Fatalf("region %d shrank: %d -> %d bytes", i, in[i].Bytes(), size)
+		}
+	}
+	if st.BandwidthOverhead() <= 1 {
+		t.Fatalf("pad tail not streamed: bandwidth x%v", st.BandwidthOverhead())
+	}
+	// Explicit granularity: every region becomes a multiple of the bucket.
+	out2, _ := mustApply(t, tr, Config{Kind: "pad", BucketBytes: 4096})
+	for i, r := range footprint(out2) {
+		if r.Bytes()%4096 != 0 {
+			t.Fatalf("region %d: %d bytes not a multiple of the 4096 bucket", i, r.Bytes())
+		}
+	}
+}
+
+// TestRerandRelocatesConsumerReads verifies the producer→consumer handoff
+// is broken by indirection: the consumer's reads move to a fresh placement
+// above the original footprint, and the producer's buffer is swept exactly
+// once — by the copy engine, in a single instant — instead of being read
+// back over the consumer's whole compute phase.
+func TestRerandRelocatesConsumerReads(t *testing.T) {
+	tr := testTrace()
+	in := footprint(tr)
+	top := in[len(in)-1].Hi
+	// Original region C: the written-then-read intermediate (index 2).
+	oldC := in[2]
+	out, st := mustApply(t, tr, Config{Kind: "rerand", Seed: 5})
+	if len(out.Accesses) <= len(tr.Accesses) {
+		t.Fatal("rerand emitted no copy traffic")
+	}
+	var freshWrites, freshReads int
+	oldCReadCycles := map[uint64]bool{}
+	var oldCReadBlocks uint64
+	for _, a := range out.Accesses {
+		if a.Addr >= top {
+			if a.Kind == memtrace.Write {
+				freshWrites++
+			} else {
+				freshReads++
+			}
+		}
+		if a.Kind == memtrace.Read && a.Addr >= oldC.Lo && a.Addr < oldC.Hi {
+			oldCReadCycles[a.Cycle] = true
+			oldCReadBlocks += uint64(a.Count)
+		}
+	}
+	if freshWrites == 0 || freshReads == 0 {
+		t.Fatalf("no relocated traffic above the original footprint (w=%d r=%d)", freshWrites, freshReads)
+	}
+	if len(oldCReadCycles) != 1 {
+		t.Fatalf("producer buffer read at %d distinct cycles, want 1 (the copy sweep)", len(oldCReadCycles))
+	}
+	if want := oldC.Bytes() / uint64(out.BlockBytes); oldCReadBlocks != want {
+		t.Fatalf("copy sweep read %d blocks of the producer buffer, want %d", oldCReadBlocks, want)
+	}
+	if st.BandwidthOverhead() <= 1 {
+		t.Fatalf("copy traffic missing: bandwidth x%v", st.BandwidthOverhead())
+	}
+}
+
+// TestFuseElidesIntermediates verifies fusion removes exactly the
+// written-then-read region (when it fits on chip) and nothing else.
+func TestFuseElidesIntermediates(t *testing.T) {
+	tr := testTrace()
+	in := footprint(tr)
+	out, st := mustApply(t, tr, Config{Kind: "fuse"})
+	got := footprint(out)
+	if len(got) != len(in)-1 {
+		t.Fatalf("fuse kept %d regions, want %d (one intermediate elided)", len(got), len(in)-1)
+	}
+	if st.BandwidthOverhead() >= 1 {
+		t.Fatalf("fusion must save bandwidth, got x%v", st.BandwidthOverhead())
+	}
+	// A capacity below the intermediate's size must elide nothing.
+	same, st2 := mustApply(t, tr, Config{Kind: "fuse", OnChipBytes: 64})
+	if len(same.Accesses) != len(tr.Accesses) || st2.BandwidthOverhead() != 1 {
+		t.Fatalf("fuse with a 64-byte buffer still elided records (x%v)", st2.BandwidthOverhead())
+	}
+}
+
+// TestORAMAdapterStats verifies the adapter surfaces the controller's
+// statistics and inherits the defense seed.
+func TestORAMAdapterStats(t *testing.T) {
+	tr := testTrace()
+	out, st := mustApply(t, tr, Config{Kind: "oram", Seed: 11})
+	if st.Defense != "oram" || st.ORAM == nil {
+		t.Fatalf("adapter stats incomplete: %+v", st)
+	}
+	if st.ORAM.PhysicalBlocks != out.Blocks() {
+		t.Fatalf("physical blocks %d != trace blocks %d", st.ORAM.PhysicalBlocks, out.Blocks())
+	}
+	if st.BandwidthOverhead() < 10 {
+		t.Fatalf("Path ORAM should cost dearly, got x%v", st.BandwidthOverhead())
+	}
+	// A coarser ORAM block must keep the byte-based overheads above 1 even
+	// though the raw block count shrinks.
+	_, st4k := mustApply(t, tr, Config{Kind: "oram", Seed: 11, ORAM: oram.Config{BlockBytes: 4096}})
+	if st4k.BandwidthOverhead() <= 1 || st4k.LatencyOverhead() <= 1 {
+		t.Fatalf("byte-normalized overheads must exceed 1: bw x%v lat x%v",
+			st4k.BandwidthOverhead(), st4k.LatencyOverhead())
+	}
+}
+
+// TestEmptyTrace verifies every transform handles a record-free trace.
+func TestEmptyTrace(t *testing.T) {
+	for _, kind := range enabledKinds {
+		tr := &memtrace.Trace{BlockBytes: 64}
+		out, _, err := Apply(tr, Config{Kind: kind, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s on empty trace: %v", kind, err)
+		}
+		if len(out.Accesses) != 0 {
+			t.Fatalf("%s fabricated %d records from an empty trace", kind, len(out.Accesses))
+		}
+	}
+}

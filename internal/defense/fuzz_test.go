@@ -1,0 +1,101 @@
+package defense
+
+import (
+	"bytes"
+	"testing"
+
+	"cnnrev/internal/memtrace"
+	"cnnrev/internal/oram"
+	"cnnrev/internal/structrev"
+)
+
+// FuzzDefenseHostile drives hostile (codec-accepted but adversarial)
+// traces through every defense transform and then through the adversary's
+// own pipeline — tolerant analysis plus a bounded solve — and checks one
+// property: nothing panics or spins. The defended trace feeds the analyzer
+// exactly as the daemon's trace endpoint would feed it.
+func FuzzDefenseHostile(f *testing.F) {
+	addSeed := func(tr *memtrace.Trace) {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), int64(1), 0.5, 0, int64(0))
+	}
+	// A minimal plausible two-layer trace with a RAW handoff.
+	addSeed(&memtrace.Trace{BlockBytes: 4, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 16, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 8192, Count: 8, Kind: memtrace.Read},
+		{Cycle: 10, Addr: 16384, Count: 12, Kind: memtrace.Write},
+		{Cycle: 20, Addr: 16384, Count: 12, Kind: memtrace.Read},
+		{Cycle: 30, Addr: 32768, Count: 2, Kind: memtrace.Write},
+	}})
+	// Hostile-extent corpus: regions hugging the top of the address space
+	// (pad re-layout and rerand placement must saturate, not wrap), maximal
+	// cycle stamps, duplicate and interleaved regions.
+	top := ^uint64(0)
+	addSeed(&memtrace.Trace{BlockBytes: 64, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: top - 64*16 + 1, Count: 16, Kind: memtrace.Read},
+		{Cycle: 1, Addr: top - 64, Count: 1, Kind: memtrace.Write},
+	}})
+	addSeed(&memtrace.Trace{BlockBytes: 1, Accesses: []memtrace.Access{
+		{Cycle: top, Addr: top - 1, Count: 1, Kind: memtrace.Read},
+		{Cycle: top, Addr: 0, Count: 1, Kind: memtrace.Write},
+		{Cycle: 0, Addr: top - 1, Count: 1, Kind: memtrace.Write},
+	}})
+	// A trace claiming enormous per-record extents (DoS-guard boundary).
+	addSeed(&memtrace.Trace{BlockBytes: 1 << 20, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 1 << 31, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 1 << 60, Count: 1 << 31, Kind: memtrace.Write},
+		{Cycle: 2, Addr: 1 << 60, Count: 1 << 31, Kind: memtrace.Read},
+	}})
+	f.Add([]byte{}, int64(0), 0.0, 0, int64(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, seed int64, rate float64, bucketBytes int, onchip int64) {
+		tr, err := memtrace.DecodeTrace(raw)
+		if err != nil {
+			return
+		}
+		if len(tr.Accesses) > 2048 {
+			return // bound fuzz iteration cost, not the property
+		}
+		if rate < 0 || rate > 8 {
+			rate = 1
+		}
+		if bucketBytes < 0 || bucketBytes > 1<<30 {
+			bucketBytes = 0
+		}
+		if onchip < 0 || onchip > 1<<40 {
+			onchip = 0
+		}
+		for _, cfg := range []Config{
+			{Kind: "dummy", Seed: seed, DummyRate: rate},
+			{Kind: "pad", Seed: seed, BucketBytes: bucketBytes},
+			{Kind: "rerand", Seed: seed},
+			{Kind: "fuse", Seed: seed, OnChipBytes: onchip},
+			{Kind: "oram", Seed: seed, ORAM: oram.Config{BlockBytes: 4096}},
+		} {
+			out, st, err := Apply(tr, cfg)
+			if err != nil {
+				continue // rejecting a hostile trace is fine; panicking is not
+			}
+			if out == nil {
+				t.Fatalf("%s: nil trace without error", cfg.Kind)
+			}
+			// Overhead accounting must stay finite and non-negative.
+			if bw := st.BandwidthOverhead(); bw < 0 {
+				t.Fatalf("%s: negative bandwidth overhead %v", cfg.Kind, bw)
+			}
+			if len(out.Accesses) > len(tr.Accesses)+maxEmitRecords {
+				t.Fatalf("%s: emitted %d records from %d input records", cfg.Kind, len(out.Accesses), len(tr.Accesses))
+			}
+			a, err := structrev.AnalyzeTolerant(out, 3136, 4, structrev.TolerantOptions{})
+			if err != nil {
+				continue
+			}
+			opt := structrev.DefaultOptions()
+			opt.MaxStructures = 200
+			_, _ = structrev.Solve(a, 28, 1, 10, opt)
+		}
+	})
+}

@@ -24,6 +24,48 @@ type Config struct {
 	Seed int64
 }
 
+// Validate rejects configurations the controller cannot run. Zero values
+// are allowed — they select the documented defaults — but a negative Z
+// would spin newController's tree-sizing loop forever (a negative product
+// is always below the target), and a negative or non-power-of-two block
+// size corrupts the block arithmetic. This is the single gate every
+// HTTP-reachable caller goes through.
+func (c Config) Validate() error {
+	if c.Z < 0 {
+		return fmt.Errorf("oram: Z must be >= 1 (got %d)", c.Z)
+	}
+	if c.BlockBytes < 0 {
+		return fmt.Errorf("oram: BlockBytes must be >= 1 (got %d)", c.BlockBytes)
+	}
+	if c.BlockBytes > 0 && c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("oram: BlockBytes must be a power of two (got %d)", c.BlockBytes)
+	}
+	if c.BlockBytes > memtrace.MaxBlockBytes {
+		return fmt.Errorf("oram: BlockBytes %d exceeds the maximum block size %d", c.BlockBytes, memtrace.MaxBlockBytes)
+	}
+	if c.Z > maxZ {
+		return fmt.Errorf("oram: Z must be <= %d (got %d)", maxZ, c.Z)
+	}
+	return nil
+}
+
+// maxZ bounds the bucket capacity; every physical access touches 2·Z·(L+1)
+// slots, so an absurd Z is a resource-exhaustion vector, not a security
+// parameter.
+const maxZ = 1 << 10
+
+// maxLogicalAccesses and maxPhysicalTransfers bound an obfuscation run.
+// A hostile (codec-valid) trace can claim petabyte extents in a few
+// records; enumerating its logical blocks, let alone emitting the
+// 2·Z·(L+1)-expanded physical stream, would run without bound. Both caps
+// sit above every planned experiment (full AlexNet at page-granular ORAM
+// blocks is ~10M physical transfers) and the error text names the fix:
+// a larger ORAM block size.
+const (
+	maxLogicalAccesses   = 1 << 26
+	maxPhysicalTransfers = 1 << 25
+)
+
 // Stats reports the cost and behaviour of an obfuscation run.
 type Stats struct {
 	// LogicalBlocks is the number of block accesses in the input trace.
@@ -159,6 +201,12 @@ func (c *controller) access(block uint64, emit func(bucket, slot int, kind memtr
 // timing (the cycle stamps) is replaced by a constant-rate clock — one tick
 // per physical block — since the ORAM controller serializes transfers.
 func Obfuscate(tr *memtrace.Trace, cfg Config) (*memtrace.Trace, Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
 	if cfg.BlockBytes == 0 {
 		cfg.BlockBytes = 64
 	}
@@ -169,24 +217,53 @@ func Obfuscate(tr *memtrace.Trace, cfg Config) (*memtrace.Trace, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("oram: block size %d incompatible with trace granularity %d", cfg.BlockBytes, tr.BlockBytes)
 	}
 
-	// Enumerate the logical block set.
+	// Bound the run before enumerating anything: a hostile trace's extents
+	// can dwarf its record count.
 	obb := uint64(cfg.BlockBytes)
+	var totalLogical uint64
+	for _, a := range tr.Accesses {
+		lo := a.Addr / obb * obb
+		hi := a.End(tr.BlockBytes)
+		// span/obb rounded up, without the += obb-1 overflow a hostile
+		// full-address-space extent would trigger.
+		span := hi - lo
+		blocks := span / obb
+		if span%obb != 0 {
+			blocks++
+		}
+		totalLogical += blocks
+		if totalLogical > maxLogicalAccesses {
+			return nil, Stats{}, fmt.Errorf("oram: trace spans more than %d logical block accesses at block size %d; use a larger ORAM block size", maxLogicalAccesses, cfg.BlockBytes)
+		}
+	}
+
+	// Enumerate the logical block set. The inner loops step with an explicit
+	// wrap check: an extent hugging the top of the address space would
+	// otherwise wrap addr past hi and spin forever.
 	seen := map[uint64]struct{}{}
 	var logical []uint64
 	for _, a := range tr.Accesses {
 		lo := a.Addr / obb * obb
 		hi := a.End(tr.BlockBytes)
-		for addr := lo; addr < hi; addr += obb {
+		for addr := lo; addr < hi; {
 			if _, ok := seen[addr]; !ok {
 				seen[addr] = struct{}{}
 				logical = append(logical, addr)
 			}
+			next := addr + obb
+			if next < addr {
+				break // top of the address space
+			}
+			addr = next
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	c := newController(len(logical), cfg.Z, rng)
 	for _, b := range logical {
 		c.pos[b] = rng.Intn(c.leaves)
+	}
+	if physical := totalLogical * 2 * uint64(cfg.Z) * uint64(c.levels); physical > maxPhysicalTransfers {
+		return nil, Stats{}, fmt.Errorf("oram: obfuscation would emit %d physical transfers (cap %d); use a larger ORAM block size", physical, maxPhysicalTransfers)
 	}
 
 	st := Stats{Levels: c.levels, DistinctBlocks: len(logical)}
@@ -201,9 +278,14 @@ func Obfuscate(tr *memtrace.Trace, cfg Config) (*memtrace.Trace, Stats, error) {
 	for _, a := range tr.Accesses {
 		lo := a.Addr / obb * obb
 		hi := a.End(tr.BlockBytes)
-		for addr := lo; addr < hi; addr += obb {
+		for addr := lo; addr < hi; {
 			st.LogicalBlocks++
 			c.access(addr, emit)
+			next := addr + obb
+			if next < addr {
+				break // top of the address space
+			}
+			addr = next
 		}
 	}
 	st.MaxStash = c.max

@@ -3,6 +3,7 @@ package oram
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/memtrace"
@@ -147,5 +148,79 @@ func TestObfuscateBucketCapacityScalesOverhead(t *testing.T) {
 	}
 	if z4.Overhead() != float64(2*4*z4.Levels) || z8.Overhead() != float64(2*8*z8.Levels) {
 		t.Fatal("overhead accounting inconsistent")
+	}
+}
+
+// TestObfuscateRejectsHostileConfigs pins the Validate gate: a negative Z
+// used to spin newController's sizing loop forever, and a negative or
+// non-power-of-two BlockBytes corrupted the block math. Every case must
+// return promptly with an error, never hang or panic.
+func TestObfuscateRejectsHostileConfigs(t *testing.T) {
+	tr := &memtrace.Trace{BlockBytes: 64, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 4, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 4096, Count: 4, Kind: memtrace.Write},
+	}}
+	for _, cfg := range []Config{
+		{Z: -1},
+		{Z: -1 << 40},
+		{Z: maxZ + 1},
+		{BlockBytes: -64},
+		{BlockBytes: 48},             // not a power of two
+		{BlockBytes: 3},              // not a power of two
+		{BlockBytes: memtrace.MaxBlockBytes * 2},
+		{Z: -1, BlockBytes: -1},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a hostile config", cfg)
+		}
+		if _, _, err := Obfuscate(tr, cfg); err == nil {
+			t.Errorf("Obfuscate(%+v) accepted a hostile config", cfg)
+		}
+	}
+	// Zero values still select the defaults.
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if _, st, err := Obfuscate(tr, Config{}); err != nil || st.PhysicalBlocks == 0 {
+		t.Fatalf("zero config: %v (physical %d)", err, st.PhysicalBlocks)
+	}
+}
+
+// TestObfuscateBoundsHostileExtents pins the DoS guards: a tiny
+// codec-valid trace claiming petabyte extents must be rejected before any
+// per-block enumeration, not obfuscated block by block.
+func TestObfuscateBoundsHostileExtents(t *testing.T) {
+	tr := &memtrace.Trace{BlockBytes: 1 << 20, Accesses: []memtrace.Access{
+		{Cycle: 0, Addr: 0, Count: 1 << 31, Kind: memtrace.Read},
+		{Cycle: 1, Addr: 1 << 60, Count: 1 << 31, Kind: memtrace.Write},
+	}}
+	if _, _, err := Obfuscate(tr, Config{BlockBytes: 4096}); err == nil {
+		t.Fatal("petabyte-extent trace accepted")
+	}
+}
+
+// TestObfuscateTopOfAddressSpace is the wrap regression: an extent hugging
+// 2^64 used to wrap the per-block enumeration cursor past its end bound
+// and spin forever. The trace is small and must obfuscate (or reject)
+// promptly.
+func TestObfuscateTopOfAddressSpace(t *testing.T) {
+	top := ^uint64(0)
+	tr := &memtrace.Trace{BlockBytes: 1, Accesses: []memtrace.Access{
+		{Cycle: top, Addr: top - 1, Count: 1, Kind: memtrace.Read},
+		{Cycle: top, Addr: 0, Count: 1, Kind: memtrace.Write},
+		{Cycle: 0, Addr: top - 1, Count: 1, Kind: memtrace.Write},
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Obfuscate(tr, Config{Seed: 1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Logf("rejected (acceptable): %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Obfuscate hung on a top-of-address-space extent")
 	}
 }

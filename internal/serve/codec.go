@@ -9,6 +9,7 @@ import (
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/corrupt"
+	"cnnrev/internal/defense"
 	"cnnrev/internal/memtrace"
 )
 
@@ -46,6 +47,7 @@ type payloadHeader struct {
 	Dataflow      string         `json:"dataflow,omitempty"`
 	Tolerant      bool           `json:"tolerant,omitempty"`
 	Corrupt       corrupt.Config `json:"corrupt,omitempty"`
+	Defense       defense.Config `json:"defense,omitempty"`
 }
 
 // encodeRequest serializes a parsed request for the job store:
@@ -62,7 +64,7 @@ func encodeRequest(req *attackRequest) ([]byte, error) {
 		MaxStructures: req.maxStructures, CapResolved: req.capResolved,
 		MaxReturn: req.maxReturn, Rank: req.rank, Weights: req.weights,
 		TimeoutNS: int64(req.timeout), Dataflow: req.dataflow.String(),
-		Tolerant: req.tolerant, Corrupt: req.corrupt,
+		Tolerant: req.tolerant, Corrupt: req.corrupt, Defense: req.defense,
 	}
 	hb, err := json.Marshal(&hdr)
 	if err != nil {
@@ -114,6 +116,7 @@ func decodeRequest(payload []byte) (*attackRequest, error) {
 		maxReturn: hdr.MaxReturn, rank: hdr.Rank, weights: hdr.Weights,
 		timeout:  time.Duration(hdr.TimeoutNS),
 		dataflow: df, tolerant: hdr.Tolerant, corrupt: hdr.Corrupt,
+		defense: hdr.Defense,
 	}
 	if req.mode == "trace" {
 		tr, err := memtrace.DecodeTrace(payload[4+hlen:])

@@ -14,6 +14,7 @@ import (
 
 	"cnnrev/internal/accel"
 	"cnnrev/internal/corrupt"
+	"cnnrev/internal/defense"
 	"cnnrev/internal/jobstore"
 	"cnnrev/internal/memtrace"
 )
@@ -198,6 +199,43 @@ func corruptFromQuery(r *http.Request) (corrupt.Config, error) {
 	return cp.toConfig()
 }
 
+// defenseFromQuery assembles the optional defensive trace transform from
+// defense query params; the zero config (nothing requested) disables it.
+// Validation — including the rejection of knobs that belong to a different
+// defense kind — lives in defenseParams.toConfig, shared with the JSON
+// surface.
+func defenseFromQuery(r *http.Request) (defense.Config, error) {
+	dp := &defenseParams{Kind: r.URL.Query().Get("defense")}
+	var err error
+	if dp.DummyRate, err = queryFloat(r, "defense_dummy_rate", 0); err != nil {
+		return defense.Config{}, err
+	}
+	if dp.BucketBytes, err = queryInt(r, "defense_bucket_bytes", 0); err != nil {
+		return defense.Config{}, err
+	}
+	var onchip int
+	if onchip, err = queryInt(r, "defense_onchip_bytes", 0); err != nil {
+		return defense.Config{}, err
+	}
+	dp.OnChipBytes = int64(onchip)
+	if dp.ORAMZ, err = queryInt(r, "defense_oram_z", 0); err != nil {
+		return defense.Config{}, err
+	}
+	if dp.ORAMBlockBytes, err = queryInt(r, "defense_oram_block", 0); err != nil {
+		return defense.Config{}, err
+	}
+	// Seeds are full int64 on the JSON surface; parse at 64 bits here too so
+	// both request surfaces accept the same range regardless of platform int.
+	if v := r.URL.Query().Get("defense_seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return defense.Config{}, fmt.Errorf("bad defense_seed=%q", v)
+		}
+		dp.Seed = seed
+	}
+	return dp.toConfig()
+}
+
 // rankFromQuery assembles optional ranking parameters from rank_* query
 // params; nil when ranking was not requested.
 func rankFromQuery(r *http.Request) (*rankParams, error) {
@@ -282,10 +320,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		req.corrupt, err = corruptFromQuery(r)
 	}
 	if err == nil {
-		req.maxStructures, err = queryInt(r, "max_structures", 0)
+		req.defense, err = defenseFromQuery(r)
 	}
 	if err == nil {
-		req.maxReturn, err = queryInt(r, "max_return", 0)
+		if req.maxStructures, err = queryInt(r, "max_structures", 0); err == nil && req.maxStructures < 0 {
+			err = fmt.Errorf("max_structures must be >= 0, got %d", req.maxStructures)
+		}
+	}
+	if err == nil {
+		if req.maxReturn, err = queryInt(r, "max_return", 0); err == nil && req.maxReturn < 0 {
+			err = fmt.Errorf("max_return must be >= 0, got %d", req.maxReturn)
+		}
 	}
 	if err == nil {
 		req.rank, err = rankFromQuery(r)
@@ -316,6 +361,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	timeoutMS, err := queryInt(r, "timeout_ms", 0)
+	if err == nil && timeoutMS < 0 {
+		err = fmt.Errorf("timeout_ms must be >= 0, got %d", timeoutMS)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -388,6 +436,10 @@ type simulateRequest struct {
 	Tolerant bool           `json:"tolerant"`
 	Corrupt  *corruptParams `json:"corrupt"`
 
+	// Defense applies a defensive trace transform to the captured trace
+	// before any adversary-side stage (internal/defense).
+	Defense *defenseParams `json:"defense"`
+
 	// Dataflow selects the accelerator backend the victim runs on
 	// (output-stationary | weight-stationary | row-stationary, or the os/ws/rs
 	// shorthand; empty = output-stationary).
@@ -422,6 +474,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Negative counts would flow silently into victim construction and
+	// solver/return semantics (and mint their own cache keys); reject them
+	// here the way the query surface does.
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"classes", sr.Classes},
+		{"depth_div", sr.DepthDiv},
+		{"filters", sr.Filters},
+		{"max_structures", sr.MaxStructures},
+		{"max_return", sr.MaxReturn},
+		{"timeout_ms", sr.TimeoutMS},
+	} {
+		if c.v < 0 {
+			http.Error(w, fmt.Sprintf("%s must be >= 0, got %d", c.name, c.v), http.StatusBadRequest)
+			return
+		}
+	}
 	seed := int64(2) // documented default for an omitted seed
 	if sr.Seed != nil {
 		seed = *sr.Seed
@@ -442,6 +513,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.corrupt = cfg
+	}
+	if sr.Defense != nil {
+		cfg, err := sr.Defense.toConfig()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req.defense = cfg
 	}
 	s.submit(w, r, req)
 }

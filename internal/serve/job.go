@@ -12,6 +12,7 @@ import (
 	"cnnrev/internal/accel"
 	"cnnrev/internal/core"
 	"cnnrev/internal/corrupt"
+	"cnnrev/internal/defense"
 	"cnnrev/internal/experiments"
 	"cnnrev/internal/memtrace"
 	"cnnrev/internal/nn"
@@ -38,8 +39,25 @@ type rankParams struct {
 // validate bounds the tournament knobs. Eta/MinEpochs without halving are
 // rejected rather than ignored: a silent no-op would still mint a distinct
 // result-cache key and return a flat ranking under tournament-looking
-// parameters.
+// parameters. Every count knob is also bounded below: a negative count
+// would flow silently into trainer/rank semantics (and mint its own cache
+// key) on both request surfaces.
 func (p *rankParams) validate() error {
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"classes", p.Classes},
+		{"per_class", p.PerClass},
+		{"epochs", p.Epochs},
+		{"depth_div", p.DepthDiv},
+		{"top_k", p.TopK},
+		{"max_candidates", p.MaxCandidates},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("rank %s must be >= 0, got %d", c.name, c.v)
+		}
+	}
 	if p.Eta < 0 || p.Eta > 64 {
 		return fmt.Errorf("rank eta must be in [0,64], got %d", p.Eta)
 	}
@@ -50,6 +68,56 @@ func (p *rankParams) validate() error {
 		return fmt.Errorf("rank eta/min_epochs require halving=true")
 	}
 	return nil
+}
+
+// defenseParams mirrors defense.Config for the request surface.
+type defenseParams struct {
+	Kind           string  `json:"kind"`
+	Seed           int64   `json:"seed"`
+	DummyRate      float64 `json:"dummy_rate"`
+	BucketBytes    int     `json:"bucket_bytes"`
+	OnChipBytes    int64   `json:"onchip_bytes"`
+	ORAMZ          int     `json:"oram_z"`
+	ORAMBlockBytes int     `json:"oram_block_bytes"`
+}
+
+// toConfig validates the parameters and converts them to a defense.Config.
+// Knobs belonging to a defense other than the selected one are rejected
+// rather than ignored — a silent no-op would still mint a distinct
+// result-cache key and return an undefended result under defense-looking
+// parameters (the same contract rankParams enforces for eta/min_epochs).
+func (p *defenseParams) toConfig() (defense.Config, error) {
+	cfg := defense.Config{
+		Kind:        p.Kind,
+		Seed:        p.Seed,
+		DummyRate:   p.DummyRate,
+		BucketBytes: p.BucketBytes,
+		OnChipBytes: p.OnChipBytes,
+	}
+	cfg.ORAM.Z = p.ORAMZ
+	cfg.ORAM.BlockBytes = p.ORAMBlockBytes
+	if err := cfg.Validate(); err != nil {
+		return defense.Config{}, err
+	}
+	if !cfg.Enabled() {
+		if p.Seed != 0 || p.DummyRate != 0 || p.BucketBytes != 0 || p.OnChipBytes != 0 || p.ORAMZ != 0 || p.ORAMBlockBytes != 0 {
+			return defense.Config{}, fmt.Errorf("defense_* knobs require a defense kind (one of %v)", defense.Kinds[1:])
+		}
+		return cfg, nil
+	}
+	if p.DummyRate != 0 && cfg.Kind != "dummy" {
+		return defense.Config{}, fmt.Errorf("defense_dummy_rate applies to defense=dummy, not %q", cfg.Kind)
+	}
+	if p.BucketBytes != 0 && cfg.Kind != "pad" {
+		return defense.Config{}, fmt.Errorf("defense_bucket_bytes applies to defense=pad, not %q", cfg.Kind)
+	}
+	if p.OnChipBytes != 0 && cfg.Kind != "fuse" {
+		return defense.Config{}, fmt.Errorf("defense_onchip_bytes applies to defense=fuse, not %q", cfg.Kind)
+	}
+	if (p.ORAMZ != 0 || p.ORAMBlockBytes != 0) && cfg.Kind != "oram" {
+		return defense.Config{}, fmt.Errorf("defense_oram_* apply to defense=oram, not %q", cfg.Kind)
+	}
+	return cfg, nil
 }
 
 // attackRequest is a fully parsed job input, either a decoded uploaded
@@ -96,6 +164,12 @@ type attackRequest struct {
 	tolerant bool
 	corrupt  corrupt.Config
 
+	// defense applies a defensive trace transform (internal/defense) to
+	// the victim's trace before any adversary-side stage — before corrupt,
+	// since the countermeasure runs at the accelerator while probe noise
+	// happens on the bus.
+	defense defense.Config
+
 	// cacheBypass skips the result-cache lookup (the fresh result still
 	// refreshes the stored entry).
 	cacheBypass bool
@@ -108,12 +182,13 @@ type attackRequest struct {
 // explicit seed 2 share an entry). The maxstructures component is the
 // *effective* cap (request merged with the server's -max-structures), so
 // restarting the server with a different cap never replays a result
-// computed under the old bound — hence the v2 prefix. The job timeout is
-// deliberately excluded: only complete results are cached, and a complete
-// result is valid under any deadline.
+// computed under the old bound. The v3 prefix adds the defense tuple: a
+// defended and an undefended run of the same victim must never share an
+// entry. The job timeout is deliberately excluded: only complete results
+// are cached, and a complete result is valid under any deadline.
 func (req *attackRequest) cacheKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v2|mode=%s|", req.mode)
+	fmt.Fprintf(&b, "v3|mode=%s|", req.mode)
 	if req.mode == "trace" {
 		fmt.Fprintf(&b, "sha256=%s|inw=%d|ind=%d|elem=%d|", req.traceHash, req.inW, req.inD, req.elemBytes)
 	} else {
@@ -126,6 +201,10 @@ func (req *attackRequest) cacheKey() string {
 	fmt.Fprintf(&b, "corrupt=%d,%g,%g,%g,%d,%g,%d,%d|",
 		c.Seed, c.DropRate, c.SplitRate, c.CoalesceRate, c.ReorderWindow,
 		c.InterferenceRate, c.InterferenceRegions, c.ProbeGranularityBlocks)
+	d := req.defense
+	fmt.Fprintf(&b, "defense=%s,%d,%g,%d,%d,%d,%d|",
+		d.Kind, d.Seed, d.DummyRate, d.BucketBytes, d.OnChipBytes,
+		d.ORAM.Z, d.ORAM.BlockBytes)
 	if r := req.rank; r != nil {
 		fmt.Fprintf(&b, "rank=%d,%d,%d,%d,%d,%d,%d,h=%t,%d,%d",
 			r.Classes, r.PerClass, r.Epochs, r.DepthDiv, r.TopK, r.Seed, r.MaxCandidates,
@@ -244,6 +323,33 @@ type noiseJSON struct {
 	DroppedDeps          int     `json:"dropped_deps"`
 }
 
+// defenseJSON reports the applied defensive transform and its measured
+// cost in the response.
+type defenseJSON struct {
+	Kind              string  `json:"kind"`
+	BandwidthOverhead float64 `json:"bandwidth_overhead"`
+	LatencyOverhead   float64 `json:"latency_overhead"`
+	InputBlocks       uint64  `json:"input_blocks"`
+	OutputBlocks      uint64  `json:"output_blocks"`
+	ORAMLevels        int     `json:"oram_levels,omitempty"`
+	ORAMMaxStash      int     `json:"oram_max_stash,omitempty"`
+}
+
+func defenseJSONFrom(st defense.Stats) *defenseJSON {
+	dj := &defenseJSON{
+		Kind:              st.Defense,
+		BandwidthOverhead: st.BandwidthOverhead(),
+		LatencyOverhead:   st.LatencyOverhead(),
+		InputBlocks:       st.InputBlocks,
+		OutputBlocks:      st.OutputBlocks,
+	}
+	if st.ORAM != nil {
+		dj.ORAMLevels = st.ORAM.Levels
+		dj.ORAMMaxStash = st.ORAM.MaxStash
+	}
+	return dj
+}
+
 type attackResponse struct {
 	JobID         string           `json:"job_id"`
 	Mode          string           `json:"mode"`
@@ -252,6 +358,7 @@ type attackResponse struct {
 	Cached        bool             `json:"cached,omitempty"` // served from the result cache; job_id/stage_ms describe the job that computed it
 	Tolerant      bool             `json:"tolerant,omitempty"`
 	Corrupted     bool             `json:"corrupted,omitempty"`
+	Defense       *defenseJSON     `json:"defense,omitempty"` // defensive transform applied before analysis, with measured overheads
 	Dataflow      string           `json:"dataflow,omitempty"`          // accelerator scheduling the job ran under (simulate: capture backend; trace: declared prior)
 	DetectedDF    string           `json:"detected_dataflow,omitempty"` // scheduling class auto-detected from the trace; "ambiguous" when evidence is insufficient
 	Noise         *noiseJSON       `json:"noise,omitempty"`
@@ -379,6 +486,17 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 	case "trace":
 		input = nn.Shape{C: req.inD, H: req.inW, W: req.inW}
 		trace := req.trace
+		var defStats defense.Stats
+		defended := req.defense.Enabled()
+		if defended {
+			t0 := time.Now()
+			var derr error
+			trace, defStats, derr = defense.Apply(trace, req.defense)
+			if derr != nil {
+				return fail(http.StatusUnprocessableEntity, derr)
+			}
+			observe("defense", time.Since(t0))
+		}
 		corrupted := req.corrupt.Enabled()
 		if corrupted {
 			t0 := time.Now()
@@ -421,6 +539,10 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			Dataflow:         req.dataflow.String(),
 			DetectedDataflow: detected.Class.String(),
 		}
+		if defended {
+			rep.Defense = req.defense.Kind
+			rep.DefenseStats = defStats
+		}
 		if serr != nil {
 			s.met.MarkStageCancelled("solve")
 		}
@@ -435,7 +557,7 @@ func (s *Server) execute(j *job) (*attackResponse, int, error) {
 			net.InitWeights(req.seed)
 		}
 		input = net.Input
-		spec := core.StructureAttackSpec{Corrupt: req.corrupt, Tolerant: req.tolerant}
+		spec := core.StructureAttackSpec{Defense: req.defense, Corrupt: req.corrupt, Tolerant: req.tolerant}
 		rep, err = core.RunStructureAttackSpec(ctx, net, accel.Config{Dataflow: req.dataflow}, opt, req.seed, spec, observe)
 		if err != nil && rep == nil {
 			return fail(http.StatusUnprocessableEntity, err)
@@ -565,6 +687,9 @@ func fillStructureResult(resp *attackResponse, rep *core.StructureReport, maxRet
 	resp.Corrupted = rep.Corrupted
 	resp.Dataflow = rep.Dataflow
 	resp.DetectedDF = rep.DetectedDataflow
+	if rep.Defense != "" {
+		resp.Defense = defenseJSONFrom(rep.DefenseStats)
+	}
 	if rep.Tolerant {
 		resp.Noise = &noiseJSON{
 			InterferenceRegions:  rep.Noise.InterferenceRegions,

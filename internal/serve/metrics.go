@@ -14,7 +14,7 @@ import (
 
 // stageNames is the fixed pipeline-stage vocabulary, in execution order.
 // Fixing the set up front lets every stage own lock-free atomics.
-var stageNames = []string{"decode", "capture", "corrupt", "analyze", "detect", "solve", "rank", "weights"}
+var stageNames = []string{"decode", "capture", "defense", "corrupt", "analyze", "detect", "solve", "rank", "weights"}
 
 // dataflowNames is the fixed accelerator-dataflow label vocabulary for the
 // per-dataflow stage counters (accel's canonical names).

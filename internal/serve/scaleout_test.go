@@ -386,7 +386,7 @@ func TestCacheKeyUsesEffectiveCap(t *testing.T) {
 	if a.cacheKey() == b.cacheKey() {
 		t.Fatal("cache keys collide across different effective caps")
 	}
-	if !strings.HasPrefix(a.cacheKey(), "v2|") {
+	if !strings.HasPrefix(a.cacheKey(), "v3|") {
 		t.Fatalf("cache key %q not version-bumped", a.cacheKey())
 	}
 	// Once resolved, a worker's own config must not re-merge the cap.
